@@ -1,0 +1,20 @@
+"""E1 bench: gateway isolation vs forged-frame propagation.
+
+Regenerates the E1 table (DESIGN.md §3) and checks its shape: only
+id-allowlist granularity (and quarantine) stop the forged engine frames.
+"""
+
+from repro.experiments import e01_gateway
+
+
+def test_e1_gateway_isolation(benchmark, report):
+    result = benchmark.pedantic(e01_gateway.run, rounds=1, iterations=1)
+    report(result, "E1")
+
+    by_config = {row["config"]: row for row in result.rows}
+    # Shape assertions: flat bus and coarse rules leak, allowlist blocks.
+    assert by_config["flat-bus"]["forged_delivered"] > 100
+    assert by_config["gateway-open"]["forged_delivered"] > 100
+    assert by_config["gateway-domain"]["forged_delivered"] > 100
+    assert by_config["gateway-allowlist"]["forged_delivered"] == 0
+    assert by_config["gateway-quarantine"]["forged_delivered"] == 0

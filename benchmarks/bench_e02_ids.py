@@ -1,0 +1,29 @@
+"""E2 bench: IDS detection matrix across attack classes."""
+
+from repro.experiments import e02_ids
+
+
+def test_e2_ids_matrix(benchmark, report):
+    result = benchmark.pedantic(e02_ids.run, rounds=1, iterations=1)
+    report(result, "E2")
+
+    rows = {(r["attack"], r["detector"]): r for r in result.rows}
+    # Every detector stays quiet on clean traffic.
+    assert all(r["clean_fpr"] < 0.02 for r in result.rows)
+    # Flood: entropy and spec catch it; the ensemble inherits the best.
+    assert rows[("flood", "spec")]["recall"] > 0.95
+    assert rows[("flood", "ensemble")]["recall"] > 0.95
+    # Fuzz: spec catches unknown ids.
+    assert rows[("fuzz", "spec")]["recall"] > 0.95
+    # Targeted spoofing with an implausible payload: the learned payload
+    # envelope catches what spec (in-spec id+dlc) and timing miss.
+    assert rows[("spoof", "payload")]["recall"] > 0.9
+    # Masquerade evades every network-level heuristic (the blind spot) --
+    # including payload ranges, since the forged values are plausible.
+    assert all(rows[("masquerade", d)]["recall"] == 0.0
+               for d in ("frequency", "entropy", "spec", "payload", "ensemble"))
+    # The ensemble dominates or matches each member per attack.
+    for attack in ("flood", "spoof", "fuzz"):
+        best_single = max(rows[(attack, d)]["recall"]
+                          for d in ("frequency", "entropy", "spec", "payload"))
+        assert rows[(attack, "ensemble")]["recall"] >= best_single - 1e-9

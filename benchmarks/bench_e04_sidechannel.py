@@ -1,0 +1,20 @@
+"""E4 bench: CPA traces-to-recovery, unprotected vs masked AES."""
+
+from repro.experiments import e04_sidechannel
+
+
+def test_e4_cpa_vs_masking(benchmark, report):
+    result = benchmark.pedantic(
+        e04_sidechannel.run, kwargs={"max_traces": 600}, rounds=1, iterations=1,
+    )
+    report(result, "E4")
+
+    unprotected = [r for r in result.rows if r["implementation"] == "unprotected"]
+    masked = [r for r in result.rows if r["implementation"] == "masked"]
+    # The unprotected implementation falls at every noise level tested.
+    assert all(r["recovered"] for r in unprotected)
+    # More noise never makes recovery *cheaper* (grid granularity aside).
+    needed = [r["traces_needed"] for r in unprotected]
+    assert needed == sorted(needed)
+    # Masking defeats first-order CPA within the full budget.
+    assert not any(r["recovered"] for r in masked)

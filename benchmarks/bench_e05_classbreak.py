@@ -1,0 +1,15 @@
+"""E5 bench: one-vehicle compromise blast radius by key regime."""
+
+from repro.experiments import e05_classbreak
+
+
+def test_e5_class_break(benchmark, report):
+    result = benchmark.pedantic(
+        e05_classbreak.run, kwargs={"fleet_size": 12}, rounds=1, iterations=1,
+    )
+    report(result, "E5")
+
+    radius = {r["regime"]: r["blast_radius"] for r in result.rows}
+    assert radius["naive-shared"] == 1.0          # whole class falls
+    assert radius["naive-per-device"] == 1.0 / 12  # only the broken car
+    assert radius["uptane"] == 0.0                 # vehicle keys sign nothing

@@ -1,0 +1,23 @@
+"""E6 bench: V2X verification load vs vehicle density."""
+
+from repro.experiments import e06_v2x_density
+
+
+def test_e6_density_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        e06_v2x_density.run,
+        kwargs={"verify_rate": 250.0, "duration": 2.0},
+        rounds=1, iterations=1,
+    )
+    report(result, "E6")
+
+    rows = result.rows
+    # Offered load grows with density.
+    offered = [r["offered_msgs_per_s"] for r in rows]
+    assert offered == sorted(offered)
+    # Below the budget everything is verified; above it, drops appear.
+    assert rows[0]["verified_fraction"] > 0.99
+    assert rows[-1]["verified_fraction"] < 0.8
+    assert rows[-1]["dropped_per_s"] > 0
+    # Verified throughput saturates at (roughly) the budget.
+    assert rows[-1]["verified_per_s"] <= 250.0 * 1.05

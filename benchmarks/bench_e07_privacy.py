@@ -1,0 +1,22 @@
+"""E7 bench: pseudonym rotation + mix zones vs the tracking adversary."""
+
+from repro.experiments import e07_privacy
+
+
+def test_e7_privacy_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        e07_privacy.run, kwargs={"duration": 120.0}, rounds=1, iterations=1,
+    )
+    report(result, "E7")
+
+    rows = {(r["rotation_period_s"], r["mix_zone"]): r for r in result.rows}
+    # Rotation alone barely helps: the tracker stays strong.
+    plain = [r for (p, mz), r in rows.items() if mz == "no" and p <= 30.0]
+    assert all(r["link_accuracy"] > 0.5 for r in plain)
+    # Mix-zone silence collapses tracking accuracy.
+    for period in (15.0, 30.0):
+        assert (rows[(period, "yes")]["link_accuracy"]
+                < rows[(period, "no")]["link_accuracy"] * 0.5)
+    # Faster rotation costs more certificates.
+    assert (rows[(15.0, "no")]["certs_per_vehicle_hour"]
+            > rows[(60.0, "no")]["certs_per_vehicle_hour"])

@@ -1,0 +1,32 @@
+"""E8 bench: PKES relay matrix + immobilizer crack scaling."""
+
+from repro.experiments import e08_access
+
+
+def test_e8_relay_matrix(benchmark, report):
+    result = benchmark.pedantic(e08_access.run_relay, rounds=1, iterations=1)
+    report(result, "E8")
+
+    rows = {(r["defense"], r["scenario"]): r["unlocked"] for r in result.rows}
+    # Undefended PKES falls to every relay.
+    assert rows[("none", "relay-digital-1us")]
+    assert rows[("none", "relay-analog-5ns")]
+    # Distance bounding stops them...
+    assert not rows[("distance-bounding-3m", "relay-digital-1us")]
+    assert not rows[("distance-bounding-3m", "relay-analog-5ns")]
+    # ...without locking out the legitimate owner.
+    assert rows[("distance-bounding-3m", "owner-at-car")]
+
+
+def test_e8_crack_scaling(benchmark, report):
+    result = benchmark.pedantic(e08_access.run_crack, rounds=1, iterations=1)
+    report(result, "E8")
+
+    rows = result.rows
+    # Work grows ~exponentially with unknown bits; extrapolated full-width
+    # cost stays in the same order of magnitude across measurements
+    # (constant keys/s), which is the scaling argument.
+    tried = [r["keys_tried"] for r in rows]
+    assert tried[-1] > tried[0] * 4
+    days = [r["extrapolated_40bit_days"] for r in rows]
+    assert max(days) / min(days) < 10.0

@@ -1,0 +1,33 @@
+"""E9 bench: extensible vs custom architecture cost trajectories."""
+
+from repro.experiments import e09_extensibility
+
+
+def test_e9_cost_trajectories(benchmark, report):
+    result = benchmark.pedantic(e09_extensibility.run, rounds=1, iterations=1)
+    report(result, "E9")
+
+    rows = result.rows
+    # Generation 1: extensibility costs more (the time-to-market penalty).
+    assert rows[0]["extensible_cost"] > rows[0]["custom_cost"]
+    # By the final generation the extensible architecture has won.
+    assert rows[-1]["extensible_cost"] < rows[-1]["custom_cost"]
+    # Exactly one crossover (monotone difference).
+    wins = [r["extensible_wins"] for r in rows]
+    assert wins == sorted(wins)  # False... then True...
+
+
+def test_e9_ablation(benchmark, report):
+    result = benchmark.pedantic(e09_extensibility.run_ablation,
+                                rounds=1, iterations=1)
+    report(result, "E9")
+
+    rows = result.rows
+    # The worse the per-generation reconfiguration cost, the later (or
+    # never) the crossover.
+    crossovers = [
+        r["crossover_generation"] for r in rows
+        if r["crossover_generation"] != "never"
+    ]
+    assert crossovers == sorted(crossovers)
+    assert rows[-1]["crossover_generation"] == "never"

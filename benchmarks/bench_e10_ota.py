@@ -1,0 +1,21 @@
+"""E10 bench: malicious-update success matrix under key compromise."""
+
+from repro.experiments import e10_ota
+
+
+def test_e10_compromise_matrix(benchmark, report):
+    result = benchmark.pedantic(e10_ota.run, rounds=1, iterations=1)
+    report(result, "E10")
+
+    rows = {r["compromised_keys"]: r for r in result.rows}
+    # The naive client survives only the no-compromise row.
+    assert rows["none"]["naive_client"] == "safe"
+    for scenario in ("timestamp-keys", "director-online-all",
+                     "image-targets-only", "both-repos-all-online"):
+        assert rows[scenario]["naive_client"] == "COMPROMISED"
+    # The role-separated client survives every single-repo compromise...
+    for scenario in ("none", "timestamp-keys", "snapshot+timestamp",
+                     "director-online-all", "image-targets-only"):
+        assert rows[scenario]["uptane_client"] == "safe"
+    # ...and falls only when both repositories' online roles are taken.
+    assert rows["both-repos-all-online"]["uptane_client"] == "COMPROMISED"

@@ -1,0 +1,20 @@
+"""E11 bench: adaptive vs static operating policies over a commute."""
+
+from repro.experiments import e11_tradeoff
+
+
+def test_e11_policy_comparison(benchmark, report):
+    result = benchmark.pedantic(e11_tradeoff.run, rounds=1, iterations=1)
+    report(result, "E11")
+
+    rows = {r["policy"]: r for r in result.rows}
+    adaptive, smax, smin = rows["adaptive"], rows["static-max"], rows["static-min"]
+    # Adaptive is cheaper than always-max on both energy and bandwidth...
+    assert adaptive["energy_wh"] < smax["energy_wh"]
+    assert adaptive["data_mb"] < smax["data_mb"]
+    # ...and never leaves urban driving under-verified, unlike always-min.
+    assert adaptive["urban_underverified_fraction"] == 0.0
+    assert smin["urban_underverified_fraction"] == 1.0
+    # The static-min policy is the cheapest -- the point is what it costs
+    # in exposure, not energy.
+    assert smin["energy_wh"] < adaptive["energy_wh"]

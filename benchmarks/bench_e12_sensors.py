@@ -1,0 +1,23 @@
+"""E12 bench: sensor spoofing vs fusion plausibility gating."""
+
+from repro.experiments import e12_sensors
+
+
+def test_e12_sensor_attack_matrix(benchmark, report):
+    result = benchmark.pedantic(e12_sensors.run, rounds=1, iterations=1)
+    report(result, "E12")
+
+    rows = {(r["attack"], r["gating"]): r for r in result.rows}
+    # Without gating, every attack succeeds undetected.
+    for attack in ("gps-jump", "gps-drift", "tpms-blowout", "lidar-phantom"):
+        assert rows[(attack, "off")]["success"]
+        assert not rows[(attack, "off")]["detected"]
+    # Gating stops/flags the crude attacks.
+    assert not rows[("gps-jump", "on")]["success"]
+    assert rows[("gps-jump", "on")]["detected"]
+    assert not rows[("lidar-phantom", "on")]["success"]
+    assert rows[("lidar-phantom", "on")]["detected"]
+    assert rows[("tpms-blowout", "on")]["detected"]
+    # The honest residual: slow GPS drift stays under the innovation gate.
+    assert rows[("gps-drift", "on")]["success"]
+    assert not rows[("gps-drift", "on")]["detected"]

@@ -1,0 +1,28 @@
+"""E13 bench: secure-boot guarantees and authentication cost curve."""
+
+from repro.experiments import e13_secureboot
+
+
+def test_e13_boot_outcomes(benchmark, report):
+    result = benchmark.pedantic(e13_secureboot.run, rounds=1, iterations=1)
+    report(result, "E13")
+
+    rows = {r["mutation"]: r for r in result.rows}
+    assert rows["authentic"]["policy_degrade"] == "running"
+    assert rows["authentic"]["policy_halt"] == "running"
+    for mutation in ("payload-flip", "version-swap", "wrong-image"):
+        assert rows[mutation]["policy_degrade"] == "degraded"
+        assert rows[mutation]["policy_halt"] == "locked"
+
+
+def test_e13_cmac_cost_curve(benchmark, report):
+    result = benchmark.pedantic(e13_secureboot.run_cost, rounds=1, iterations=1)
+    report(result, "E13")
+
+    rows = result.rows
+    # Cost grows with image size; throughput is roughly size-independent
+    # (linear scaling), within a generous tolerance for timer noise.
+    times = [r["cmac_ms"] for r in rows]
+    assert times == sorted(times)
+    throughputs = [r["throughput_kib_s"] for r in rows]
+    assert max(throughputs) / min(throughputs) < 3.0

@@ -1,0 +1,31 @@
+"""E14 bench: verification-space growth + reserved-config exposure."""
+
+from repro.experiments import e14_verification
+
+
+def test_e14_configuration_space(benchmark, report):
+    result = benchmark.pedantic(e14_verification.run, rounds=1, iterations=1)
+    report(result, "E14")
+
+    rows = result.rows
+    spaces = [r["config_space"] for r in rows]
+    times = [r["exhaustive_eval_ms"] for r in rows]
+    # The space (and the cost of exhaustively covering it) explodes with
+    # extensibility level.
+    assert spaces == sorted(spaces)
+    assert spaces[-1] > spaces[0] * 50
+    assert times[-1] > times[0] * 10
+
+
+def test_e14_reserved_surface(benchmark, report):
+    result = benchmark.pedantic(e14_verification.run_reserved,
+                                rounds=1, iterations=1)
+    report(result, "E14")
+
+    rows = result.rows
+    # No reserved ids -> no reserved surface; surface grows with the
+    # fraction of "future use" configuration shipped dark.
+    assert rows[0]["fuzz_hits_reserved"] == 0
+    hits = [r["fuzz_hits_reserved"] for r in rows]
+    assert hits == sorted(hits)
+    assert hits[-1] > 0

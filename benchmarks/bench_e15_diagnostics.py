@@ -1,0 +1,19 @@
+"""E15 bench: UDS SecurityAccess attack chain by seed/key algorithm."""
+
+from repro.experiments import e15_diagnostics
+
+
+def test_e15_seedkey_attack_chain(benchmark, report):
+    result = benchmark.pedantic(e15_diagnostics.run, rounds=1, iterations=1)
+    report(result, "E15")
+
+    rows = {r["algorithm"]: r for r in result.rows}
+    weak, sound = rows["xor-constant"], rows["aes-cmac"]
+    # One sniffed exchange breaks the XOR scheme end to end.
+    assert weak["transform_recovered"]
+    assert weak["ecu_unlocked"]
+    assert weak["protected_write"]
+    # The CMAC scheme resists recovery, and online guessing hits lockout.
+    assert not sound["transform_recovered"]
+    assert not sound["ecu_unlocked"]
+    assert sound["lockout"]

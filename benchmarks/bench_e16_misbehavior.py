@@ -1,0 +1,22 @@
+"""E16 bench: ghost-vehicle insider vs misbehavior detection."""
+
+from repro.experiments import e16_misbehavior
+
+
+def test_e16_ghost_vehicle(benchmark, report):
+    result = benchmark.pedantic(e16_misbehavior.run, rounds=1, iterations=1)
+    report(result, "E16")
+
+    rows = result.rows
+    for row in rows:
+        # The insider is always caught and revoked...
+        assert row["revoked"]
+        assert row["time_to_revocation_s"] < 5.0
+        # ...revocation is airtight (CRL rejects every later lie)...
+        assert row["lies_accepted_after"] == 0
+        assert row["crl_rejections"] > 0
+        # ...and no honest vehicle is ever falsely revoked.
+        assert row["honest_revoked"] == 0
+    # Higher thresholds admit (slightly) more lies before tripping.
+    before = [r["lies_accepted_before"] for r in rows]
+    assert before == sorted(before)

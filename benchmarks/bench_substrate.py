@@ -1,0 +1,52 @@
+"""Micro-benchmarks for the simulation substrate (kernel, CAN, channel)."""
+
+from repro.ivn import CanBus, CanFrame, typical_powertrain_matrix
+from repro.sim import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule+dispatch cost of 10k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run()
+        return sim.processed_events
+
+    assert benchmark(run) == 10_000
+
+
+def test_can_frame_encoding(benchmark):
+    """Stuffed-bit-accurate frame length computation."""
+    frame = CanFrame(0x123, bytes(range(8)))
+    benchmark(frame.bit_length)
+
+
+def test_can_bus_simulated_second(benchmark):
+    """Wall-clock cost of simulating 1 s of loaded powertrain CAN."""
+
+    def run():
+        sim = Simulator()
+        bus = CanBus(sim)
+        typical_powertrain_matrix().install(sim, bus)
+        sim.run_until(1.0)
+        return bus.frames_on_wire
+
+    frames = benchmark(run)
+    assert frames > 400  # ~442 frames/s for the matrix
+
+
+def test_can_bus_saturated_arbitration(benchmark):
+    """Arbitration among 8 contending nodes, 1000 frames."""
+
+    def run():
+        sim = Simulator()
+        bus = CanBus(sim)
+        nodes = [bus.attach(f"n{i}") for i in range(8)]
+        for k in range(1000):
+            nodes[k % 8].send(CanFrame(0x100 + (k % 64), bytes(8)))
+        sim.run()
+        return bus.frames_on_wire
+
+    assert benchmark(run) == 1000

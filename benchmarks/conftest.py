@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment bench times its driver with pytest-benchmark AND emits
+the experiment's results table -- the repository's substitute for the
+paper's (nonexistent) tables -- both to the terminal (bypassing capture)
+and to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Emit a SweepResult table to the terminal and the results dir."""
+
+    def _report(result, name: str) -> None:
+        table = result.to_table()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        existing = path.read_text() if path.exists() else ""
+        if result.name not in existing:
+            with path.open("a") as fh:
+                fh.write(table + "\n\n")
+        with capsys.disabled():
+            print()
+            print(table)
+
+    return _report

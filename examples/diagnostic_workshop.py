@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The workshop diagnostic session — and the dongle listening in.
+
+Narrated E15 chain over a real ISO-TP/UDS stack:
+
+1. A legitimate workshop tester unlocks the ECU's SecurityAccess gate
+   and updates a configuration identifier.
+2. An attacker's OBD dongle on the same bus records the seed/key
+   exchange.
+3. Against the (historically typical) fixed-XOR algorithm, one recorded
+   exchange yields the secret constant; the attacker unlocks the ECU and
+   rewrites the protected configuration at will.
+4. The same chain against a CMAC-based algorithm: recovery fails and
+   online guessing trips the attempt lockout.
+
+Run:  python examples/diagnostic_workshop.py
+"""
+
+import random
+
+from repro.diag import (
+    CmacSeedKey,
+    IsoTpEndpoint,
+    NegativeResponse,
+    SeedKeyRecoveryAttack,
+    UdsClient,
+    UdsServer,
+    UdsSession,
+    XorSeedKey,
+)
+from repro.ivn import CanBus
+from repro.sim import Simulator
+
+REQ_ID, RSP_ID = 0x7E0, 0x7E8
+CONFIG_DID = 0xF015
+
+
+def scenario(label, algorithm):
+    print(f"=== {label} ===")
+    sim = Simulator()
+    bus = CanBus(sim)
+    tester_ep = IsoTpEndpoint(sim, bus, "tester", tx_id=REQ_ID, rx_id=RSP_ID)
+    ecu_ep = IsoTpEndpoint(sim, bus, "ecu", tx_id=RSP_ID, rx_id=REQ_ID)
+    server = UdsServer(ecu_ep, algorithm, rng=random.Random(11))
+    server.add_did(CONFIG_DID, b"\x00\x64", protected=True)  # speed limiter
+    client = UdsClient(sim, tester_ep)
+    dongle = SeedKeyRecoveryAttack(bus, REQ_ID, RSP_ID)
+
+    # 1. the legitimate workshop session (twice, for the cross-check)
+    for _ in range(2):
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)
+        client.ecu_reset()
+    print(f"  workshop sessions done; dongle sniffed "
+          f"{len(dongle.exchanges)} seed/key exchanges")
+
+    # 2-3. recovery + exploitation
+    constant = dongle.recover_xor_constant()
+    if constant is not None:
+        print(f"  transform RECOVERED: constant {constant.hex()}")
+        if SeedKeyRecoveryAttack.exploit(client, constant):
+            client.write_did(CONFIG_DID, b"\xFF\xFF")
+            print(f"  attacker unlocked the ECU and rewrote the protected "
+                  f"config to {server.data_identifiers[CONFIG_DID].hex()}")
+    else:
+        print("  transform NOT recoverable from sniffed exchanges")
+        unlocked, attempts = SeedKeyRecoveryAttack.online_bruteforce(
+            client, random.Random(12), attempts=1000,
+        )
+        print(f"  online guessing: unlocked={unlocked} after {attempts} "
+              f"attempts (ECU locked out: {server.locked_out})")
+    print()
+
+
+def main() -> None:
+    scenario("fixed-XOR seed/key (legacy practice)",
+             XorSeedKey(b"\xde\xad\xbe\xef"))
+    scenario("AES-CMAC seed/key (SHE-backed)", CmacSeedKey(b"S" * 16))
+    print("One weak transform turns every parked car into an open toolbox;")
+    print("a keyed MAC plus attempt lockout reduces the dongle to noise.")
+
+
+if __name__ == "__main__":
+    main()

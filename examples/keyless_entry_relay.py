@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Physical access security: PKES relay and immobilizer cracking (§4.3).
+
+Part 1 -- the Francillon relay attack: the owner's fob is 30 m away in
+the house; a two-box radio relay convinces the car it is adjacent.  With
+RTT distance bounding, the relay's processing latency betrays it.
+
+Part 2 -- the Bono-style transponder crack: eavesdrop a few
+challenge/response pairs from a weak 40-bit transponder, brute-force a
+reduced key space live, and extrapolate the full-width attack cost.
+
+Run:  python examples/keyless_entry_relay.py
+"""
+
+import random
+
+from repro.access import (
+    DistanceBounder,
+    Immobilizer,
+    KeyCracker,
+    KeyFob,
+    PkesSystem,
+    RelayAttack,
+    Transponder,
+)
+
+FOB_KEY = b"\x42" * 16
+
+
+def part1_relay() -> None:
+    print("=== PKES relay attack ===")
+    fob = KeyFob(FOB_KEY)
+    owner_distance = 30.0
+
+    for defense, bounder in (("plain PKES", None),
+                             ("with distance bounding (3 m)",
+                              DistanceBounder(max_distance_m=3.0))):
+        pkes = PkesSystem(FOB_KEY, distance_bounder=bounder,
+                          rng=random.Random(1))
+        baseline = pkes.attempt_unlock(fob, fob_distance_m=owner_distance)
+        relay = RelayAttack(relay_latency_s=1e-6)
+        relay.engage()
+        attacked = pkes.attempt_unlock(fob, fob_distance_m=owner_distance,
+                                       relay=relay)
+        print(f"  [{defense}]")
+        print(f"    fob 30 m away, no relay : "
+              f"{'UNLOCKED' if baseline.unlocked else 'locked'} ({baseline.reason})")
+        line = "UNLOCKED" if attacked.unlocked else "locked"
+        extra = (f", implied distance {attacked.implied_distance_m:.0f} m"
+                 if attacked.implied_distance_m else "")
+        print(f"    fob 30 m away, relayed  : {line} ({attacked.reason}{extra})")
+    print()
+
+
+def part2_crack() -> None:
+    print("=== immobilizer transponder crack ===")
+    rng = random.Random(7)
+    secret_key = rng.getrandbits(16)  # 16 unknown bits for a live demo
+    transponder = Transponder(secret_key)
+    immobilizer = Immobilizer(secret_key, rng=rng)
+
+    pairs = KeyCracker.eavesdrop(transponder, 3, rng=rng)
+    print(f"  eavesdropped {len(pairs)} challenge/response pairs")
+    outcome = KeyCracker(pairs).crack(true_key_prefix=secret_key, known_bits=24)
+    rate = outcome.keys_tried / outcome.elapsed_s
+    print(f"  cracked 16-bit-effective key {outcome.key:#012x} in "
+          f"{outcome.elapsed_s:.2f} s ({outcome.keys_tried} keys, "
+          f"{rate:,.0f} keys/s)")
+    print(f"  full 40-bit extrapolation: "
+          f"{outcome.extrapolate(40) / 86400:.0f} days on this single core")
+    print("  (Bono et al. needed ~an hour on 16 parallel FPGA cores -- the")
+    print("   scaling argument, not the absolute number, is the result.)")
+
+    clone = Transponder(outcome.key, serial="CLONED")
+    started = immobilizer.attempt_start(clone)
+    print(f"  cloned transponder starts the engine: "
+          f"{'YES' if started else 'no'}")
+    print()
+
+
+if __name__ == "__main__":
+    part1_relay()
+    part2_crack()

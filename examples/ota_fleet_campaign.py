@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""OTA fleet campaign + key-compromise attack matrix.
+
+1. Roll an honest firmware update to a 10-vehicle fleet through the
+   role-separated (Uptane-style) pipeline.
+2. Replay the paper's §4.2 scenario: an attacker extracts keys from one
+   vehicle and tries to push malicious firmware -- against the naive
+   shared-key client and against the role-separated client, under
+   escalating key-compromise scenarios.
+
+Run:  python examples/ota_fleet_campaign.py
+"""
+
+from repro.crypto import EcdsaKeyPair, HmacDrbg
+from repro.ecu import FirmwareImage, FirmwareStore
+from repro.ota import (
+    CompromiseScenario,
+    DirectorRepository,
+    FleetCampaign,
+    ImageRepository,
+    NaiveClient,
+    UptaneClient,
+)
+
+FLEET_SIZE = 10
+
+
+def base_store() -> FirmwareStore:
+    return FirmwareStore(
+        FirmwareImage("body-fw", 1, b"factory body firmware" * 6,
+                      hardware_id="mcu-b"),
+    )
+
+
+def main() -> None:
+    # --- honest rollout ---------------------------------------------------
+    image_repo = ImageRepository(seed=b"example/img")
+    director = DirectorRepository(seed=b"example/dir")
+    fleet = [
+        UptaneClient(f"veh-{i:02d}", base_store(),
+                     image_root=image_repo.metadata["root"],
+                     director_root=director.metadata["root"])
+        for i in range(FLEET_SIZE)
+    ]
+    campaign = FleetCampaign(director, image_repo, fleet)
+    update = FirmwareImage("body-fw", 2, b"patched body firmware" * 6,
+                           hardware_id="mcu-b")
+    results = campaign.rollout(update, now=1000.0)
+    print(f"honest campaign: {campaign.success_rate(results):.0%} of "
+          f"{FLEET_SIZE} vehicles now at v2")
+    print()
+
+    # --- attack matrix ------------------------------------------------------
+    malicious = FirmwareImage("body-fw", 99, b"attacker payload" * 8,
+                              hardware_id="mcu-b")
+    oem_shared = EcdsaKeyPair.generate(HmacDrbg(b"example/shared-oem"))
+
+    scenarios = [
+        ("no keys", {}),
+        ("director online keys", {"director": ["targets", "snapshot", "timestamp"]}),
+        ("image repo online keys", {"image": ["targets", "snapshot", "timestamp"]}),
+        ("both repos' online keys", {
+            "director": ["targets", "snapshot", "timestamp"],
+            "image": ["targets", "snapshot", "timestamp"],
+        }),
+    ]
+    print(f"{'compromised keys':28s}  {'naive shared-key':18s}  {'role-separated'}")
+    print("-" * 68)
+    for name, compromised in scenarios:
+        naive = NaiveClient("veh-00", base_store(), oem_shared.public)
+        naive_result = CompromiseScenario.attack_naive(
+            naive, malicious, oem_shared if compromised else None,
+        )
+        # Fresh repos + client per scenario: a client's version memory
+        # (rollback protection) must not leak between what are logically
+        # independent what-if worlds.
+        img2 = ImageRepository(seed=b"example/img")
+        dir2 = DirectorRepository(seed=b"example/dir")
+        victim = UptaneClient("veh-00", base_store(),
+                              image_root=img2.metadata["root"],
+                              director_root=dir2.metadata["root"])
+        FleetCampaign(dir2, img2, [victim]).rollout(update, now=1000.0)
+        scenario = CompromiseScenario(dir2, img2, compromised)
+        uptane_result = scenario.attack_uptane(victim, malicious, now=2000.0)
+        fmt = lambda r: "COMPROMISED" if r.installed else f"safe ({r.reason[:24]})"
+        print(f"{name:28s}  {fmt(naive_result):18s}  {fmt(uptane_result)}")
+
+    print()
+    print("Shape: the naive client falls to ANY signing-key compromise;")
+    print("the role-separated client requires the attacker to hold the")
+    print("online keys of BOTH repositories simultaneously.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Side-channel key extraction via correlation power analysis (§4.2).
+
+The paper's scenario: an adversary with physical access measures power
+emissions during cryptographic operations and recovers the key -- which,
+if shared across a vehicle class, compromises the class (see
+examples/ota_fleet_campaign.py for the downstream consequence).
+
+The demo acquires Hamming-weight power traces from the software AES,
+runs CPA per key byte, and shows (a) recovery from a few hundred noisy
+traces on the unprotected implementation and (b) failure against the
+first-order masked implementation at the same budget.
+
+Run:  python examples/side_channel_cpa.py
+"""
+
+import random
+
+from repro.attacks import CpaAttack
+from repro.crypto.aes import AES, MaskedAES
+from repro.physical import PowerTraceModel
+
+SECRET_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+NOISE_STD = 2.0
+BUDGET = 800
+
+
+def attack(engine, label: str) -> None:
+    model = PowerTraceModel(engine, noise_std=NOISE_STD,
+                            rng=random.Random(1234))
+    result = CpaAttack(model).run(BUDGET)
+    correct = result.bytes_correct(SECRET_KEY)
+    print(f"  [{label}]")
+    print(f"    traces acquired ......... {result.traces_used}")
+    print(f"    recovered key ........... {result.recovered_key.hex()}")
+    print(f"    true key ................ {SECRET_KEY.hex()}")
+    print(f"    bytes correct ........... {correct}/16 "
+          f"{'-- FULL KEY RECOVERED' if correct == 16 else ''}")
+    print()
+
+
+def main() -> None:
+    print(f"CPA attack, noise sigma={NOISE_STD} HW units, "
+          f"budget {BUDGET} traces\n")
+    attack(AES(SECRET_KEY), "unprotected AES")
+    attack(MaskedAES(SECRET_KEY, rng=random.Random(99)),
+           "first-order masked AES")
+    print("The masked implementation randomises every leaked intermediate,")
+    print("so first-order CPA correlations collapse to noise -- the hardware")
+    print("countermeasure the paper's secure-processing layer presumes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""V2X intersection: authenticated warnings, forged messages, privacy.
+
+Scene: four vehicles approach an intersection with one RSU.
+
+1. Vehicles exchange signed BSMs; the RSU builds its traffic picture.
+2. The RSU broadcasts a signed "ice on road" warning -- accepted by all.
+3. An attacker with a self-issued certificate broadcasts a forged
+   "brake now!" warning -- rejected by every receiver (trust chain).
+4. The attacker replays a captured legitimate warning -- rejected
+   (replay cache / freshness).
+5. A tracking eavesdropper tries to follow the vehicles through one
+   pseudonym rotation.
+
+Run:  python examples/v2x_intersection.py
+"""
+
+from repro.crypto import EcdsaKeyPair, HmacDrbg
+from repro.physical import Vehicle, VehicleState
+from repro.sim import Simulator
+from repro.v2x import (
+    BasicSafetyMessage,
+    CertificateAuthority,
+    MessageVerifier,
+    ObuStation,
+    PkiHierarchy,
+    PseudonymManager,
+    RoadsideUnit,
+    TrackingAdversary,
+    WirelessChannel,
+    sign_payload,
+)
+
+
+def main() -> None:
+    sim = Simulator()
+    pki = PkiHierarchy(seed=b"intersection")
+    channel = WirelessChannel(sim, comm_range=400.0)
+
+    # --- four approaching vehicles -----------------------------------------
+    stations = []
+    truth = {}
+    headings = [0.0, 3.14159, 1.5708, -1.5708]
+    for i in range(4):
+        vid = f"veh-{i}"
+        ecert, _ = pki.enroll_vehicle(vid)
+        batch = pki.issue_pseudonyms(vid, ecert, count=4, validity_start=0.0)
+        for cert, _ in batch.entries:
+            truth[cert.subject] = vid
+        vehicle = Vehicle(VehicleState(
+            x=-150.0 + 40.0 * i, y=2.0 * i, speed=13.0, heading=headings[i],
+        ), name=vid)
+        stations.append(ObuStation(
+            sim, vid, vehicle, channel,
+            PseudonymManager(batch, rotation_period=8.0),
+            MessageVerifier(pki.trust_store()),
+        ))
+
+    # --- the RSU --------------------------------------------------------------
+    rsu_keys = EcdsaKeyPair.generate(HmacDrbg(b"intersection/rsu"))
+    rsu_cert = pki.root.issue("rsu-main-street", rsu_keys.public, 0.0, 1e9)
+    rsu = RoadsideUnit(sim, "rsu", (0.0, 0.0), channel,
+                       MessageVerifier(pki.trust_store()),
+                       rsu_cert, rsu_keys.private)
+
+    # --- eavesdropper ------------------------------------------------------------
+    adversary = TrackingAdversary(silence_window=10.0)
+    sniffer = channel.attach("sniffer", lambda: (0.0, 50.0))
+    sniffer.on_receive(lambda m, s: adversary.observe(
+        sim.now, m.certificate.subject,
+        BasicSafetyMessage.decode(m.payload).position,
+    ))
+
+    for s in stations:
+        s.start_broadcasting()
+
+    def drive():
+        for s in stations:
+            s.vehicle.step(0.5)
+        sim.schedule(0.5, drive)
+
+    sim.schedule(0.5, drive)
+
+    # Legitimate warning at t=3.
+    sim.schedule(3.0, rsu.broadcast_warning, "ice on road")
+
+    # Forged warning from a rogue, self-certified sender at t=5.
+    rogue_ca = CertificateAuthority("rogue", b"rogue")
+    rogue_keys = EcdsaKeyPair.generate(HmacDrbg(b"rogue/keys"))
+    rogue_cert = rogue_ca.issue("evil", rogue_keys.public, 0.0, 1e9)
+    rogue_radio = channel.attach("rogue", lambda: (10.0, 10.0))
+
+    def forge():
+        bsm = BasicSafetyMessage(0, 0.0, 0.0, 0.0, 0.0, event="brake now!")
+        rogue_radio.broadcast(sign_payload(
+            bsm.encode(), "bsm", sim.now, rogue_cert, rogue_keys.private,
+        ))
+
+    sim.schedule(5.0, forge)
+
+    # Replay of the captured legitimate warning at t=7.
+    captured = []
+    replay_sniffer = channel.attach("replayer", lambda: (5.0, 5.0))
+    replay_sniffer.on_receive(
+        lambda m, s: captured.append(m)
+        if "ice" in str(getattr(m, "payload", b"")) else None
+    )
+    sim.schedule(7.0, lambda: captured and replay_sniffer.broadcast(captured[0]))
+
+    sim.run_until(12.0)
+
+    # --- report ---------------------------------------------------------------------
+    probe = stations[0]
+    events = [(t, b.event) for t, b, _ in probe.accepted if b.event]
+    print(f"RSU traffic picture ........ {rsu.vehicles_in_picture(max_age=3.0)} "
+          f"pseudonymous vehicles")
+    print(f"veh-0 accepted BSMs ........ {probe.verified_ok}")
+    print(f"veh-0 accepted events ...... {[e for _, e in events]}")
+    print(f"veh-0 rejections ........... {probe.rejects}")
+    print()
+    print(f"tracking adversary links ... {len(adversary.predicted_links)} "
+          f"(accuracy {adversary.link_accuracy(truth):.0%})")
+    print()
+    print("The forged 'brake now!' never appears in accepted events (its")
+    print("certificate does not chain to the installed trust store), and the")
+    print("replayed warning is dropped by the replay cache / freshness window.")
+
+
+if __name__ == "__main__":
+    main()

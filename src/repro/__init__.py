@@ -1,0 +1,58 @@
+"""autosec -- an extensible automotive security architecture framework.
+
+Executable reproduction of *"Extensibility in Automotive Security: Current
+Practice and Challenges"* (Ray, Chen, Bhadra, Al Faruque -- DAC 2017): the
+4+1-layer security assurance architecture, every substrate the paper
+names (CAN/LIN/FlexRay/Ethernet, SHE secure processing, V2X with a
+pseudonym PKI, Uptane-style OTA, PKES/immobilizer access security), the
+paper's attack taxonomy as runnable attacks, and a claim-derived
+experiment suite (see DESIGN.md and EXPERIMENTS.md).
+
+Quick start::
+
+    from repro.sim import Simulator
+    from repro.ivn import CanBus, CanFrame
+
+    sim = Simulator()
+    bus = CanBus(sim, bitrate=500_000)
+    ecu = bus.attach("engine")
+    ecu.send(CanFrame(0x0C9, b"\\x10\\x27"))
+    sim.run()
+
+Subpackages (importable a la carte; nothing heavy at top level):
+
+- :mod:`repro.sim` -- discrete-event kernel.
+- :mod:`repro.crypto` -- AES/CMAC/SHA-256/ECDSA from scratch.
+- :mod:`repro.ivn` -- CAN, LIN, FlexRay, Automotive Ethernet, SecOC.
+- :mod:`repro.ecu` -- ECUs, SHE, firmware, hypervisor, tamper detection.
+- :mod:`repro.gateway` -- firewall + domain router + quarantine.
+- :mod:`repro.ids` -- frequency/entropy/specification IDS + ensemble.
+- :mod:`repro.v2x` -- IEEE 1609.2-style messaging, PKI, privacy.
+- :mod:`repro.ota` -- Uptane-style update framework.
+- :mod:`repro.access` -- immobilizer, PKES, relay, distance bounding.
+- :mod:`repro.attacks` -- the attack library.
+- :mod:`repro.physical` -- vehicle, sensors, fusion, emissions.
+- :mod:`repro.core` -- the 4+1-layer architecture, policy engine,
+  extensibility, safety model, trade-off controller.
+- :mod:`repro.analysis` -- metrics, sweeps, statistics.
+- :mod:`repro.experiments` -- drivers for experiments E1..E14.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "crypto",
+    "ivn",
+    "ecu",
+    "gateway",
+    "ids",
+    "v2x",
+    "ota",
+    "access",
+    "attacks",
+    "physical",
+    "core",
+    "analysis",
+    "experiments",
+]

@@ -1,0 +1,28 @@
+"""Physical access security (the architecture's "+1" layer).
+
+Models §4.3: software-assisted vehicle access and its published breaks --
+
+- :mod:`repro.access.dst_cipher` -- a deliberately weak 40-bit
+  challenge-response cipher in the mould of the DST transponder broken by
+  Bono et al. (key crackable by brute force).
+- :mod:`repro.access.immobilizer` -- engine immobilizer using the
+  transponder, plus the key-cracking attack.
+- :mod:`repro.access.keyless` -- passive keyless entry and start (PKES)
+  with the Francillon-style relay attack and the distance-bounding
+  defence.
+"""
+
+from repro.access.dst_cipher import ToyDst
+from repro.access.immobilizer import Immobilizer, KeyCracker, Transponder
+from repro.access.keyless import DistanceBounder, KeyFob, PkesSystem, RelayAttack
+
+__all__ = [
+    "ToyDst",
+    "Immobilizer",
+    "KeyCracker",
+    "Transponder",
+    "DistanceBounder",
+    "KeyFob",
+    "PkesSystem",
+    "RelayAttack",
+]

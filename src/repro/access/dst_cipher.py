@@ -1,0 +1,54 @@
+"""A deliberately weak challenge-response cipher (DST-40 stand-in).
+
+The Digital Signature Transponder broken by Bono et al. used a secret
+40-bit key and an unpublished cipher; reverse engineering plus key
+cracking (hours on FPGAs in 2005) defeated it.  We model the *shape*: a
+40-bit-keyed, 40-bit-challenge, 24-bit-response keyed permutation that is
+sound against casual inspection but has a keyspace small enough to brute
+force.  Tests and the E8 bench crack reduced-width keys (16-24 effective
+bits) to keep runtimes sane and then *extrapolate* the 40-bit cost, which
+is precisely the argument of the original paper.
+"""
+
+from __future__ import annotations
+
+KEY_BITS = 40
+CHALLENGE_BITS = 40
+RESPONSE_BITS = 24
+
+_MASK40 = (1 << 40) - 1
+
+
+class ToyDst:
+    """A 40-bit keyed response function.
+
+    Structure: a 40-bit nonlinear feedback network iterated over the
+    challenge, keyed by XOR-injected round keys -- enough diffusion that
+    responses look random, with no claim of real cryptographic strength
+    (that weakness is the point being reproduced).
+    """
+
+    def __init__(self, key: int) -> None:
+        if not 0 <= key <= _MASK40:
+            raise ValueError("key must be a 40-bit integer")
+        self.key = key
+
+    @staticmethod
+    def _round(state: int, round_key: int) -> int:
+        state ^= round_key
+        # Nonlinear mixing: rotate, multiply-ish via shifts, AND/OR taps.
+        rotated = ((state << 13) | (state >> (40 - 13))) & _MASK40
+        nonlinear = (state & (state >> 7)) ^ (rotated | (state >> 3))
+        return (state ^ nonlinear ^ (rotated >> 5)) & _MASK40
+
+    def respond(self, challenge: int) -> int:
+        """The transponder's 24-bit response to a 40-bit challenge."""
+        if not 0 <= challenge <= _MASK40:
+            raise ValueError("challenge must be a 40-bit integer")
+        state = challenge
+        round_key = self.key
+        for i in range(24):
+            state = self._round(state, round_key)
+            # Key schedule: rotate the key each round.
+            round_key = ((round_key << 3) | (round_key >> (40 - 3))) & _MASK40
+        return state & ((1 << RESPONSE_BITS) - 1)

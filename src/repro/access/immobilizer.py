@@ -1,0 +1,114 @@
+"""Engine immobilizer: transponder challenge-response plus the crack.
+
+The immobilizer ECU challenges the key's transponder; the engine is
+released only on a correct response.  :class:`KeyCracker` implements the
+Bono et al. attack pipeline: eavesdrop a handful of (challenge, response)
+pairs, brute-force the key space, then simulate the transponder.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.access.dst_cipher import KEY_BITS, ToyDst, _MASK40
+
+
+class Transponder:
+    """The in-key RFID transponder."""
+
+    def __init__(self, key: int, serial: str = "TX-0001") -> None:
+        self.cipher = ToyDst(key)
+        self.serial = serial
+        self.challenges_seen = 0
+
+    def respond(self, challenge: int) -> int:
+        self.challenges_seen += 1
+        return self.cipher.respond(challenge)
+
+
+class Immobilizer:
+    """The vehicle-side immobilizer ECU."""
+
+    def __init__(self, key: int, rng: Optional[random.Random] = None) -> None:
+        self.cipher = ToyDst(key)
+        self.rng = rng if rng is not None else random.Random()
+        self.authorized_starts = 0
+        self.rejected_starts = 0
+
+    def attempt_start(self, transponder) -> bool:
+        """Challenge whatever transponder is in the field; release engine
+        on a correct response."""
+        challenge = self.rng.getrandbits(40)
+        response = transponder.respond(challenge)
+        if response == self.cipher.respond(challenge):
+            self.authorized_starts += 1
+            return True
+        self.rejected_starts += 1
+        return False
+
+
+@dataclass
+class CrackResult:
+    key: Optional[int]
+    keys_tried: int
+    elapsed_s: float
+
+    def extrapolate(self, target_bits: int = KEY_BITS) -> float:
+        """Estimated wall-clock to brute force ``target_bits`` at the
+        measured rate (the Bono-style scaling argument)."""
+        if self.elapsed_s <= 0 or self.keys_tried == 0:
+            return float("inf")
+        rate = self.keys_tried / self.elapsed_s
+        return (1 << target_bits) / rate
+
+
+class KeyCracker:
+    """Brute-force key recovery from eavesdropped pairs.
+
+    ``known_bits``: how many high key bits the attacker already knows
+    (models partial reverse engineering / reduced search space); the
+    remaining ``KEY_BITS - known_bits`` are searched exhaustively.
+    """
+
+    def __init__(self, pairs: List[Tuple[int, int]]) -> None:
+        if len(pairs) < 2:
+            raise ValueError("need at least 2 challenge/response pairs "
+                             "(one pair leaves ~65k candidates at 24-bit responses)")
+        self.pairs = list(pairs)
+
+    @staticmethod
+    def eavesdrop(transponder: Transponder, n_pairs: int,
+                  rng: Optional[random.Random] = None) -> List[Tuple[int, int]]:
+        """Collect pairs by actively querying (skimming) the transponder."""
+        rng = rng if rng is not None else random.Random()
+        pairs = []
+        for _ in range(n_pairs):
+            challenge = rng.getrandbits(40)
+            pairs.append((challenge, transponder.respond(challenge)))
+        return pairs
+
+    def crack(self, true_key_prefix: int, known_bits: int) -> CrackResult:
+        """Search the ``KEY_BITS - known_bits`` unknown low bits.
+
+        ``true_key_prefix`` supplies the known high bits (attacker
+        knowledge), i.e. candidates are ``prefix | low`` for all low.
+        """
+        if not 0 <= known_bits < KEY_BITS:
+            raise ValueError("known_bits must be in [0, KEY_BITS)")
+        unknown_bits = KEY_BITS - known_bits
+        prefix = true_key_prefix & (((1 << known_bits) - 1) << unknown_bits)
+        start = time.perf_counter()
+        tried = 0
+        first_challenge, first_response = self.pairs[0]
+        for low in range(1 << unknown_bits):
+            candidate = prefix | low
+            tried += 1
+            cipher = ToyDst(candidate)
+            if cipher.respond(first_challenge) != first_response:
+                continue
+            if all(cipher.respond(c) == r for c, r in self.pairs[1:]):
+                return CrackResult(candidate, tried, time.perf_counter() - start)
+        return CrackResult(None, tried, time.perf_counter() - start)

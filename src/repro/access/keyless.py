@@ -1,0 +1,151 @@
+"""Passive keyless entry and start (PKES), the relay attack, and
+distance bounding.
+
+Protocol shape (as in production PKES): the car periodically emits a
+low-frequency (LF) wake/challenge with ~2 m range; the fob, if woken,
+answers over UHF (~100 m) with a MAC over the challenge.  Proximity is
+*inferred* from the LF link budget -- which is exactly what the relay
+attack (Francillon et al.) defeats: two radio relays extend the LF channel
+so the fob in the owner's house answers a challenge at the car.
+
+The distance-bounding defence measures the challenge-response round-trip
+time.  Radio-over-relay adds processing latency (tens of nanoseconds to
+microseconds per hop), so an RTT bound tight enough for a few metres of
+slack exposes the relay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto import aes_cmac
+
+SPEED_OF_LIGHT = 299_792_458.0
+LF_WAKE_RANGE_M = 2.0
+
+
+class KeyFob:
+    """The owner's fob: answers LF challenges with a CMAC over UHF."""
+
+    def __init__(self, key: bytes, fob_id: str = "FOB-1",
+                 processing_time_s: float = 1e-6) -> None:
+        if len(key) != 16:
+            raise ValueError("fob key is 16 bytes")
+        self.key = key
+        self.fob_id = fob_id
+        self.processing_time_s = processing_time_s
+        self.challenges_answered = 0
+
+    def respond(self, challenge: bytes) -> bytes:
+        self.challenges_answered += 1
+        return aes_cmac(self.key, challenge, tag_len=8)
+
+
+@dataclass
+class UnlockAttempt:
+    """Outcome + physics of one unlock attempt."""
+
+    unlocked: bool
+    reason: str
+    measured_rtt_s: float = 0.0
+    implied_distance_m: float = 0.0
+
+
+class DistanceBounder:
+    """RTT-based proximity check.
+
+    ``max_distance_m``: the largest fob distance the car accepts.  The
+    accepted RTT budget is ``2*d/c + fob_processing + slack``.
+    """
+
+    def __init__(self, max_distance_m: float = 3.0, slack_s: float = 5e-9) -> None:
+        self.max_distance_m = max_distance_m
+        self.slack_s = slack_s
+
+    def budget_s(self, fob_processing_s: float) -> float:
+        return 2 * self.max_distance_m / SPEED_OF_LIGHT + fob_processing_s + self.slack_s
+
+    def implied_distance(self, rtt_s: float, fob_processing_s: float) -> float:
+        flight = max(0.0, rtt_s - fob_processing_s)
+        return flight * SPEED_OF_LIGHT / 2
+
+
+class RelayAttack:
+    """Two-box radio relay extending the LF channel.
+
+    ``relay_latency_s``: added processing per round trip (both hops).
+    Even "analogue" purpose-built relays add tens of nanoseconds; digital
+    ones add microseconds.  E8 sweeps this against the bounder's budget.
+    """
+
+    def __init__(self, relay_latency_s: float = 1e-6) -> None:
+        if relay_latency_s < 0:
+            raise ValueError("latency cannot be negative")
+        self.relay_latency_s = relay_latency_s
+        self.active = False
+
+    def engage(self) -> None:
+        self.active = True
+
+    def disengage(self) -> None:
+        self.active = False
+
+
+class PkesSystem:
+    """The vehicle side of passive keyless entry."""
+
+    def __init__(
+        self,
+        fob_key: bytes,
+        distance_bounder: Optional[DistanceBounder] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.fob_key = fob_key
+        self.bounder = distance_bounder
+        self.rng = rng if rng is not None else random.Random()
+        self.unlocks = 0
+        self.rejections = 0
+
+    def attempt_unlock(
+        self,
+        fob: KeyFob,
+        fob_distance_m: float,
+        relay: Optional[RelayAttack] = None,
+    ) -> UnlockAttempt:
+        """One full LF-challenge / UHF-response exchange.
+
+        ``fob_distance_m`` is the *true* fob distance; the relay, if
+        engaged, makes the LF link reach regardless of distance but adds
+        its latency to the measured round trip.
+        """
+        relayed = relay is not None and relay.active
+        if fob_distance_m > LF_WAKE_RANGE_M and not relayed:
+            self.rejections += 1
+            return UnlockAttempt(False, "fob out of LF range")
+
+        challenge = self.rng.randbytes(16)
+        response = fob.respond(challenge)
+        if response != aes_cmac(self.fob_key, challenge, tag_len=8):
+            self.rejections += 1
+            return UnlockAttempt(False, "bad response")
+
+        rtt = 2 * fob_distance_m / SPEED_OF_LIGHT + fob.processing_time_s
+        if relayed:
+            rtt += relay.relay_latency_s
+
+        if self.bounder is not None:
+            implied = self.bounder.implied_distance(rtt, fob.processing_time_s)
+            if rtt > self.bounder.budget_s(fob.processing_time_s):
+                self.rejections += 1
+                return UnlockAttempt(
+                    False, "distance bound exceeded",
+                    measured_rtt_s=rtt, implied_distance_m=implied,
+                )
+            self.unlocks += 1
+            return UnlockAttempt(True, "unlocked", rtt, implied)
+
+        self.unlocks += 1
+        return UnlockAttempt(True, "unlocked", rtt,
+                             rtt and (rtt - fob.processing_time_s) * SPEED_OF_LIGHT / 2)

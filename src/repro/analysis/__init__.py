@@ -1,0 +1,30 @@
+"""Analysis utilities: detection metrics, sweeps, summary statistics."""
+
+from repro.analysis.metrics import (
+    ConfusionMatrix,
+    detection_metrics,
+    roc_points,
+    score_alerts,
+)
+from repro.analysis.sweep import Sweep, SweepResult
+from repro.analysis.stats import mean, percentile, stdev, summarize
+from repro.analysis.export import sweep_to_csv, trace_to_csv, trace_to_jsonl
+from repro.analysis.calibration import calibration_report, measure_ecdsa_verify_rate
+
+__all__ = [
+    "ConfusionMatrix",
+    "detection_metrics",
+    "roc_points",
+    "score_alerts",
+    "Sweep",
+    "SweepResult",
+    "mean",
+    "percentile",
+    "stdev",
+    "summarize",
+    "sweep_to_csv",
+    "trace_to_csv",
+    "trace_to_jsonl",
+    "calibration_report",
+    "measure_ecdsa_verify_rate",
+]

@@ -1,0 +1,81 @@
+"""Runtime calibration of simulation cost parameters.
+
+Scale experiments (E6) model cryptographic cost with a ``verify_rate``
+parameter instead of paying pure-Python ECDSA time per message (DESIGN.md
+§4).  These helpers measure the *actual* throughput of this build's
+primitives so a user can plug realistic platform numbers in::
+
+    rate = measure_ecdsa_verify_rate()
+    e06_v2x_density.run(verify_rate=rate)
+
+On automotive silicon the figure comes from the HSM datasheet instead;
+the measurement here keeps the simulation honest about its own substrate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.crypto import (
+    AES,
+    EcdsaKeyPair,
+    HmacDrbg,
+    aes_cmac,
+    ecdsa_sign,
+    ecdsa_verify,
+    sha256,
+)
+
+
+def _rate(fn, n: int) -> float:
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    elapsed = time.perf_counter() - start
+    return n / elapsed if elapsed > 0 else float("inf")
+
+
+def measure_ecdsa_verify_rate(samples: int = 10) -> float:
+    """Verifications per second of this build's ECDSA-P256."""
+    keypair = EcdsaKeyPair.generate(HmacDrbg(b"calibration"))
+    message = b"calibration message"
+    signature = ecdsa_sign(keypair.private, message)
+    return _rate(lambda: ecdsa_verify(keypair.public, message, signature), samples)
+
+
+def measure_ecdsa_sign_rate(samples: int = 10) -> float:
+    """Signatures per second."""
+    keypair = EcdsaKeyPair.generate(HmacDrbg(b"calibration"))
+    counter = [0]
+
+    def sign():
+        counter[0] += 1
+        ecdsa_sign(keypair.private, counter[0].to_bytes(8, "big"))
+
+    return _rate(sign, samples)
+
+
+def measure_cmac_rate(message_len: int = 64, samples: int = 200) -> float:
+    """CMAC tags per second over ``message_len``-byte messages."""
+    key = bytes(16)
+    message = bytes(message_len)
+    return _rate(lambda: aes_cmac(key, message), samples)
+
+
+def measure_aes_block_rate(samples: int = 500) -> float:
+    """AES block encryptions per second."""
+    aes = AES(bytes(16))
+    block = bytes(16)
+    return _rate(lambda: aes.encrypt_block(block), samples)
+
+
+def calibration_report(quick: bool = True) -> Dict[str, float]:
+    """All rates in one dict (used by docs and the E6 setup)."""
+    factor = 1 if quick else 10
+    return {
+        "ecdsa_verify_per_s": measure_ecdsa_verify_rate(5 * factor),
+        "ecdsa_sign_per_s": measure_ecdsa_sign_rate(5 * factor),
+        "cmac64_per_s": measure_cmac_rate(samples=100 * factor),
+        "aes_block_per_s": measure_aes_block_rate(samples=200 * factor),
+    }

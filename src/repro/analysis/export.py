@@ -1,0 +1,65 @@
+"""Trace and sweep-result export (CSV / JSON lines).
+
+Simulation runs produce :class:`~repro.sim.trace.TraceRecorder` streams
+and :class:`~repro.analysis.sweep.SweepResult` tables; downstream users
+want them in their own tooling.  Plain-stdlib writers, no dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import IO, Iterable, List, Optional
+
+from repro.analysis.sweep import SweepResult
+from repro.sim.trace import TraceRecorder
+
+
+def trace_to_jsonl(trace: TraceRecorder, stream: Optional[IO[str]] = None) -> str:
+    """Write each trace record as one JSON object per line."""
+    out = stream if stream is not None else io.StringIO()
+    for record in trace:
+        out.write(json.dumps({
+            "time": record.time,
+            "source": record.source,
+            "kind": record.kind,
+            **{f"data_{k}": _jsonable(v) for k, v in record.data.items()},
+        }, sort_keys=True))
+        out.write("\n")
+    return out.getvalue() if stream is None else ""
+
+
+def trace_to_csv(trace: TraceRecorder, stream: Optional[IO[str]] = None) -> str:
+    """Write the trace as CSV with a unified column set."""
+    records = list(trace)
+    data_keys: List[str] = sorted({k for r in records for k in r.data})
+    out = stream if stream is not None else io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["time", "source", "kind", *data_keys])
+    for record in records:
+        writer.writerow([
+            record.time, record.source, record.kind,
+            *(_jsonable(record.data.get(k, "")) for k in data_keys),
+        ])
+    return out.getvalue() if stream is None else ""
+
+
+def sweep_to_csv(result: SweepResult, stream: Optional[IO[str]] = None) -> str:
+    """Write a sweep result as CSV (columns in table order)."""
+    out = stream if stream is not None else io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow([_jsonable(row.get(c, "")) for c in result.columns])
+    return out.getvalue() if stream is None else ""
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    return str(value)

@@ -1,0 +1,120 @@
+"""Detection-quality metrics for IDS experiments.
+
+Ground truth comes from attack objects (their ``was_active_at`` window or
+explicit frame labels); predictions are detector alerts.  Scoring is
+per-frame: a frame observed while an attack was active counts positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.ids.base import Alert
+
+
+@dataclass
+class ConfusionMatrix:
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self) -> float:
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.fp / (self.fp + self.tn) if (self.fp + self.tn) else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.tn + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+
+def score_alerts(
+    observations: Sequence[Tuple[float, bool]],
+    alerts: Sequence[Alert],
+    tolerance: float = 0.0,
+) -> ConfusionMatrix:
+    """Score per-observation.
+
+    ``observations``: (time, is_attack_frame) for every frame the detector
+    saw.  An observation counts as *alerted* if some alert fired within
+    ``tolerance`` seconds of it (0 = exact same timestamp).
+    """
+    alert_times = sorted(a.time for a in alerts)
+
+    def alerted(time: float) -> bool:
+        # Binary search window.
+        import bisect
+        left = bisect.bisect_left(alert_times, time - tolerance)
+        return left < len(alert_times) and alert_times[left] <= time + tolerance
+
+    cm = ConfusionMatrix()
+    for time, is_attack in observations:
+        hit = alerted(time)
+        if is_attack and hit:
+            cm.tp += 1
+        elif is_attack and not hit:
+            cm.fn += 1
+        elif not is_attack and hit:
+            cm.fp += 1
+        else:
+            cm.tn += 1
+    return cm
+
+
+def detection_metrics(cm: ConfusionMatrix) -> dict:
+    """Flat metric dict for reporting tables."""
+    return {
+        "precision": cm.precision,
+        "recall": cm.recall,
+        "fpr": cm.false_positive_rate,
+        "f1": cm.f1,
+        "accuracy": cm.accuracy,
+    }
+
+
+def roc_points(
+    scored: Sequence[Tuple[float, bool]],
+) -> List[Tuple[float, float]]:
+    """ROC curve from (score, is_attack) pairs.
+
+    Returns (fpr, tpr) points sorted by threshold descending, suitable for
+    plotting or AUC computation.
+    """
+    ranked = sorted(scored, key=lambda item: -item[0])
+    positives = sum(1 for _, y in ranked if y)
+    negatives = len(ranked) - positives
+    points = [(0.0, 0.0)]
+    tp = fp = 0
+    for score, is_attack in ranked:
+        if is_attack:
+            tp += 1
+        else:
+            fp += 1
+        points.append((
+            fp / negatives if negatives else 0.0,
+            tp / positives if positives else 0.0,
+        ))
+    return points
+
+
+def auc(points: Sequence[Tuple[float, float]]) -> float:
+    """Trapezoidal area under an ROC curve."""
+    area = 0.0
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        area += (x1 - x0) * (y0 + y1) / 2
+    return area

@@ -1,0 +1,70 @@
+"""Parameter-sweep harness used by benchmarks and examples.
+
+A :class:`Sweep` runs one experiment function over a parameter grid and
+collects rows; rows render as aligned-text tables (the benches print these
+in lieu of the paper's -- nonexistent -- tables, per DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class SweepResult:
+    """Collected rows of one sweep."""
+
+    name: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def to_table(self, float_fmt: str = "{:.4g}") -> str:
+        """Aligned plain-text table."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, bool):
+                return "yes" if value else "no"
+            if isinstance(value, float):
+                return float_fmt.format(value)
+            return str(value)
+
+        header = list(self.columns)
+        body = [[fmt(row.get(c, "")) for c in header] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+            for i, h in enumerate(header)
+        ]
+        lines = [
+            f"== {self.name} ==",
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+        return "\n".join(lines)
+
+
+class Sweep:
+    """Run ``fn(**params)`` over a grid; ``fn`` returns a row dict."""
+
+    def __init__(self, name: str, fn: Callable[..., Dict[str, Any]]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def run(self, grid: Sequence[Dict[str, Any]],
+            columns: Optional[List[str]] = None) -> SweepResult:
+        rows = []
+        for params in grid:
+            row = dict(params)
+            row.update(self.fn(**params))
+            rows.append(row)
+        if columns is None:
+            columns = list(rows[0].keys()) if rows else []
+        result = SweepResult(self.name, columns, rows)
+        return result

@@ -1,0 +1,56 @@
+"""Attack library.
+
+One module per attack mode the paper enumerates (§4.1 attack models,
+§4.2 attack modes, §4.3 access security):
+
+- :mod:`repro.attacks.injection` -- CAN frame injection / targeted spoofing
+  (integrity).
+- :mod:`repro.attacks.dos` -- low-id arbitration flood (availability).
+- :mod:`repro.attacks.busoff` -- error-injection bus-off attack that
+  silences a victim node (availability).
+- :mod:`repro.attacks.replay` -- record-and-replay of legitimate frames.
+- :mod:`repro.attacks.fuzz` -- random-id/payload fuzzing.
+- :mod:`repro.attacks.masquerade` -- silence the victim, then speak as it.
+- :mod:`repro.attacks.sidechannel` -- correlation power analysis (CPA)
+  against AES first-round leakage (confidentiality).
+- :mod:`repro.attacks.sensors` -- GPS / TPMS / LIDAR / acoustic-MEMS
+  spoofing scenarios (availability, integrity).
+- :mod:`repro.attacks.glitch` -- voltage/clock fault injection vs the
+  tamper detector.
+
+Each attack object records its own ground-truth activity window and event
+labels so IDS experiments can score detections without oracle leakage into
+the detectors themselves.
+"""
+
+from repro.attacks.injection import InjectionAttack, SpoofAttack
+from repro.attacks.dos import BusFloodAttack
+from repro.attacks.busoff import BusOffAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.fuzz import FuzzAttack
+from repro.attacks.masquerade import MasqueradeAttack
+from repro.attacks.sidechannel import CpaAttack, CpaResult
+from repro.attacks.sensors import (
+    AcousticMemsAttack,
+    GpsSpoofingAttack,
+    LidarPhantomAttack,
+    TpmsSpoofingAttack,
+)
+from repro.attacks.glitch import VoltageGlitchAttack
+
+__all__ = [
+    "InjectionAttack",
+    "SpoofAttack",
+    "BusFloodAttack",
+    "BusOffAttack",
+    "ReplayAttack",
+    "FuzzAttack",
+    "MasqueradeAttack",
+    "CpaAttack",
+    "CpaResult",
+    "AcousticMemsAttack",
+    "GpsSpoofingAttack",
+    "LidarPhantomAttack",
+    "TpmsSpoofingAttack",
+    "VoltageGlitchAttack",
+]

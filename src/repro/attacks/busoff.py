@@ -1,0 +1,63 @@
+"""The bus-off attack: weaponising CAN's fault confinement.
+
+An attacker who can cause bit errors exactly when the victim transmits
+(in practice: by transmitting a dominant bit over the victim's recessive
+one at a chosen offset) drives the victim's transmit error counter up by
+8 per frame.  After 32 consecutive induced errors the victim exceeds
+TEC 255 and enters **bus-off** -- silenced by its own controller.  The
+paper's availability model; also the enabler for clean masquerade
+(:mod:`repro.attacks.masquerade`), since the legitimate sender is gone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ivn.canbus import CanBus, CanNode
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator
+
+
+class BusOffAttack:
+    """Forces a victim node into bus-off via targeted frame corruption."""
+
+    def __init__(self, sim: Simulator, bus: CanBus, victim: str) -> None:
+        if victim not in bus.nodes:
+            raise ValueError(f"victim {victim!r} not on bus")
+        self.sim = sim
+        self.bus = bus
+        self.victim = victim
+        self.active = False
+        self.errors_induced = 0
+        self.started_at: Optional[float] = None
+        self._previous_hook = None
+
+    def start(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self.started_at = self.sim.now
+        self._previous_hook = self.bus.corruption_hook
+        self.bus.corruption_hook = self._corrupt
+
+    def stop(self) -> None:
+        self.active = False
+        self.bus.corruption_hook = self._previous_hook
+
+    def _corrupt(self, frame: CanFrame) -> bool:
+        if not self.active:
+            return False
+        if frame.sender == self.victim:
+            self.errors_induced += 1
+            return True
+        if self._previous_hook is not None:
+            return self._previous_hook(frame)
+        return False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.bus.nodes[self.victim].bus_off
+
+    def frames_to_bus_off(self) -> int:
+        """Theoretical minimum induced errors (TEC +8 each, from 0)."""
+        return (255 // 8) + 1

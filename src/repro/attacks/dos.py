@@ -1,0 +1,47 @@
+"""Arbitration-flood denial of service.
+
+CAN arbitration always yields to the lowest id, so a node spamming id 0
+with back-to-back frames owns the wire: every legitimate frame waits
+behind the flood.  This is the canonical CAN availability attack (§4.1).
+The attack's effectiveness is measured as victim deadline-miss rate and
+bus utilisation in E1/E3.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.injection import InjectionAttack
+from repro.ivn.canbus import CanBus
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator
+
+
+class BusFloodAttack(InjectionAttack):
+    """Saturates the bus with highest-priority (lowest-id) frames.
+
+    ``headroom`` scales the injection rate relative to the theoretical
+    maximum frame rate; >= 1.0 keeps the transmit queue permanently
+    non-empty (full starvation of all other traffic).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: CanBus,
+        flood_id: int = 0x000,
+        dlc: int = 8,
+        headroom: float = 1.2,
+        node_name: str = "flooder",
+    ) -> None:
+        if headroom <= 0:
+            raise ValueError("headroom must be positive")
+        probe = CanFrame(flood_id, bytes(dlc))
+        max_rate = bus.bitrate / probe.bit_length()
+        super().__init__(
+            sim, bus,
+            frame_factory=lambda seq: CanFrame(
+                flood_id, (seq % 256).to_bytes(1, "big") * dlc if dlc else b"",
+            ),
+            rate_hz=max_rate * headroom,
+            node_name=node_name,
+        )
+        self.flood_id = flood_id

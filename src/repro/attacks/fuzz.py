@@ -1,0 +1,43 @@
+"""Random fuzzing attack.
+
+Sprays random ids and payloads -- the unsophisticated but common attack
+from hobbyist OBD dongles, and the probe that hits "reserved for future
+use" configurations (experiment E14): fuzzing is how unused id space gets
+exercised in the field.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.attacks.injection import InjectionAttack
+from repro.ivn.canbus import CanBus
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator
+
+
+class FuzzAttack(InjectionAttack):
+    """Random-id, random-payload injection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: CanBus,
+        rate_hz: float,
+        rng: Optional[random.Random] = None,
+        id_range: tuple = (0x000, 0x7FF),
+        node_name: str = "fuzzer",
+    ) -> None:
+        self.rng = rng if rng is not None else random.Random()
+        lo, hi = id_range
+        if not 0 <= lo <= hi <= 0x7FF:
+            raise ValueError("invalid id range")
+
+        def factory(seq: int) -> CanFrame:
+            can_id = self.rng.randint(lo, hi)
+            dlc = self.rng.randint(0, 8)
+            return CanFrame(can_id, self.rng.randbytes(dlc))
+
+        super().__init__(sim, bus, factory, rate_hz, node_name=node_name)
+        self.id_range = id_range

@@ -1,0 +1,69 @@
+"""Voltage fault-injection (glitch) attack vs the tamper detector.
+
+A glitch attack briefly pulls the supply rail outside spec hoping to skip
+an instruction (e.g. the secure-boot comparison).  Success requires the
+glitch to (a) evade the tamper detector's sampling and (b) land on the
+vulnerable cycle.  Both are probabilistic, so attackers repeat; defenders
+respond to the *first* detection by locking the part.  The model sweeps
+repetition count vs detection probability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ecu.tamper import TamperDetector
+
+
+@dataclass
+class GlitchCampaignResult:
+    attempts: int
+    faults_landed: int
+    detected_at_attempt: Optional[int]
+
+    @property
+    def succeeded_before_detection(self) -> bool:
+        if self.faults_landed == 0:
+            return False
+        return self.detected_at_attempt is None or self.faults_landed > 0
+
+
+class VoltageGlitchAttack:
+    """Repeated glitch attempts against a tamper-protected MCU."""
+
+    def __init__(
+        self,
+        detector: TamperDetector,
+        glitch_voltage: float = 1.2,
+        fault_probability: float = 0.02,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.detector = detector
+        self.glitch_voltage = glitch_voltage
+        self.fault_probability = fault_probability
+        self.rng = rng if rng is not None else random.Random()
+
+    def campaign(self, max_attempts: int, stop_on_detection: bool = True) -> GlitchCampaignResult:
+        """Run up to ``max_attempts`` glitches.
+
+        Each attempt: the tamper detector samples the glitched rail (it may
+        miss); if it fires, the SHE locks and -- with ``stop_on_detection``
+        -- the campaign is over.  Otherwise the glitch lands a useful fault
+        with ``fault_probability``.
+        """
+        faults = 0
+        detected_at = None
+        attempts = 0
+        for attempt in range(1, max_attempts + 1):
+            attempts = attempt
+            if self.detector.sample("voltage", self.glitch_voltage):
+                detected_at = attempt
+                if stop_on_detection:
+                    break
+                continue
+            if self.rng.random() < self.fault_probability:
+                faults += 1
+                break  # one landed fault is enough (e.g. boot check skipped)
+        return GlitchCampaignResult(attempts, faults, detected_at)

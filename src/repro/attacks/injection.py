@@ -1,0 +1,89 @@
+"""CAN frame injection and targeted spoofing.
+
+Injection is the bread-and-butter attack mode once any bus access exists
+(compromised ECU, OBD dongle, telematics unit): the attacker transmits
+frames with chosen ids and payloads.  CAN offers no sender authentication,
+so receivers act on them.  :class:`SpoofAttack` is the targeted variant --
+forging one specific id (e.g. the engine-speed frame) at a rate high
+enough to out-vote the legitimate sender in receivers' last-write-wins
+signal caches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.ivn.canbus import CanBus, CanNode
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator
+
+
+class InjectionAttack:
+    """Injects arbitrary frames at a fixed rate from an attacker node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: CanBus,
+        frame_factory: Callable[[int], CanFrame],
+        rate_hz: float,
+        node_name: str = "attacker",
+    ) -> None:
+        if rate_hz <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.node: CanNode = bus.nodes.get(node_name) or bus.attach(node_name)
+        self.frame_factory = frame_factory
+        self.period = 1.0 / rate_hz
+        self.active = False
+        self.injected = 0
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        self.injected_times: List[float] = []
+
+    def start(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self.started_at = self.sim.now
+        self.sim.schedule(0.0, self._tick)
+
+    def stop(self) -> None:
+        self.active = False
+        self.stopped_at = self.sim.now
+
+    def _tick(self) -> None:
+        if not self.active:
+            return
+        frame = self.frame_factory(self.injected)
+        self.node.send(frame)
+        self.injected += 1
+        self.injected_times.append(self.sim.now)
+        self.sim.schedule(self.period, self._tick)
+
+    def was_active_at(self, time: float) -> bool:
+        """Ground-truth labelling for IDS scoring."""
+        if self.started_at is None or time < self.started_at:
+            return False
+        return self.stopped_at is None or time <= self.stopped_at
+
+
+class SpoofAttack(InjectionAttack):
+    """Forges one specific id with an attacker-chosen payload."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: CanBus,
+        target_id: int,
+        payload: bytes,
+        rate_hz: float,
+        node_name: str = "attacker",
+    ) -> None:
+        self.target_id = target_id
+        self.payload = payload
+        super().__init__(
+            sim, bus,
+            frame_factory=lambda seq: CanFrame(target_id, payload),
+            rate_hz=rate_hz, node_name=node_name,
+        )

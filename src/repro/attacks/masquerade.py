@@ -1,0 +1,75 @@
+"""Masquerade attack: silence the victim, then speak as it.
+
+The strongest CAN attack class: a bus-off attack removes the legitimate
+sender, after which the attacker transmits the victim's ids *at the
+victim's original rate* with attacker-chosen payloads.  Frequency-based
+IDS sees nominal timing; specification-based IDS sees in-spec payloads (if
+the attacker is careful).  Only cryptographic authentication (E3) or
+sender fingerprinting defeats it -- which is the paper's argument for the
+secure-processing layer underpinning network security.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.attacks.busoff import BusOffAttack
+from repro.ivn.canbus import CanBus, CanNode
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator
+
+
+class MasqueradeAttack:
+    """Bus-off the victim, then impersonate its periodic frame."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: CanBus,
+        victim: str,
+        target_id: int,
+        period: float,
+        payload_fn: Callable[[int], bytes],
+        node_name: str = "masquerader",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.bus = bus
+        self.victim = victim
+        self.target_id = target_id
+        self.period = period
+        self.payload_fn = payload_fn
+        self.node: CanNode = bus.nodes.get(node_name) or bus.attach(node_name)
+        self.busoff = BusOffAttack(sim, bus, victim)
+        self.impersonating = False
+        self.sent = 0
+        self.started_at: Optional[float] = None
+
+    def start(self) -> None:
+        """Phase 1: drive the victim to bus-off; phase 2 starts on success."""
+        self.started_at = self.sim.now
+        self.busoff.start()
+        self._poll_victim()
+
+    def _poll_victim(self) -> None:
+        if self.busoff.succeeded:
+            self.busoff.stop()
+            self.impersonating = True
+            self.sim.schedule(0.0, self._impersonate)
+            return
+        self.sim.schedule(self.period / 4, self._poll_victim)
+
+    def _impersonate(self) -> None:
+        if not self.impersonating:
+            return
+        self.node.send(CanFrame(self.target_id, self.payload_fn(self.sent)))
+        self.sent += 1
+        self.sim.schedule(self.period, self._impersonate)
+
+    def stop(self) -> None:
+        self.impersonating = False
+        self.busoff.stop()
+
+    def was_active_at(self, time: float) -> bool:
+        return self.started_at is not None and time >= self.started_at

@@ -1,0 +1,69 @@
+"""Record-and-replay attack.
+
+The attacker passively records legitimate frames for a window, then
+re-transmits them verbatim later.  Payloads are perfectly plausible (they
+*were* legitimate), so specification-based detection passes them; only
+timing/frequency analysis or cryptographic freshness (nonces/counters in
+authenticated CAN, E3) catches replay.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ivn.canbus import CanBus, CanNode
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator
+
+
+class ReplayAttack:
+    """Records frames matching a filter, replays them after a delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: CanBus,
+        target_ids: Optional[set] = None,
+        node_name: str = "replayer",
+    ) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.target_ids = target_ids
+        self.node: CanNode = bus.nodes.get(node_name) or bus.attach(node_name)
+        self.recording = False
+        self.recorded: List[Tuple[float, CanFrame]] = []
+        self.replayed = 0
+        self.replay_started_at: Optional[float] = None
+        bus.tap(self._observe)
+
+    def _observe(self, frame: CanFrame) -> None:
+        if not self.recording:
+            return
+        if frame.sender == self.node.name:
+            return  # don't record our own replays
+        if self.target_ids is None or frame.can_id in self.target_ids:
+            self.recorded.append((self.sim.now, frame))
+
+    def start_recording(self) -> None:
+        self.recording = True
+
+    def stop_recording(self) -> None:
+        self.recording = False
+
+    def replay(self, speedup: float = 1.0) -> int:
+        """Schedule the recorded frames, preserving relative timing
+        (compressed by ``speedup``).  Returns the number scheduled."""
+        if not self.recorded:
+            return 0
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        self.replay_started_at = self.sim.now
+        base = self.recorded[0][0]
+        for original_time, frame in self.recorded:
+            offset = (original_time - base) / speedup
+            self.sim.schedule(offset, self._send, frame)
+        return len(self.recorded)
+
+    def _send(self, frame: CanFrame) -> None:
+        self.node.send(CanFrame(frame.can_id, frame.data, extended=frame.extended))
+        self.replayed += 1

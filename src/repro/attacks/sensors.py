@@ -1,0 +1,139 @@
+"""Sensor-channel spoofing scenarios (§4.1 availability/integrity attacks).
+
+Each class binds an attacker strategy to one sensor's spoofing surface and
+records ground truth for the E12 evaluation: did the fusion layer act on
+the forged data (deception success) or flag it (detection)?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.physical.sensors import (
+    Accelerometer,
+    GpsSensor,
+    LidarSensor,
+    TpmsSensor,
+)
+from repro.physical.vehicle import Vehicle
+
+
+class GpsSpoofingAttack:
+    """Counterfeit GPS constellation.
+
+    Two strategies: ``jump`` (teleport the reported fix -- easy to detect)
+    and ``drift`` (walk the fix away slowly, staying under the innovation
+    gate -- the dangerous one the GPS-spoofing literature demonstrates).
+    """
+
+    def __init__(self, gps: GpsSensor, vehicle: Vehicle) -> None:
+        self.gps = gps
+        self.vehicle = vehicle
+        self.active = False
+        self._offset = (0.0, 0.0)
+        self.strategy: Optional[str] = None
+
+    def start_jump(self, target: Tuple[float, float]) -> None:
+        """Immediately report an arbitrary position."""
+        self.active = True
+        self.strategy = "jump"
+        self.gps.spoof(target)
+
+    def start_drift(self, rate_m_s: float, bearing: float) -> None:
+        """Begin a slow walk-off; call :meth:`step_drift` each dt."""
+        self.active = True
+        self.strategy = "drift"
+        self._drift_rate = rate_m_s
+        self._drift_bearing = bearing
+        self._offset = (0.0, 0.0)
+
+    def step_drift(self, dt: float) -> None:
+        if not self.active or self.strategy != "drift":
+            return
+        self._offset = (
+            self._offset[0] + self._drift_rate * math.cos(self._drift_bearing) * dt,
+            self._offset[1] + self._drift_rate * math.sin(self._drift_bearing) * dt,
+        )
+        true = self.vehicle.state.position
+        self.gps.spoof((true[0] + self._offset[0], true[1] + self._offset[1]))
+
+    def induced_error(self) -> float:
+        """Current distance between reported and true position."""
+        return math.hypot(*self._offset) if self.strategy == "drift" else float("inf")
+
+    def stop(self) -> None:
+        self.active = False
+        self.gps.spoof(None)
+
+
+class TpmsSpoofingAttack:
+    """Forged TPMS packets: report a blowout (or mask a real one)."""
+
+    def __init__(self, tpms: TpmsSensor) -> None:
+        self.tpms = tpms
+        self.active = False
+        self.targets: list = []
+
+    def fake_blowout(self, sensor_id: int, pressure_kpa: float = 0.0) -> None:
+        self.tpms.spoof(sensor_id, pressure_kpa)
+        self.targets.append(sensor_id)
+        self.active = True
+
+    def mask_real_pressure(self, sensor_id: int) -> None:
+        """Report nominal while the real tire deflates."""
+        self.tpms.spoof(sensor_id, TpmsSensor.NOMINAL_KPA)
+        self.targets.append(sensor_id)
+        self.active = True
+
+    def stop(self) -> None:
+        for sid in self.targets:
+            self.tpms.spoof(sid, None)
+        self.targets.clear()
+        self.active = False
+
+
+class LidarPhantomAttack:
+    """Laser-replay phantom obstacles.
+
+    ``naive`` phantoms sit at a fixed sensor-relative position (replay
+    hardware has no ego-motion compensation), which the fusion world-frame
+    persistence gate rejects once the vehicle moves.
+    """
+
+    def __init__(self, lidar: LidarSensor) -> None:
+        self.lidar = lidar
+        self.active = False
+        self.phantoms = 0
+
+    def inject(self, range_m: float, bearing: float, count: int = 1) -> None:
+        for i in range(count):
+            self.lidar.spoof_phantom(range_m + 0.5 * i, bearing)
+        self.phantoms += count
+        self.active = True
+
+    def stop(self) -> None:
+        self.lidar.clear_phantoms()
+        self.active = False
+
+
+class AcousticMemsAttack:
+    """Resonant acoustic injection into a MEMS accelerometer."""
+
+    def __init__(self, accelerometer: Accelerometer) -> None:
+        self.accel = accelerometer
+        self.active = False
+
+    def start(self, amplitude: float, freq_hz: Optional[float] = None) -> None:
+        """Drive the sensor; defaults to dead-on resonance."""
+        target = freq_hz if freq_hz is not None else self.accel.resonant_hz
+        self.accel.acoustic_inject(amplitude, target)
+        self.active = True
+
+    def effectiveness(self) -> float:
+        """Fraction of the amplitude reaching the output (resonance gain)."""
+        return self.accel.injection_gain()
+
+    def stop(self) -> None:
+        self.accel.acoustic_inject(0.0, 0.0)
+        self.active = False

@@ -1,0 +1,105 @@
+"""Correlation power analysis (CPA) against AES first-round leakage.
+
+The paper's side-channel scenario (§4.2): an adversary with physical
+access to one vehicle extracts cryptographic keys from emission profiles,
+then uses them against the whole class.  This module implements the
+standard CPA attack of the DPA literature:
+
+1. Acquire N (plaintext, trace) pairs from :class:`PowerTraceModel`.
+2. For each key byte position and each of the 256 guesses, predict the
+   Hamming weight of ``SBOX[pt ^ guess]`` for every trace.
+3. The guess whose predictions correlate best (Pearson) with the measured
+   samples is the recovered key byte.
+
+Against plain :class:`~repro.crypto.aes.AES`, recovery succeeds with tens
+to hundreds of traces depending on noise.  Against
+:class:`~repro.crypto.aes.MaskedAES` the intermediate is randomised and
+first-order CPA fails regardless of trace count -- experiment E4's result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.crypto.aes import SBOX
+from repro.physical.emissions import PowerTraceModel
+
+_HW_TABLE = np.array([bin(x).count("1") for x in range(256)], dtype=np.float64)
+_SBOX_ARR = np.array(SBOX, dtype=np.int64)
+
+
+@dataclass
+class CpaResult:
+    """Outcome of a CPA run."""
+
+    recovered_key: bytes
+    correlations: np.ndarray  # shape (16, 256): best |rho| per byte/guess
+    traces_used: int
+
+    def bytes_correct(self, true_key: bytes) -> int:
+        return sum(1 for a, b in zip(self.recovered_key, true_key) if a == b)
+
+    def success(self, true_key: bytes) -> bool:
+        return self.recovered_key == true_key[: len(self.recovered_key)]
+
+
+class CpaAttack:
+    """First-order CPA over a set of acquired traces."""
+
+    def __init__(self, model: PowerTraceModel) -> None:
+        self.model = model
+
+    def run(self, n_traces: int) -> CpaResult:
+        """Acquire ``n_traces`` and recover the 16 key bytes."""
+        plaintexts, traces = self.model.collect(n_traces)
+        return self.analyze(plaintexts, traces)
+
+    @staticmethod
+    def analyze(plaintexts: Sequence[bytes], traces: Sequence[Sequence[float]]) -> CpaResult:
+        """CPA over pre-acquired data (separable for trace-count sweeps)."""
+        n = len(plaintexts)
+        if n < 4:
+            raise ValueError("need at least 4 traces")
+        pts = np.array([list(p) for p in plaintexts], dtype=np.int64)  # (N,16)
+        T = np.array(traces, dtype=np.float64)                          # (N,16)
+        t_centered = T - T.mean(axis=0)
+        t_norm = np.sqrt((t_centered ** 2).sum(axis=0))                 # (16,)
+
+        key = bytearray(16)
+        corr_matrix = np.zeros((16, 256))
+        guesses = np.arange(256, dtype=np.int64)
+        for byte_idx in range(16):
+            # Hypothesis matrix: HW(SBOX[pt ^ guess]) for all (trace, guess).
+            xored = pts[:, byte_idx][:, None] ^ guesses[None, :]        # (N,256)
+            hyp = _HW_TABLE[_SBOX_ARR[xored]]                           # (N,256)
+            h_centered = hyp - hyp.mean(axis=0)
+            h_norm = np.sqrt((h_centered ** 2).sum(axis=0))             # (256,)
+            numerator = h_centered.T @ t_centered[:, byte_idx]          # (256,)
+            denom = h_norm * t_norm[byte_idx]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rho = np.where(denom > 0, numerator / denom, 0.0)
+            corr_matrix[byte_idx] = np.abs(rho)
+            key[byte_idx] = int(np.argmax(np.abs(rho)))
+        return CpaResult(bytes(key), corr_matrix, n)
+
+    def traces_to_success(
+        self,
+        true_key: bytes,
+        max_traces: int = 2000,
+        step: int = 50,
+        start: int = 50,
+    ) -> Optional[int]:
+        """Smallest trace count (on the sweep grid) that recovers the key.
+
+        Returns ``None`` if the key is not recovered within ``max_traces``
+        (the expected outcome against a masked implementation).
+        """
+        plaintexts, traces = self.model.collect(max_traces)
+        for n in range(start, max_traces + 1, step):
+            result = self.analyze(plaintexts[:n], traces[:n])
+            if result.success(true_key):
+                return n
+        return None

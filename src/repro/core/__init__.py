@@ -1,0 +1,92 @@
+"""Core: the extensible 4+1-layer security assurance architecture.
+
+This package is the paper's primary subject matter made executable:
+
+- :mod:`repro.core.threat` -- attack models (confidentiality / integrity /
+  availability) and attack modes (§4), as a queryable taxonomy mapped to
+  the concrete attack classes in :mod:`repro.attacks` and the layers that
+  mitigate them.
+- :mod:`repro.core.safety` -- ISO 26262 ASIL determination (severity x
+  exposure x controllability) and the safety/security interplay of §3.
+- :mod:`repro.core.policy` -- the centralized security policy engine of
+  the research directions ([3, 4, 20]): declarative rules over subjects,
+  objects, and actions, versioned and updatable in-field.
+- :mod:`repro.core.extensibility` -- the in-field configurability
+  machinery of §5: feature registry, signed configuration updates with
+  rollback protection, capability negotiation.
+- :mod:`repro.core.tradeoff` -- the dynamic security/smartness/bandwidth
+  controller of §5 (highway vs city).
+- :mod:`repro.core.architecture` -- the 4+1-layer facade wiring all the
+  substrates into one vehicle (used by the examples and experiments).
+"""
+
+from repro.core.threat import (
+    AttackModel,
+    AttackMode,
+    SecurityLayer,
+    ThreatCatalog,
+    ThreatEntry,
+    default_catalog,
+)
+from repro.core.safety import (
+    Asil,
+    Controllability,
+    Exposure,
+    Hazard,
+    Severity,
+    determine_asil,
+)
+from repro.core.policy import (
+    PolicyDecision,
+    PolicyEngine,
+    PolicyRule,
+    SecurityPolicy,
+)
+from repro.core.extensibility import (
+    ConfigUpdate,
+    ExtensibilityManager,
+    Feature,
+    UpdateRejected,
+)
+from repro.core.tradeoff import DrivingContext, OperatingPoint, TradeoffController
+from repro.core.architecture import ArchitectureReport, VehicleArchitecture
+from repro.core.policy_analysis import (
+    PolicyFinding,
+    audit,
+    explicit_coverage,
+    find_conflicts,
+    find_shadowed_rules,
+)
+
+__all__ = [
+    "AttackModel",
+    "AttackMode",
+    "SecurityLayer",
+    "ThreatCatalog",
+    "ThreatEntry",
+    "default_catalog",
+    "Asil",
+    "Controllability",
+    "Exposure",
+    "Hazard",
+    "Severity",
+    "determine_asil",
+    "PolicyDecision",
+    "PolicyEngine",
+    "PolicyRule",
+    "SecurityPolicy",
+    "ConfigUpdate",
+    "ExtensibilityManager",
+    "Feature",
+    "UpdateRejected",
+    "DrivingContext",
+    "OperatingPoint",
+    "TradeoffController",
+    "ArchitectureReport",
+    "VehicleArchitecture",
+    "PolicyFinding",
+    "audit",
+    "explicit_coverage",
+    "find_conflicts",
+    "find_shadowed_rules",
+]

@@ -1,0 +1,152 @@
+"""The 4+1-layer vehicle security architecture facade.
+
+Wires the substrates into one assessable object: CAN domains behind a
+secure gateway (layer 2/3), SHE-equipped ECUs (layer 4), a V2X station
+(layer 1), PKES/immobilizer (the +1), IDS sensors, a policy engine, and
+an extensibility manager.  :meth:`VehicleArchitecture.assess` evaluates
+threat coverage against the catalog and prices residual risk by the ASIL
+of security-induced hazards -- the quantified version of the paper's
+architecture discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.safety import DEFAULT_HAZARDS, Asil, Hazard
+from repro.core.threat import (
+    SecurityLayer,
+    ThreatCatalog,
+    default_catalog,
+)
+from repro.ecu.ecu import Ecu
+from repro.gateway.router import SecureGateway
+from repro.ids.base import Detector
+from repro.ivn.canbus import CanBus
+from repro.sim import Simulator, TraceRecorder
+
+
+@dataclass
+class ArchitectureReport:
+    """Outcome of a security-architecture assessment."""
+
+    deployed_layers: Set[SecurityLayer]
+    covered_threats: List[str]
+    uncovered_threats: List[str]
+    residual_hazards: List[Hazard]
+
+    @property
+    def coverage_ratio(self) -> float:
+        total = len(self.covered_threats) + len(self.uncovered_threats)
+        return len(self.covered_threats) / total if total else 1.0
+
+    @property
+    def max_residual_asil(self) -> Asil:
+        if not self.residual_hazards:
+            return Asil.QM
+        return max(h.asil for h in self.residual_hazards)
+
+    def summary(self) -> str:
+        lines = [
+            f"layers deployed : {sorted(l.value for l in self.deployed_layers)}",
+            f"threat coverage : {len(self.covered_threats)}/"
+            f"{len(self.covered_threats) + len(self.uncovered_threats)}"
+            f" ({self.coverage_ratio:.0%})",
+            f"max residual    : {self.max_residual_asil}",
+        ]
+        for hazard in sorted(self.residual_hazards, key=lambda h: -h.asil):
+            lines.append(f"  residual hazard: {hazard.name} [{hazard.asil}] "
+                         f"via {hazard.induced_by_threat}")
+        return "\n".join(lines)
+
+
+class VehicleArchitecture:
+    """Builder/facade for one vehicle's security architecture."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "vehicle",
+        catalog: Optional[ThreatCatalog] = None,
+        hazards: Optional[List[Hazard]] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.hazards = list(hazards) if hazards is not None else list(DEFAULT_HAZARDS)
+        self.trace = trace if trace is not None else TraceRecorder()
+
+        self.domains: Dict[str, CanBus] = {}
+        self.gateway: Optional[SecureGateway] = None
+        self.ecus: Dict[str, Ecu] = {}
+        self.detectors: List[Detector] = []
+        self.has_v2x_security = False
+        self.has_access_protection = False
+        self.has_secure_boot = False
+        self.has_tamper_detection = False
+        self.has_can_authentication = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_domain(self, name: str, bitrate: float = 500_000.0) -> CanBus:
+        if name in self.domains:
+            raise ValueError(f"domain {name!r} exists")
+        bus = CanBus(self.sim, name=name, bitrate=bitrate, trace=self.trace)
+        self.domains[name] = bus
+        if self.gateway is not None:
+            self.gateway.attach_domain(name, bus)
+        return bus
+
+    def install_gateway(self, gateway: SecureGateway) -> SecureGateway:
+        self.gateway = gateway
+        for name, bus in self.domains.items():
+            gateway.attach_domain(name, bus)
+        return gateway
+
+    def add_ecu(self, ecu: Ecu, domain: str) -> Ecu:
+        if domain not in self.domains:
+            raise ValueError(f"unknown domain {domain!r}")
+        ecu.attach_can(self.domains[domain])
+        self.ecus[ecu.name] = ecu
+        if ecu.she.has_key(2):  # BOOT_MAC_KEY slot provisioned
+            self.has_secure_boot = True
+        return ecu
+
+    def install_ids(self, detector: Detector, domain: str) -> Detector:
+        if domain not in self.domains:
+            raise ValueError(f"unknown domain {domain!r}")
+        detector.attach(self.domains[domain])
+        self.detectors.append(detector)
+        return detector
+
+    # ------------------------------------------------------------------
+    # Assessment
+    # ------------------------------------------------------------------
+    def deployed_layers(self) -> Set[SecurityLayer]:
+        layers: Set[SecurityLayer] = set()
+        if self.has_v2x_security:
+            layers.add(SecurityLayer.SECURE_INTERFACES)
+        if self.gateway is not None and self.gateway.firewall.rules:
+            layers.add(SecurityLayer.SECURE_GATEWAY)
+        if self.detectors or self.has_can_authentication:
+            layers.add(SecurityLayer.SECURE_NETWORKS)
+        if self.has_secure_boot or self.has_tamper_detection:
+            layers.add(SecurityLayer.SECURE_PROCESSING)
+        if self.has_access_protection:
+            layers.add(SecurityLayer.PHYSICAL_PROTECTION)
+        return layers
+
+    def assess(self) -> ArchitectureReport:
+        """Coverage + residual-risk report for the current configuration."""
+        layers = self.deployed_layers()
+        coverage = self.catalog.coverage(layers)
+        covered = sorted(name for name, ok in coverage.items() if ok)
+        uncovered = sorted(name for name, ok in coverage.items() if not ok)
+        residual = [
+            hazard for hazard in self.hazards
+            if hazard.induced_by_threat in uncovered
+        ]
+        return ArchitectureReport(layers, covered, uncovered, residual)

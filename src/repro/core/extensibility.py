@@ -1,0 +1,207 @@
+"""In-field extensibility: features, signed configuration, generations.
+
+Section 5's drivers made concrete:
+
+- **Feature registry**: capabilities with versions and activation state;
+  "reserved" features can ship dark and be enabled in-field (bulk
+  production: one hardware SKU, many configurations).
+- **Signed configuration updates** with monotonic versions ("the flow for
+  in-field updates which itself must be upgradable").
+- **Capability negotiation**: two endpoints agree on the highest mutually
+  supported protocol version (the V2X/communication evolution driver).
+- **Generation cost model** for experiment E9: extensible architectures
+  cost more up front (development + larger verification space) and less
+  per subsequent generation; custom architectures are cheap now and
+  re-engineered every generation.  The crossover generation is the
+  paper's time-to-market trade-off, quantified.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.crypto import aes_cmac, cmac_verify
+
+
+class UpdateRejected(Exception):
+    """A configuration update failed authentication or versioning."""
+
+
+@dataclass
+class Feature:
+    """One configurable capability."""
+
+    name: str
+    version: int = 1
+    enabled: bool = False
+    reserved: bool = False  # shipped dark ("reserved for future use")
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "version": self.version,
+                "enabled": self.enabled, "reserved": self.reserved}
+
+
+@dataclass(frozen=True)
+class ConfigUpdate:
+    """A signed feature-configuration bundle."""
+
+    config_version: int
+    features: Tuple[Tuple[str, int, bool], ...]  # (name, version, enabled)
+    blob: bytes
+    tag: bytes
+
+
+class ExtensibilityManager:
+    """Feature registry + authenticated in-field reconfiguration."""
+
+    def __init__(self, update_key: bytes, features: Optional[Iterable[Feature]] = None) -> None:
+        if len(update_key) != 16:
+            raise ValueError("update key is 16 bytes")
+        self._key = update_key
+        self.features: Dict[str, Feature] = {}
+        for feature in features or []:
+            self.register(feature)
+        self.config_version = 0
+        self.rejected_updates = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, feature: Feature) -> None:
+        if feature.name in self.features:
+            raise ValueError(f"feature {feature.name!r} already registered")
+        self.features[feature.name] = feature
+
+    def enabled_features(self) -> Set[str]:
+        return {name for name, f in self.features.items() if f.enabled}
+
+    def reserved_features(self) -> Set[str]:
+        return {name for name, f in self.features.items() if f.reserved}
+
+    def is_enabled(self, name: str) -> bool:
+        feature = self.features.get(name)
+        return feature is not None and feature.enabled
+
+    # ------------------------------------------------------------------
+    # Signed configuration updates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build_update(key: bytes, config_version: int,
+                     settings: Dict[str, Tuple[int, bool]]) -> ConfigUpdate:
+        """Backend: create an authenticated bundle.
+
+        ``settings`` maps feature name -> (version, enabled).
+        """
+        features = tuple(sorted(
+            (name, version, enabled)
+            for name, (version, enabled) in settings.items()
+        ))
+        blob = json.dumps(
+            {"config_version": config_version, "features": features},
+            sort_keys=True, separators=(",", ":"),
+        ).encode()
+        return ConfigUpdate(config_version, features, blob, aes_cmac(key, blob))
+
+    def apply_update(self, update: ConfigUpdate) -> None:
+        """Vehicle: verify tag + version, then reconfigure."""
+        if not cmac_verify(self._key, update.blob, update.tag):
+            self.rejected_updates += 1
+            raise UpdateRejected("configuration authentication failed")
+        if update.config_version <= self.config_version:
+            self.rejected_updates += 1
+            raise UpdateRejected(
+                f"configuration rollback ({update.config_version} <= {self.config_version})"
+            )
+        body = json.loads(update.blob.decode())
+        if body["config_version"] != update.config_version:
+            self.rejected_updates += 1
+            raise UpdateRejected("bundle metadata mismatch")
+        for name, version, enabled in body["features"]:
+            feature = self.features.get(name)
+            if feature is None:
+                # Unknown feature: register it (this is the extensibility
+                # point -- new capabilities arriving in-field).
+                self.features[name] = Feature(name, version, enabled, reserved=False)
+                continue
+            if version < feature.version:
+                self.rejected_updates += 1
+                raise UpdateRejected(f"feature {name!r} version rollback")
+            feature.version = version
+            feature.enabled = enabled
+            if enabled:
+                feature.reserved = False
+        self.config_version = update.config_version
+
+    # ------------------------------------------------------------------
+    # Capability negotiation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def negotiate(local_versions: Set[int], remote_versions: Set[int]) -> Optional[int]:
+        """Highest mutually supported protocol version, or None."""
+        common = local_versions & remote_versions
+        return max(common) if common else None
+
+
+# ----------------------------------------------------------------------
+# Architecture-generation cost model (experiment E9)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GenerationCostModel:
+    """Cost model comparing extensible vs custom architectures.
+
+    All costs in arbitrary engineering units.  Defaults reflect the
+    qualitative claims of §6: extensibility costs more at first deployment
+    (more behaviours to design and verify) and much less per follow-on
+    generation (reconfigure instead of re-engineer).
+    """
+
+    custom_dev: float = 100.0
+    custom_verify: float = 60.0
+    custom_gen_reuse: float = 0.75        # each custom generation redoes 75%
+    extensible_dev_factor: float = 1.6    # upfront development premium
+    extensible_verify_factor: float = 2.2  # larger configuration space
+    extensible_gen_cost: float = 25.0     # per-generation reconfig + delta verify
+
+    def custom_cumulative(self, generations: int) -> List[float]:
+        """Cumulative cost after each of ``generations`` products."""
+        costs = []
+        total = 0.0
+        per_gen_first = self.custom_dev + self.custom_verify
+        for gen in range(generations):
+            if gen == 0:
+                total += per_gen_first
+            else:
+                total += per_gen_first * self.custom_gen_reuse
+            costs.append(total)
+        return costs
+
+    def extensible_cumulative(self, generations: int) -> List[float]:
+        costs = []
+        total = 0.0
+        for gen in range(generations):
+            if gen == 0:
+                total += (self.custom_dev * self.extensible_dev_factor
+                          + self.custom_verify * self.extensible_verify_factor)
+            else:
+                total += self.extensible_gen_cost
+            costs.append(total)
+        return costs
+
+    def crossover_generation(self, max_generations: int = 20) -> Optional[int]:
+        """First generation (1-based) where extensible is cheaper overall."""
+        custom = self.custom_cumulative(max_generations)
+        extensible = self.extensible_cumulative(max_generations)
+        for gen, (c, e) in enumerate(zip(custom, extensible), start=1):
+            if e < c:
+                return gen
+        return None
+
+    def time_to_market_penalty(self) -> float:
+        """Relative first-deployment latency (the §6 time-to-market cost)."""
+        first_custom = self.custom_dev + self.custom_verify
+        first_ext = (self.custom_dev * self.extensible_dev_factor
+                     + self.custom_verify * self.extensible_verify_factor)
+        return first_ext / first_custom

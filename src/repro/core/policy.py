@@ -1,0 +1,194 @@
+"""Centralized security policy engine.
+
+The research direction the paper highlights ([3, 4, 20]): instead of
+scattering security decisions across ECU firmware, express them as a
+central, versioned *policy* -- rules over (subject, object, action,
+context) -- enforced at the architecture's control points (gateway
+firewall, hypervisor grants, SHE key usage, diagnostic access).  The
+engine supports:
+
+- first-match rule evaluation with default-deny;
+- policy versioning with monotonicity (rollback protection);
+- in-field update via CMAC-authenticated policy bundles (the update key
+  lives in a SHE slot);
+- enumeration of the reachable configuration space for the E14
+  verification-burden experiment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.crypto import aes_cmac, cmac_verify
+
+
+class PolicyDecision(Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One policy assertion.
+
+    ``subjects``/``objects``/``actions`` are sets of names, with ``"*"``
+    as wildcard; ``contexts`` restricts applicability to named operating
+    contexts (empty = any).
+    """
+
+    subjects: FrozenSet[str]
+    objects: FrozenSet[str]
+    actions: FrozenSet[str]
+    decision: PolicyDecision
+    contexts: FrozenSet[str] = frozenset()
+    name: str = ""
+
+    def matches(self, subject: str, obj: str, action: str, context: str) -> bool:
+        def hit(field_values: FrozenSet[str], value: str) -> bool:
+            return "*" in field_values or value in field_values
+
+        if not (hit(self.subjects, subject) and hit(self.objects, obj)
+                and hit(self.actions, action)):
+            return False
+        return not self.contexts or context in self.contexts
+
+    def to_dict(self) -> Dict:
+        return {
+            "subjects": sorted(self.subjects),
+            "objects": sorted(self.objects),
+            "actions": sorted(self.actions),
+            "decision": self.decision.value,
+            "contexts": sorted(self.contexts),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PolicyRule":
+        return cls(
+            subjects=frozenset(data["subjects"]),
+            objects=frozenset(data["objects"]),
+            actions=frozenset(data["actions"]),
+            decision=PolicyDecision(data["decision"]),
+            contexts=frozenset(data.get("contexts", [])),
+            name=data.get("name", ""),
+        )
+
+
+@dataclass
+class SecurityPolicy:
+    """A versioned, serialisable rule set."""
+
+    version: int
+    rules: List[PolicyRule] = field(default_factory=list)
+    default: PolicyDecision = PolicyDecision.DENY
+
+    def serialize(self) -> bytes:
+        body = {
+            "version": self.version,
+            "default": self.default.value,
+            "rules": [r.to_dict() for r in self.rules],
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "SecurityPolicy":
+        body = json.loads(data.decode())
+        return cls(
+            version=int(body["version"]),
+            rules=[PolicyRule.from_dict(r) for r in body["rules"]],
+            default=PolicyDecision(body["default"]),
+        )
+
+
+class PolicyEngine:
+    """Evaluates and (securely) updates the active policy.
+
+    ``update_key``: the 16-byte symmetric key authenticating policy
+    bundles (held in a SHE slot on real silicon).
+    """
+
+    def __init__(self, policy: SecurityPolicy, update_key: Optional[bytes] = None) -> None:
+        self.policy = policy
+        self._update_key = update_key
+        self.evaluations = 0
+        self.denials = 0
+        self.update_history: List[int] = [policy.version]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def check(self, subject: str, obj: str, action: str,
+              context: str = "normal") -> PolicyDecision:
+        """First-match evaluation with the policy default as fallback."""
+        self.evaluations += 1
+        for rule in self.policy.rules:
+            if rule.matches(subject, obj, action, context):
+                if rule.decision is PolicyDecision.DENY:
+                    self.denials += 1
+                return rule.decision
+        if self.policy.default is PolicyDecision.DENY:
+            self.denials += 1
+        return self.policy.default
+
+    def allows(self, subject: str, obj: str, action: str,
+               context: str = "normal") -> bool:
+        return self.check(subject, obj, action, context) is PolicyDecision.ALLOW
+
+    # ------------------------------------------------------------------
+    # In-field update
+    # ------------------------------------------------------------------
+    def export_update(self, new_policy: SecurityPolicy, key: bytes) -> Tuple[bytes, bytes]:
+        """Backend side: produce an authenticated policy bundle."""
+        blob = new_policy.serialize()
+        return blob, aes_cmac(key, blob)
+
+    def apply_update(self, blob: bytes, tag: bytes) -> None:
+        """Vehicle side: verify and install a policy bundle.
+
+        Raises ``PermissionError`` on a bad tag and ``ValueError`` on a
+        version rollback.
+        """
+        if self._update_key is None:
+            raise PermissionError("engine has no update key; updates disabled")
+        if not cmac_verify(self._update_key, blob, tag):
+            raise PermissionError("policy bundle authentication failed")
+        candidate = SecurityPolicy.deserialize(blob)
+        if candidate.version <= self.policy.version:
+            raise ValueError(
+                f"policy rollback rejected ({candidate.version} <= {self.policy.version})"
+            )
+        self.policy = candidate
+        self.update_history.append(candidate.version)
+
+    # ------------------------------------------------------------------
+    # Verification-space analysis (E14)
+    # ------------------------------------------------------------------
+    def configuration_space(
+        self,
+        subjects: Iterable[str],
+        objects: Iterable[str],
+        actions: Iterable[str],
+        contexts: Iterable[str] = ("normal",),
+    ) -> int:
+        """Size of the decision space a verifier must cover."""
+        return (
+            len(list(subjects)) * len(list(objects))
+            * len(list(actions)) * len(list(contexts))
+        )
+
+    def decision_table(
+        self,
+        subjects: Iterable[str],
+        objects: Iterable[str],
+        actions: Iterable[str],
+        contexts: Iterable[str] = ("normal",),
+    ) -> Dict[Tuple[str, str, str, str], PolicyDecision]:
+        """Exhaustive evaluation over a configuration space (E14 driver)."""
+        table = {}
+        for s, o, a, c in itertools.product(subjects, objects, actions, contexts):
+            table[(s, o, a, c)] = self.check(s, o, a, c)
+        return table

@@ -1,0 +1,139 @@
+"""Static analysis of security policies: shadowing, conflicts, coverage.
+
+The paper's verification-needs argument (§5, §6) is not just about state
+space size -- policies themselves accumulate defects as they are extended
+in-field.  Three analyses a policy-review gate runs before signing an
+update bundle:
+
+- **Shadowed rules**: a rule that can never fire because earlier rules
+  match a superset of its traffic.  Shadowed DENYs are latent security
+  holes (someone *believed* the traffic was blocked).
+- **Conflicts**: rule pairs whose match sets overlap with opposite
+  decisions -- the outcome silently depends on rule order.
+- **Coverage**: the fraction of a declared configuration space decided by
+  explicit rules rather than the default (explicitness is auditable;
+  default-reliance is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.policy import PolicyDecision, PolicyRule, SecurityPolicy
+
+
+def _field_overlaps(a: frozenset, b: frozenset) -> bool:
+    return "*" in a or "*" in b or bool(a & b)
+
+
+def _field_covers(outer: frozenset, inner: frozenset) -> bool:
+    """Does ``outer`` match everything ``inner`` matches?"""
+    if "*" in outer:
+        return True
+    if "*" in inner:
+        return False
+    return inner <= outer
+
+
+def _contexts_overlap(a: frozenset, b: frozenset) -> bool:
+    return not a or not b or bool(a & b)
+
+
+def _contexts_cover(outer: frozenset, inner: frozenset) -> bool:
+    if not outer:
+        return True
+    if not inner:
+        return False
+    return inner <= outer
+
+
+def rules_overlap(a: PolicyRule, b: PolicyRule) -> bool:
+    """Can any single request match both rules?"""
+    return (
+        _field_overlaps(a.subjects, b.subjects)
+        and _field_overlaps(a.objects, b.objects)
+        and _field_overlaps(a.actions, b.actions)
+        and _contexts_overlap(a.contexts, b.contexts)
+    )
+
+
+def rule_covers(outer: PolicyRule, inner: PolicyRule) -> bool:
+    """Does ``outer`` match every request ``inner`` matches?"""
+    return (
+        _field_covers(outer.subjects, inner.subjects)
+        and _field_covers(outer.objects, inner.objects)
+        and _field_covers(outer.actions, inner.actions)
+        and _contexts_cover(outer.contexts, inner.contexts)
+    )
+
+
+@dataclass(frozen=True)
+class PolicyFinding:
+    """One analysis result."""
+
+    kind: str          # "shadowed" | "conflict"
+    rule_index: int
+    other_index: int
+    detail: str
+
+
+def find_shadowed_rules(policy: SecurityPolicy) -> List[PolicyFinding]:
+    """Rules fully covered by an earlier rule (they can never fire)."""
+    findings = []
+    for i, rule in enumerate(policy.rules):
+        for j in range(i):
+            earlier = policy.rules[j]
+            if rule_covers(earlier, rule):
+                findings.append(PolicyFinding(
+                    "shadowed", i, j,
+                    f"rule {i} ({rule.name or rule.decision.value}) is "
+                    f"unreachable: rule {j} ({earlier.name or earlier.decision.value}) "
+                    f"matches a superset first",
+                ))
+                break
+    return findings
+
+
+def find_conflicts(policy: SecurityPolicy) -> List[PolicyFinding]:
+    """Overlapping rule pairs with opposite decisions (order-sensitive)."""
+    findings = []
+    for i, rule in enumerate(policy.rules):
+        for j in range(i + 1, len(policy.rules)):
+            other = policy.rules[j]
+            if rule.decision != other.decision and rules_overlap(rule, other):
+                findings.append(PolicyFinding(
+                    "conflict", i, j,
+                    f"rules {i} and {j} overlap with opposite decisions "
+                    f"({rule.decision.value} vs {other.decision.value}); "
+                    f"outcome depends on ordering",
+                ))
+    return findings
+
+
+def explicit_coverage(
+    policy: SecurityPolicy,
+    subjects: Sequence[str],
+    objects: Sequence[str],
+    actions: Sequence[str],
+    contexts: Sequence[str] = ("normal",),
+) -> float:
+    """Fraction of the configuration space decided by an explicit rule."""
+    total = 0
+    explicit = 0
+    for s, o, a, c in product(subjects, objects, actions, contexts):
+        total += 1
+        for rule in policy.rules:
+            if rule.matches(s, o, a, c):
+                explicit += 1
+                break
+    return explicit / total if total else 1.0
+
+
+def audit(policy: SecurityPolicy) -> Dict[str, List[PolicyFinding]]:
+    """Run all structural analyses; the policy-review gate's output."""
+    return {
+        "shadowed": find_shadowed_rules(policy),
+        "conflicts": find_conflicts(policy),
+    }

@@ -1,0 +1,123 @@
+"""ISO 26262 ASIL determination and the safety/security interplay.
+
+Section 3: functional safety classifies hazards by Automotive Safety
+Integrity Level, from QM (no hazard) to ASIL D.  The level is determined
+from three factors of the hazardous event: Severity (S0-S3), Exposure
+(E0-E4) and Controllability (C0-C3), via the standard's table.  The
+paper's point that "an external hack can cause the system to fail in a way
+that harms other agents, reducing functional safety to a security issue"
+is modelled by letting security threats *induce* hazards: a threat entry
+can be bound to a hazard, and the architecture report (E14/architecture
+assessment) then prices an uncovered threat at its hazard's ASIL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+
+class Severity(IntEnum):
+    """S0 (no injuries) .. S3 (life-threatening/fatal)."""
+
+    S0 = 0
+    S1 = 1
+    S2 = 2
+    S3 = 3
+
+
+class Exposure(IntEnum):
+    """E0 (incredible) .. E4 (high probability)."""
+
+    E0 = 0
+    E1 = 1
+    E2 = 2
+    E3 = 3
+    E4 = 4
+
+
+class Controllability(IntEnum):
+    """C0 (controllable in general) .. C3 (difficult/uncontrollable)."""
+
+    C0 = 0
+    C1 = 1
+    C2 = 2
+    C3 = 3
+
+
+class Asil(IntEnum):
+    """QM < A < B < C < D."""
+
+    QM = 0
+    A = 1
+    B = 2
+    C = 3
+    D = 4
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "QM" if self is Asil.QM else f"ASIL {self.name}"
+
+
+def determine_asil(severity: Severity, exposure: Exposure,
+                   controllability: Controllability) -> Asil:
+    """The ISO 26262-3 ASIL determination table.
+
+    S0, E0, or C0 always yields QM; otherwise the level rises with the sum
+    of the three factors, topping out at D only for S3/E4/C3.
+
+    >>> determine_asil(Severity.S3, Exposure.E4, Controllability.C3)
+    <Asil.D: 4>
+    >>> determine_asil(Severity.S1, Exposure.E1, Controllability.C1)
+    <Asil.QM: 0>
+    """
+    if severity == Severity.S0 or exposure == Exposure.E0 or controllability == Controllability.C0:
+        return Asil.QM
+    # The standard's table is equivalent to this rank arithmetic.
+    rank = int(severity) + int(exposure) + int(controllability)
+    # rank ranges 3..10; QM below 7, then A..D.
+    if rank <= 6:
+        return Asil.QM
+    return Asil(min(4, rank - 6))
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """A hazardous event from the HARA with its classification."""
+
+    name: str
+    severity: Severity
+    exposure: Exposure
+    controllability: Controllability
+    description: str = ""
+    induced_by_threat: Optional[str] = None  # ThreatCatalog entry name
+
+    @property
+    def asil(self) -> Asil:
+        return determine_asil(self.severity, self.exposure, self.controllability)
+
+    @property
+    def is_security_induced(self) -> bool:
+        return self.induced_by_threat is not None
+
+
+# Representative hazards used by the examples and the architecture report.
+DEFAULT_HAZARDS = [
+    Hazard("unintended-braking", Severity.S3, Exposure.E4, Controllability.C3,
+           "forged brake command at speed", induced_by_threat="can-spoof"),
+    Hazard("loss-of-brake-signal", Severity.S3, Exposure.E4, Controllability.C2,
+           "brake ECU silenced", induced_by_threat="bus-off"),
+    Hazard("phantom-obstacle-swerve", Severity.S2, Exposure.E3, Controllability.C2,
+           "emergency maneuver for a non-existent obstacle",
+           induced_by_threat="lidar-phantom"),
+    Hazard("wrong-position-estimate", Severity.S2, Exposure.E2, Controllability.C2,
+           "navigation follows a spoofed fix", induced_by_threat="gps-spoofing"),
+    Hazard("malicious-firmware", Severity.S3, Exposure.E2, Controllability.C3,
+           "attacker firmware in a safety ECU", induced_by_threat="malicious-ota"),
+    Hazard("false-v2x-warning", Severity.S2, Exposure.E3, Controllability.C1,
+           "forged hazard warning causes hard braking",
+           induced_by_threat="v2x-forgery"),
+    Hazard("vehicle-theft", Severity.S0, Exposure.E3, Controllability.C3,
+           "physical access via cracked immobilizer",
+           induced_by_threat="immobilizer-crack"),
+]

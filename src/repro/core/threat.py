@@ -1,0 +1,211 @@
+"""Threat taxonomy: attack models, attack modes, mitigating layers.
+
+Section 4 of the paper organises automotive security as *attack models*
+(what the attacker wants: confidentiality, integrity, availability) times
+*attack modes* (how: side channels, in-field communication, physical
+access).  The catalog cross-references each concrete attack implemented in
+:mod:`repro.attacks` with its model, mode, and the architecture layers
+(§7) expected to mitigate it -- making "which layer buys what" a queryable
+property instead of prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Set
+
+
+class AttackModel(Enum):
+    """The attacker's objective (CIA)."""
+
+    CONFIDENTIALITY = "confidentiality"
+    INTEGRITY = "integrity"
+    AVAILABILITY = "availability"
+
+
+class AttackMode(Enum):
+    """The attacker's channel."""
+
+    SIDE_CHANNEL = "side_channel"
+    IN_FIELD_COMMUNICATION = "in_field_communication"
+    IN_VEHICLE_NETWORK = "in_vehicle_network"
+    SENSOR_CHANNEL = "sensor_channel"
+    PHYSICAL_ACCESS = "physical_access"
+    FAULT_INJECTION = "fault_injection"
+
+
+class SecurityLayer(Enum):
+    """The 4+1 assurance layers of §7."""
+
+    SECURE_INTERFACES = "secure_interfaces"
+    SECURE_GATEWAY = "secure_gateway"
+    SECURE_NETWORKS = "secure_networks"
+    SECURE_PROCESSING = "secure_processing"
+    PHYSICAL_PROTECTION = "physical_protection"  # the "+1"
+
+
+@dataclass(frozen=True)
+class ThreatEntry:
+    """One catalogued threat."""
+
+    name: str
+    model: AttackModel
+    mode: AttackMode
+    mitigating_layers: FrozenSet[SecurityLayer]
+    attack_class: str  # dotted path into repro.attacks
+    description: str = ""
+
+
+class ThreatCatalog:
+    """Queryable collection of threats."""
+
+    def __init__(self, entries: Optional[List[ThreatEntry]] = None) -> None:
+        self._entries: Dict[str, ThreatEntry] = {}
+        for entry in entries or []:
+            self.add(entry)
+
+    def add(self, entry: ThreatEntry) -> None:
+        if entry.name in self._entries:
+            raise ValueError(f"duplicate threat {entry.name!r}")
+        self._entries[entry.name] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def get(self, name: str) -> Optional[ThreatEntry]:
+        return self._entries.get(name)
+
+    def by_model(self, model: AttackModel) -> List[ThreatEntry]:
+        return [e for e in self if e.model == model]
+
+    def by_mode(self, mode: AttackMode) -> List[ThreatEntry]:
+        return [e for e in self if e.mode == mode]
+
+    def mitigated_by(self, layer: SecurityLayer) -> List[ThreatEntry]:
+        return [e for e in self if layer in e.mitigating_layers]
+
+    def coverage(self, deployed_layers: Set[SecurityLayer]) -> Dict[str, bool]:
+        """Per-threat: is at least one mitigating layer deployed?"""
+        return {
+            e.name: bool(e.mitigating_layers & deployed_layers) for e in self
+        }
+
+    def uncovered(self, deployed_layers: Set[SecurityLayer]) -> List[str]:
+        """Threats no deployed layer mitigates (the residual risk list)."""
+        return [name for name, ok in self.coverage(deployed_layers).items() if not ok]
+
+
+def default_catalog() -> ThreatCatalog:
+    """The catalog corresponding to the attacks implemented in this repo."""
+    L = SecurityLayer
+    entries = [
+        ThreatEntry(
+            "can-injection", AttackModel.INTEGRITY, AttackMode.IN_VEHICLE_NETWORK,
+            frozenset({L.SECURE_NETWORKS, L.SECURE_GATEWAY}),
+            "repro.attacks.injection.InjectionAttack",
+            "forged frames on an unauthenticated IVN",
+        ),
+        ThreatEntry(
+            "can-spoof", AttackModel.INTEGRITY, AttackMode.IN_VEHICLE_NETWORK,
+            frozenset({L.SECURE_NETWORKS, L.SECURE_GATEWAY}),
+            "repro.attacks.injection.SpoofAttack",
+            "targeted forgery of one signal id",
+        ),
+        ThreatEntry(
+            "bus-flood-dos", AttackModel.AVAILABILITY, AttackMode.IN_VEHICLE_NETWORK,
+            frozenset({L.SECURE_NETWORKS, L.SECURE_GATEWAY}),
+            "repro.attacks.dos.BusFloodAttack",
+            "low-id arbitration starvation",
+        ),
+        ThreatEntry(
+            "bus-off", AttackModel.AVAILABILITY, AttackMode.IN_VEHICLE_NETWORK,
+            frozenset({L.SECURE_NETWORKS}),
+            "repro.attacks.busoff.BusOffAttack",
+            "error-counter weaponisation silencing a node",
+        ),
+        ThreatEntry(
+            "replay", AttackModel.INTEGRITY, AttackMode.IN_VEHICLE_NETWORK,
+            frozenset({L.SECURE_NETWORKS, L.SECURE_PROCESSING}),
+            "repro.attacks.replay.ReplayAttack",
+            "verbatim re-transmission of recorded traffic",
+        ),
+        ThreatEntry(
+            "masquerade", AttackModel.INTEGRITY, AttackMode.IN_VEHICLE_NETWORK,
+            frozenset({L.SECURE_PROCESSING}),
+            "repro.attacks.masquerade.MasqueradeAttack",
+            "silence victim then impersonate at nominal timing",
+        ),
+        ThreatEntry(
+            "side-channel-key-extraction", AttackModel.CONFIDENTIALITY,
+            AttackMode.SIDE_CHANNEL,
+            frozenset({L.SECURE_PROCESSING}),
+            "repro.attacks.sidechannel.CpaAttack",
+            "CPA on power emissions recovers AES keys",
+        ),
+        ThreatEntry(
+            "gps-spoofing", AttackModel.AVAILABILITY, AttackMode.SENSOR_CHANNEL,
+            frozenset({L.SECURE_INTERFACES}),
+            "repro.attacks.sensors.GpsSpoofingAttack",
+            "counterfeit constellation steers localisation",
+        ),
+        ThreatEntry(
+            "lidar-phantom", AttackModel.AVAILABILITY, AttackMode.SENSOR_CHANNEL,
+            frozenset({L.SECURE_INTERFACES}),
+            "repro.attacks.sensors.LidarPhantomAttack",
+            "laser replay creates phantom obstacles",
+        ),
+        ThreatEntry(
+            "tpms-spoofing", AttackModel.INTEGRITY, AttackMode.SENSOR_CHANNEL,
+            frozenset({L.SECURE_INTERFACES}),
+            "repro.attacks.sensors.TpmsSpoofingAttack",
+            "forged tire-pressure RF packets",
+        ),
+        ThreatEntry(
+            "acoustic-mems", AttackModel.INTEGRITY, AttackMode.SENSOR_CHANNEL,
+            frozenset({L.PHYSICAL_PROTECTION}),
+            "repro.attacks.sensors.AcousticMemsAttack",
+            "resonant sound biases MEMS accelerometers",
+        ),
+        ThreatEntry(
+            "keyless-relay", AttackModel.INTEGRITY, AttackMode.PHYSICAL_ACCESS,
+            frozenset({L.PHYSICAL_PROTECTION}),
+            "repro.attacks.relay.RelayAttack"
+            if False else "repro.access.keyless.RelayAttack",
+            "LF relay defeats PKES proximity inference",
+        ),
+        ThreatEntry(
+            "immobilizer-crack", AttackModel.CONFIDENTIALITY, AttackMode.PHYSICAL_ACCESS,
+            frozenset({L.PHYSICAL_PROTECTION, L.SECURE_PROCESSING}),
+            "repro.access.immobilizer.KeyCracker",
+            "brute force of a short transponder key",
+        ),
+        ThreatEntry(
+            "voltage-glitch", AttackModel.INTEGRITY, AttackMode.FAULT_INJECTION,
+            frozenset({L.SECURE_PROCESSING}),
+            "repro.attacks.glitch.VoltageGlitchAttack",
+            "supply glitching to skip security checks",
+        ),
+        ThreatEntry(
+            "malicious-ota", AttackModel.INTEGRITY, AttackMode.IN_FIELD_COMMUNICATION,
+            frozenset({L.SECURE_INTERFACES, L.SECURE_PROCESSING}),
+            "repro.ota.campaign.CompromiseScenario",
+            "forged update metadata installs attacker firmware",
+        ),
+        ThreatEntry(
+            "v2x-forgery", AttackModel.INTEGRITY, AttackMode.IN_FIELD_COMMUNICATION,
+            frozenset({L.SECURE_INTERFACES}),
+            "repro.v2x.ieee1609.MessageVerifier",
+            "unauthenticated or forged V2X warnings",
+        ),
+        ThreatEntry(
+            "v2x-tracking", AttackModel.CONFIDENTIALITY, AttackMode.IN_FIELD_COMMUNICATION,
+            frozenset({L.SECURE_INTERFACES}),
+            "repro.v2x.privacy.TrackingAdversary",
+            "linking broadcast pseudonyms into trajectories",
+        ),
+    ]
+    return ThreatCatalog(entries)

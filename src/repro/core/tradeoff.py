@@ -1,0 +1,143 @@
+"""Dynamic security / smartness / communication trade-off controller.
+
+Section 5: "a car driving on a desolate, straight highway requires less
+data analytics for pot-hole or pedestrian detection than when driving in a
+busy city; this enables the car to adjust its communication bandwidth to
+the cloud in real time."  The controller maps a driving context to an
+*operating point* -- analytics load, cloud bandwidth, V2X verification
+strictness, energy draw -- through a generic, extensible mode table (the
+architecture requirement the paper derives), with hysteresis so noisy
+context signals don't thrash the modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class DrivingContext(Enum):
+    PARKED = "parked"
+    HIGHWAY = "highway"
+    RURAL = "rural"
+    URBAN = "urban"
+    DENSE_URBAN = "dense_urban"
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One row of the mode table.
+
+    - ``analytics_load``: fraction of compute devoted to perception.
+    - ``cloud_bandwidth_mbps``: uplink budget.
+    - ``v2x_verify_fraction``: fraction of incoming V2X messages fully
+      verified (the rest are spot-checked) -- the security/throughput
+      knob of E6/E11.
+    - ``power_w``: electrical draw of the above.
+    """
+
+    analytics_load: float
+    cloud_bandwidth_mbps: float
+    v2x_verify_fraction: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.analytics_load <= 1:
+            raise ValueError("analytics_load in [0,1]")
+        if not 0 <= self.v2x_verify_fraction <= 1:
+            raise ValueError("v2x_verify_fraction in [0,1]")
+        if self.cloud_bandwidth_mbps < 0 or self.power_w < 0:
+            raise ValueError("bandwidth/power non-negative")
+
+
+DEFAULT_MODE_TABLE: Dict[DrivingContext, OperatingPoint] = {
+    DrivingContext.PARKED: OperatingPoint(0.05, 0.5, 1.0, 15.0),
+    DrivingContext.HIGHWAY: OperatingPoint(0.35, 2.0, 0.6, 80.0),
+    DrivingContext.RURAL: OperatingPoint(0.45, 1.0, 0.7, 95.0),
+    DrivingContext.URBAN: OperatingPoint(0.75, 6.0, 0.9, 160.0),
+    DrivingContext.DENSE_URBAN: OperatingPoint(0.95, 10.0, 1.0, 220.0),
+}
+
+
+@dataclass(frozen=True)
+class ContextEstimate:
+    """Sensor-derived context evidence fed to the controller."""
+
+    speed: float            # m/s
+    object_density: float   # tracked objects per scan
+    v2x_neighbors: int      # distinct senders heard recently
+
+
+def classify_context(estimate: ContextEstimate) -> DrivingContext:
+    """Heuristic context classifier over fused evidence."""
+    if estimate.speed < 0.5 and estimate.object_density < 1:
+        return DrivingContext.PARKED
+    if estimate.object_density >= 12 or estimate.v2x_neighbors >= 40:
+        return DrivingContext.DENSE_URBAN
+    if estimate.object_density >= 5 or estimate.v2x_neighbors >= 15:
+        return DrivingContext.URBAN
+    if estimate.speed > 22.0 and estimate.object_density < 3:
+        return DrivingContext.HIGHWAY
+    return DrivingContext.RURAL
+
+
+class TradeoffController:
+    """Hysteretic mode switcher over an extensible mode table.
+
+    ``dwell_time``: minimum seconds between mode changes; prevents
+    thrashing when context evidence is noisy.  New contexts/operating
+    points can be registered in-field (the extensibility requirement).
+    """
+
+    def __init__(
+        self,
+        mode_table: Optional[Dict[DrivingContext, OperatingPoint]] = None,
+        dwell_time: float = 5.0,
+        initial: DrivingContext = DrivingContext.PARKED,
+    ) -> None:
+        self.mode_table = dict(mode_table) if mode_table else dict(DEFAULT_MODE_TABLE)
+        self.dwell_time = dwell_time
+        self.context = initial
+        self._last_switch = -float("inf")
+        self.switches: List[Tuple[float, DrivingContext]] = []
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        return self.mode_table[self.context]
+
+    def register_mode(self, context: DrivingContext, point: OperatingPoint) -> None:
+        """In-field extension: add or replace an operating point."""
+        self.mode_table[context] = point
+
+    def update(self, time: float, estimate: ContextEstimate) -> OperatingPoint:
+        """Feed new evidence; returns the (possibly unchanged) mode."""
+        target = classify_context(estimate)
+        if target != self.context and time - self._last_switch >= self.dwell_time:
+            self.context = target
+            self._last_switch = time
+            self.switches.append((time, target))
+        return self.operating_point
+
+    # ------------------------------------------------------------------
+    # Accounting over a drive (E11)
+    # ------------------------------------------------------------------
+    def integrate(self, timeline: List[Tuple[float, ContextEstimate]],
+                  dt: float) -> Dict[str, float]:
+        """Run a context timeline; return consumed energy (Wh), data (MB),
+        and mean verification strictness."""
+        energy_j = 0.0
+        data_mb = 0.0
+        verify_acc = 0.0
+        for time, estimate in timeline:
+            point = self.update(time, estimate)
+            energy_j += point.power_w * dt
+            data_mb += point.cloud_bandwidth_mbps * dt / 8.0
+            verify_acc += point.v2x_verify_fraction
+        n = max(1, len(timeline))
+        return {
+            "energy_wh": energy_j / 3600.0,
+            "data_mb": data_mb,
+            "mean_verify_fraction": verify_acc / n,
+            "mode_switches": float(len(self.switches)),
+        }

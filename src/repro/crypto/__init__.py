@@ -1,0 +1,63 @@
+"""Cryptographic primitives, implemented from scratch.
+
+The paper's security architecture leans on hardware crypto (SHE on the
+MCU/MPU side, IEEE 1609.2 ECDSA on the V2X side).  This package provides the
+full stack with **no external dependencies** so the rest of the framework can
+model those blocks functionally:
+
+- :mod:`repro.crypto.aes` -- AES-128/192/256 block cipher, plus a leakage
+  hook and a first-order masked variant for side-channel experiments.
+- :mod:`repro.crypto.modes` -- CBC and CTR modes.
+- :mod:`repro.crypto.cmac` -- AES-CMAC (NIST SP 800-38B), the SHE MAC.
+- :mod:`repro.crypto.sha256` -- SHA-256 (FIPS 180-4).
+- :mod:`repro.crypto.hmac_mod` -- HMAC-SHA256 (RFC 2104).
+- :mod:`repro.crypto.kdf` -- HKDF and the SHE Miyaguchi-Preneel KDF.
+- :mod:`repro.crypto.ecdsa` -- ECDSA over NIST P-256 with deterministic
+  (RFC 6979-style) nonces, the IEEE 1609.2 signature suite.
+- :mod:`repro.crypto.drbg` -- HMAC-DRBG (SP 800-90A) for reproducible
+  "randomness" inside simulations.
+
+These implementations favour clarity over speed and are **not** intended for
+production use outside this simulator.
+"""
+
+from repro.crypto.aes import AES, MaskedAES
+from repro.crypto.cmac import aes_cmac, cmac_verify
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecdsa import (
+    EcdsaKeyPair,
+    EcdsaSignature,
+    P256,
+    ecdsa_sign,
+    ecdsa_verify,
+)
+from repro.crypto.hmac_mod import hmac_sha256
+from repro.crypto.kdf import hkdf, she_kdf, SHE_KEY_UPDATE_ENC_C, SHE_KEY_UPDATE_MAC_C
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, ctr_keystream, ctr_xcrypt
+from repro.crypto.sha256 import sha256
+from repro.crypto.util import constant_time_eq, xor_bytes
+
+__all__ = [
+    "AES",
+    "MaskedAES",
+    "aes_cmac",
+    "cmac_verify",
+    "HmacDrbg",
+    "EcdsaKeyPair",
+    "EcdsaSignature",
+    "P256",
+    "ecdsa_sign",
+    "ecdsa_verify",
+    "hmac_sha256",
+    "hkdf",
+    "she_kdf",
+    "SHE_KEY_UPDATE_ENC_C",
+    "SHE_KEY_UPDATE_MAC_C",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_keystream",
+    "ctr_xcrypt",
+    "sha256",
+    "constant_time_eq",
+    "xor_bytes",
+]

@@ -1,0 +1,68 @@
+"""AES-CMAC (NIST SP 800-38B).
+
+CMAC is the MAC mandated by the SHE specification and the workhorse of the
+framework: firmware authentication (secure boot), CAN message authentication
+(E3), and SHE key-update protocol tags all use it.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.crypto.util import constant_time_eq, xor_bytes
+
+_RB = 0x87  # constant for 128-bit block subkey derivation
+
+
+def _left_shift_one(block: bytes) -> bytes:
+    value = int.from_bytes(block, "big")
+    shifted = (value << 1) & ((1 << 128) - 1)
+    return shifted.to_bytes(16, "big")
+
+
+def _derive_subkeys(aes: AES) -> tuple[bytes, bytes]:
+    l = aes.encrypt_block(bytes(16))
+    k1 = _left_shift_one(l)
+    if l[0] & 0x80:
+        k1 = k1[:-1] + bytes([k1[-1] ^ _RB])
+    k2 = _left_shift_one(k1)
+    if k1[0] & 0x80:
+        k2 = k2[:-1] + bytes([k2[-1] ^ _RB])
+    return k1, k2
+
+
+def aes_cmac(key: bytes, message: bytes, tag_len: int = 16) -> bytes:
+    """Compute AES-CMAC over ``message``; optionally truncate to ``tag_len``.
+
+    Truncation (to 2/4/8 bytes) is how CAN authentication schemes fit a tag
+    into an 8-byte frame -- the security-vs-bus-load knob of experiment E3.
+
+    >>> key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    >>> aes_cmac(key, b"").hex()
+    'bb1d6929e95937287fa37d129b756746'
+    """
+    if not 1 <= tag_len <= 16:
+        raise ValueError("tag_len must be in 1..16")
+    aes = AES(key)
+    k1, k2 = _derive_subkeys(aes)
+
+    n_blocks = max(1, (len(message) + 15) // 16)
+    complete_last = len(message) > 0 and len(message) % 16 == 0
+
+    if complete_last:
+        last = xor_bytes(message[-16:], k1)
+    else:
+        tail = message[16 * (n_blocks - 1):]
+        padded = tail + b"\x80" + bytes(15 - len(tail))
+        last = xor_bytes(padded, k2)
+
+    x = bytes(16)
+    for i in range(n_blocks - 1):
+        x = aes.encrypt_block(xor_bytes(x, message[16 * i : 16 * i + 16]))
+    tag = aes.encrypt_block(xor_bytes(x, last))
+    return tag[:tag_len]
+
+
+def cmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time CMAC verification against a possibly truncated tag."""
+    expected = aes_cmac(key, message, tag_len=len(tag))
+    return constant_time_eq(expected, tag)

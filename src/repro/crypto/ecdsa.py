@@ -1,0 +1,240 @@
+"""ECDSA over NIST P-256, the IEEE 1609.2 signature suite.
+
+Implements short-Weierstrass point arithmetic in Jacobian coordinates,
+deterministic per-message nonces (RFC 6979 flavour, via HMAC-DRBG keyed on
+the private key and message hash), signing, and verification.  V2X message
+authentication (:mod:`repro.v2x`) and OTA metadata roles (:mod:`repro.ota`)
+are built on this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.sha256 import sha256
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Short Weierstrass curve ``y^2 = x^3 + a*x + b`` over GF(p)."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int  # group order
+
+    @property
+    def generator(self) -> Tuple[int, int]:
+        return (self.gx, self.gy)
+
+    def is_on_curve(self, point: Optional[Tuple[int, int]]) -> bool:
+        """Check curve membership (``None`` is the point at infinity)."""
+        if point is None:
+            return True
+        x, y = point
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+
+P256 = Curve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+_Jacobian = Tuple[int, int, int]
+_INFINITY: _Jacobian = (1, 1, 0)
+
+
+def _to_jacobian(point: Optional[Tuple[int, int]]) -> _Jacobian:
+    if point is None:
+        return _INFINITY
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(point: _Jacobian, curve: Curve) -> Optional[Tuple[int, int]]:
+    x, y, z = point
+    if z == 0:
+        return None
+    z_inv = pow(z, curve.p - 2, curve.p)
+    z2 = (z_inv * z_inv) % curve.p
+    return ((x * z2) % curve.p, (y * z2 * z_inv) % curve.p)
+
+
+def _jacobian_double(point: _Jacobian, curve: Curve) -> _Jacobian:
+    x, y, z = point
+    p = curve.p
+    if z == 0 or y == 0:
+        return _INFINITY
+    ysq = (y * y) % p
+    s = (4 * x * ysq) % p
+    m = (3 * x * x + curve.a * pow(z, 4, p)) % p
+    nx = (m * m - 2 * s) % p
+    ny = (m * (s - nx) - 8 * ysq * ysq) % p
+    nz = (2 * y * z) % p
+    return (nx, ny, nz)
+
+
+def _jacobian_add(p1: _Jacobian, p2: _Jacobian, curve: Curve) -> _Jacobian:
+    p = curve.p
+    if p1[2] == 0:
+        return p2
+    if p2[2] == 0:
+        return p1
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    z1z1 = (z1 * z1) % p
+    z2z2 = (z2 * z2) % p
+    u1 = (x1 * z2z2) % p
+    u2 = (x2 * z1z1) % p
+    s1 = (y1 * z2 * z2z2) % p
+    s2 = (y2 * z1 * z1z1) % p
+    if u1 == u2:
+        if s1 != s2:
+            return _INFINITY
+        return _jacobian_double(p1, curve)
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    h2 = (h * h) % p
+    h3 = (h * h2) % p
+    u1h2 = (u1 * h2) % p
+    nx = (r * r - h3 - 2 * u1h2) % p
+    ny = (r * (u1h2 - nx) - s1 * h3) % p
+    nz = (h * z1 * z2) % p
+    return (nx, ny, nz)
+
+
+def scalar_mult(k: int, point: Optional[Tuple[int, int]], curve: Curve = P256) -> Optional[Tuple[int, int]]:
+    """Compute ``k * point`` (double-and-add on Jacobian coordinates)."""
+    if point is None or k % curve.n == 0:
+        return None
+    k %= curve.n
+    result = _INFINITY
+    addend = _to_jacobian(point)
+    while k:
+        if k & 1:
+            result = _jacobian_add(result, addend, curve)
+        addend = _jacobian_double(addend, curve)
+        k >>= 1
+    return _from_jacobian(result, curve)
+
+
+def point_add(
+    a: Optional[Tuple[int, int]],
+    b: Optional[Tuple[int, int]],
+    curve: Curve = P256,
+) -> Optional[Tuple[int, int]]:
+    """Affine point addition."""
+    return _from_jacobian(_jacobian_add(_to_jacobian(a), _to_jacobian(b), curve), curve)
+
+
+@dataclass(frozen=True)
+class EcdsaSignature:
+    """An (r, s) signature pair."""
+
+    r: int
+    s: int
+
+    def to_bytes(self) -> bytes:
+        """Fixed-width 64-byte encoding (r || s)."""
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EcdsaSignature":
+        if len(data) != 64:
+            raise ValueError("signature must be 64 bytes")
+        return cls(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+
+
+@dataclass(frozen=True)
+class EcdsaKeyPair:
+    """A private scalar and its public point."""
+
+    private: int
+    public: Tuple[int, int]
+    curve: Curve = P256
+
+    @classmethod
+    def generate(cls, drbg: HmacDrbg, curve: Curve = P256) -> "EcdsaKeyPair":
+        """Generate a key pair from a DRBG (reproducible for a fixed seed)."""
+        private = 0
+        while not 1 <= private < curve.n:
+            private = drbg.randint_below(curve.n)
+        public = scalar_mult(private, curve.generator, curve)
+        assert public is not None
+        return cls(private, public, curve)
+
+    def public_bytes(self) -> bytes:
+        """Uncompressed public point encoding (0x04 || x || y)."""
+        return b"\x04" + self.public[0].to_bytes(32, "big") + self.public[1].to_bytes(32, "big")
+
+
+def _hash_to_int(message: bytes, curve: Curve) -> int:
+    digest = sha256(message)
+    e = int.from_bytes(digest, "big")
+    # Left-truncate to the order's bit length (P-256: no truncation needed).
+    excess = 8 * len(digest) - curve.n.bit_length()
+    if excess > 0:
+        e >>= excess
+    return e
+
+
+def ecdsa_sign(private: int, message: bytes, curve: Curve = P256) -> EcdsaSignature:
+    """Sign ``message`` with a deterministic nonce.
+
+    The nonce DRBG is keyed on (private key, message hash), giving RFC
+    6979-style determinism: same key + message => same signature, and no
+    dependence on ambient randomness (crucial for reproducible simulations).
+    """
+    if not 1 <= private < curve.n:
+        raise ValueError("private key out of range")
+    z = _hash_to_int(message, curve)
+    nonce_drbg = HmacDrbg(private.to_bytes(32, "big") + sha256(message))
+    while True:
+        k = nonce_drbg.randint_below(curve.n)
+        if k == 0:
+            continue
+        point = scalar_mult(k, curve.generator, curve)
+        assert point is not None
+        r = point[0] % curve.n
+        if r == 0:
+            continue
+        k_inv = pow(k, curve.n - 2, curve.n)
+        s = (k_inv * (z + r * private)) % curve.n
+        if s == 0:
+            continue
+        return EcdsaSignature(r, s)
+
+
+def ecdsa_verify(
+    public: Tuple[int, int],
+    message: bytes,
+    signature: EcdsaSignature,
+    curve: Curve = P256,
+) -> bool:
+    """Verify an ECDSA signature.  Returns ``False`` on any malformation."""
+    r, s = signature.r, signature.s
+    if not (1 <= r < curve.n and 1 <= s < curve.n):
+        return False
+    if not curve.is_on_curve(public) or public is None:
+        return False
+    z = _hash_to_int(message, curve)
+    s_inv = pow(s, curve.n - 2, curve.n)
+    u1 = (z * s_inv) % curve.n
+    u2 = (r * s_inv) % curve.n
+    point = point_add(
+        scalar_mult(u1, curve.generator, curve),
+        scalar_mult(u2, public, curve),
+        curve,
+    )
+    if point is None:
+        return False
+    return point[0] % curve.n == r

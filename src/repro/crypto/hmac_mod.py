@@ -1,0 +1,21 @@
+"""HMAC-SHA256 (RFC 2104)."""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import sha256
+
+_BLOCK_SIZE = 64
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Return the 32-byte HMAC-SHA256 tag.
+
+    >>> hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog").hex()
+    'f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8'
+    """
+    if len(key) > _BLOCK_SIZE:
+        key = sha256(key)
+    key = key + b"\x00" * (_BLOCK_SIZE - len(key))
+    o_pad = bytes(b ^ 0x5C for b in key)
+    i_pad = bytes(b ^ 0x36 for b in key)
+    return sha256(o_pad + sha256(i_pad + message))

@@ -1,0 +1,68 @@
+"""Block-cipher modes of operation: CBC and CTR."""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.crypto.util import pkcs7_pad, pkcs7_unpad, xor_bytes
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """AES-CBC with PKCS#7 padding."""
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    aes = AES(key)
+    data = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(data), 16):
+        block = aes.encrypt_block(xor_bytes(data[i : i + 16], prev))
+        out.extend(block)
+        prev = block
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """AES-CBC decryption with PKCS#7 unpadding."""
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    if len(ciphertext) == 0 or len(ciphertext) % 16:
+        raise ValueError("ciphertext length must be a positive multiple of 16")
+    aes = AES(key)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), 16):
+        block = ciphertext[i : i + 16]
+        out.extend(xor_bytes(aes.decrypt_block(block), prev))
+        prev = block
+    return pkcs7_unpad(bytes(out))
+
+
+def ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` bytes of AES-CTR keystream.
+
+    ``nonce`` is up to 16 bytes; it is left-aligned into the counter block
+    and the remaining low-order bytes hold the big-endian block counter.
+    """
+    if len(nonce) > 16:
+        raise ValueError("nonce must be at most 16 bytes")
+    aes = AES(key)
+    out = bytearray()
+    counter = 0
+    counter_width = 16 - len(nonce)
+    if counter_width == 0:
+        base = int.from_bytes(nonce, "big")
+        while len(out) < length:
+            block = ((base + counter) % (1 << 128)).to_bytes(16, "big")
+            out.extend(aes.encrypt_block(block))
+            counter += 1
+    else:
+        while len(out) < length:
+            block = nonce + counter.to_bytes(counter_width, "big")
+            out.extend(aes.encrypt_block(block))
+            counter += 1
+    return bytes(out[:length])
+
+
+def ctr_xcrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt (CTR is an involution) ``data``."""
+    return xor_bytes(data, ctr_keystream(key, nonce, len(data)))

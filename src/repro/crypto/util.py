@@ -1,0 +1,50 @@
+"""Small shared helpers for the crypto package."""
+
+from __future__ import annotations
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def constant_time_eq(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without data-dependent early exit.
+
+    Used by MAC/tag verification paths; the simulator models timing side
+    channels, so verification code must not leak the mismatch position.
+    """
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Big-endian fixed-width encoding."""
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Big-endian decoding."""
+    return int.from_bytes(data, "big")
+
+
+def pkcs7_pad(data: bytes, block_size: int = 16) -> bytes:
+    """PKCS#7 padding."""
+    pad = block_size - (len(data) % block_size)
+    return data + bytes([pad] * pad)
+
+
+def pkcs7_unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise ValueError("invalid padded length")
+    pad = data[-1]
+    if pad < 1 or pad > block_size or data[-pad:] != bytes([pad] * pad):
+        raise ValueError("invalid padding")
+    return data[:-pad]

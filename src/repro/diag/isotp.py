@@ -1,0 +1,183 @@
+"""ISO 15765-2 (ISO-TP) segmented transport over CAN.
+
+Carries diagnostic payloads up to 4095 bytes over 8-byte CAN frames:
+
+- **Single frame** (SF): PCI ``0x0L`` + up to 7 data bytes.
+- **First frame** (FF): PCI ``0x1L LL`` (12-bit length) + 6 data bytes.
+- **Flow control** (FC): PCI ``0x30`` + block size + separation time,
+  sent by the receiver after the FF.
+- **Consecutive frames** (CF): PCI ``0x2N`` (4-bit sequence) + 7 bytes.
+
+The model honours block-size pacing and sequence-number checking -- enough
+fidelity for the diagnostics experiments (and for the gateway to observe
+realistic multi-frame diagnostic bursts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.ivn.canbus import CanBus, CanNode
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator
+
+MAX_ISOTP_LEN = 4095
+_FC_CONTINUE = 0x30
+
+
+class IsoTpError(Exception):
+    """Transport-level failure (bad sequence, overflow, timeout)."""
+
+
+class IsoTpEndpoint:
+    """One side of an ISO-TP link.
+
+    ``tx_id``/``rx_id`` are the CAN ids this endpoint transmits on and
+    listens to (the peer uses them swapped).  Received complete payloads
+    are delivered to ``on_message``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: CanBus,
+        name: str,
+        tx_id: int,
+        rx_id: int,
+        block_size: int = 8,
+        st_min: float = 1e-3,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.tx_id = tx_id
+        self.rx_id = rx_id
+        self.block_size = block_size
+        self.st_min = st_min
+        self.node: CanNode = bus.nodes.get(name) or bus.attach(name)
+        self.node.on_receive(self._on_frame)
+        self.on_message: Optional[Callable[[bytes], None]] = None
+
+        # Receive reassembly state.
+        self._rx_buffer = bytearray()
+        self._rx_expected_len = 0
+        self._rx_next_seq = 0
+        self._rx_frames_until_fc = 0
+        # Transmit state.
+        self._tx_queue: List[bytes] = []
+        self._tx_chunks: List[bytes] = []
+        self._tx_seq = 0
+        self._tx_awaiting_fc = False
+        self._tx_frames_left_in_block = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def send(self, payload: bytes) -> None:
+        """Send one ISO-TP message (segmented as needed)."""
+        if len(payload) > MAX_ISOTP_LEN:
+            raise IsoTpError(f"payload {len(payload)}B exceeds ISO-TP limit")
+        if len(payload) <= 7:
+            self.node.send(CanFrame(
+                self.tx_id,
+                bytes([len(payload)]) + payload + bytes(7 - len(payload)),
+            ))
+            self.messages_sent += 1
+            return
+        # Multi-frame: FF now, CFs after flow control.
+        first = payload[:6]
+        rest = payload[6:]
+        self._tx_chunks = [rest[i : i + 7] for i in range(0, len(rest), 7)]
+        self._tx_seq = 1
+        self._tx_awaiting_fc = True
+        length = len(payload)
+        self.node.send(CanFrame(
+            self.tx_id,
+            bytes([0x10 | (length >> 8), length & 0xFF]) + first,
+        ))
+
+    def _send_next_cf(self) -> None:
+        if not self._tx_chunks:
+            return
+        if self._tx_awaiting_fc:
+            return
+        if self._tx_frames_left_in_block == 0:
+            self._tx_awaiting_fc = True
+            return
+        chunk = self._tx_chunks.pop(0)
+        self.node.send(CanFrame(
+            self.tx_id,
+            bytes([0x20 | (self._tx_seq & 0xF)]) + chunk + bytes(7 - len(chunk)),
+        ))
+        self._tx_seq = (self._tx_seq + 1) & 0xF
+        self._tx_frames_left_in_block -= 1
+        if self._tx_chunks:
+            self.sim.schedule(self.st_min, self._send_next_cf)
+        else:
+            self.messages_sent += 1
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: CanFrame) -> None:
+        if frame.can_id != self.rx_id or frame.dlc == 0:
+            return
+        pci = frame.data[0] & 0xF0
+        if pci == 0x00:  # single frame
+            length = frame.data[0] & 0x0F
+            if length == 0 or length > 7 or frame.dlc < 1 + length:
+                self.errors += 1
+                return
+            self._deliver(bytes(frame.data[1 : 1 + length]))
+        elif pci == 0x10:  # first frame
+            if frame.dlc < 8:
+                self.errors += 1
+                return
+            self._rx_expected_len = ((frame.data[0] & 0x0F) << 8) | frame.data[1]
+            self._rx_buffer = bytearray(frame.data[2:8])
+            self._rx_next_seq = 1
+            self._rx_frames_until_fc = self.block_size
+            self._send_fc()
+        elif pci == 0x20:  # consecutive frame
+            seq = frame.data[0] & 0x0F
+            if not self._rx_expected_len:
+                self.errors += 1
+                return
+            if seq != self._rx_next_seq:
+                self.errors += 1
+                self._rx_expected_len = 0
+                return
+            self._rx_next_seq = (self._rx_next_seq + 1) & 0xF
+            self._rx_buffer.extend(frame.data[1:8])
+            if len(self._rx_buffer) >= self._rx_expected_len:
+                payload = bytes(self._rx_buffer[: self._rx_expected_len])
+                self._rx_expected_len = 0
+                self._deliver(payload)
+                return
+            self._rx_frames_until_fc -= 1
+            if self._rx_frames_until_fc == 0:
+                self._rx_frames_until_fc = self.block_size
+                self._send_fc()
+        elif pci == _FC_CONTINUE:  # flow control for our transmission
+            # The FC may arrive before our pump tick notices the block is
+            # exhausted; credit the new block either way and restart the
+            # pump only if it actually stopped (avoids a duplicate chain).
+            block_size = frame.data[1] if frame.dlc >= 2 else 0
+            was_awaiting = self._tx_awaiting_fc
+            self._tx_awaiting_fc = False
+            self._tx_frames_left_in_block = block_size if block_size else 0xFFFF
+            if was_awaiting:
+                self._send_next_cf()
+
+    def _send_fc(self) -> None:
+        self.node.send(CanFrame(
+            self.tx_id,
+            bytes([_FC_CONTINUE, self.block_size, 0]) + bytes(5),
+        ))
+
+    def _deliver(self, payload: bytes) -> None:
+        self.messages_received += 1
+        if self.on_message is not None:
+            self.on_message(payload)

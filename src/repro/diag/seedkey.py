@@ -1,0 +1,76 @@
+"""SecurityAccess seed/key algorithms.
+
+UDS SecurityAccess (service 0x27) is a challenge-response: the ECU sends a
+random *seed*, the tester answers with ``key = f(seed, secret)``.  Two
+implementations of ``f``:
+
+- :class:`XorSeedKey` -- the historically common scheme: XOR with a fixed
+  constant (sometimes plus rotation).  One sniffed (seed, key) pair
+  reveals the constant; experiment E15 performs exactly that recovery.
+- :class:`CmacSeedKey` -- the sound construction: a truncated AES-CMAC
+  under a per-ECU secret (SHE-resident on real parts).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.crypto import aes_cmac
+from repro.crypto.util import xor_bytes
+
+
+class SeedKeyAlgorithm(ABC):
+    """ECU-side seed/key transform."""
+
+    seed_length = 4
+
+    @abstractmethod
+    def compute_key(self, seed: bytes) -> bytes:
+        """The key the ECU expects for a given seed."""
+
+
+class XorSeedKey(SeedKeyAlgorithm):
+    """key = seed XOR constant (with a 1-bit rotate for cosmetics).
+
+    The rotate does not help: ``constant = rotr(key) XOR seed`` is still
+    recoverable from a single observed exchange.
+    """
+
+    def __init__(self, constant: bytes) -> None:
+        if len(constant) != self.seed_length:
+            raise ValueError(f"constant must be {self.seed_length} bytes")
+        self.constant = bytes(constant)
+
+    @staticmethod
+    def _rotl1(data: bytes) -> bytes:
+        value = int.from_bytes(data, "big")
+        width = 8 * len(data)
+        rotated = ((value << 1) | (value >> (width - 1))) & ((1 << width) - 1)
+        return rotated.to_bytes(len(data), "big")
+
+    @staticmethod
+    def _rotr1(data: bytes) -> bytes:
+        value = int.from_bytes(data, "big")
+        width = 8 * len(data)
+        rotated = ((value >> 1) | ((value & 1) << (width - 1)))
+        return rotated.to_bytes(len(data), "big")
+
+    def compute_key(self, seed: bytes) -> bytes:
+        return self._rotl1(xor_bytes(seed, self.constant))
+
+    @classmethod
+    def recover_constant(cls, seed: bytes, key: bytes) -> bytes:
+        """Attacker side: invert the transform from one observed pair."""
+        return xor_bytes(cls._rotr1(key), seed)
+
+
+class CmacSeedKey(SeedKeyAlgorithm):
+    """key = AES-CMAC(secret, seed) truncated to the seed length."""
+
+    def __init__(self, secret: bytes) -> None:
+        if len(secret) != 16:
+            raise ValueError("secret must be 16 bytes")
+        self.secret = bytes(secret)
+
+    def compute_key(self, seed: bytes) -> bytes:
+        return aes_cmac(self.secret, seed, tag_len=self.seed_length)

@@ -1,0 +1,295 @@
+"""UDS (ISO 14229) diagnostic services over ISO-TP.
+
+Implemented services (the security-relevant core):
+
+- 0x10 DiagnosticSessionControl (default / extended / programming)
+- 0x11 ECUReset
+- 0x27 SecurityAccess (requestSeed / sendKey, lockout after failures)
+- 0x22 ReadDataByIdentifier
+- 0x2E WriteDataByIdentifier (gated: extended session + unlocked)
+- 0x31 RoutineControl (gated like writes)
+
+Negative responses use standard NRCs.  The server enforces the session /
+security-level state machine; the E15 experiment attacks exactly that
+gate through the weak seed/key algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.diag.isotp import IsoTpEndpoint
+from repro.diag.seedkey import SeedKeyAlgorithm
+from repro.crypto.util import constant_time_eq
+from repro.sim import Simulator
+
+# Service ids.
+SVC_SESSION = 0x10
+SVC_RESET = 0x11
+SVC_READ_DID = 0x22
+SVC_SECURITY = 0x27
+SVC_WRITE_DID = 0x2E
+SVC_ROUTINE = 0x31
+_POSITIVE_OFFSET = 0x40
+_NEGATIVE = 0x7F
+
+# Negative response codes.
+NRC_SERVICE_NOT_SUPPORTED = 0x11
+NRC_CONDITIONS_NOT_CORRECT = 0x22
+NRC_REQUEST_OUT_OF_RANGE = 0x31
+NRC_ACCESS_DENIED = 0x33
+NRC_INVALID_KEY = 0x35
+NRC_EXCEEDED_ATTEMPTS = 0x36
+
+
+class UdsSession(Enum):
+    DEFAULT = 0x01
+    PROGRAMMING = 0x02
+    EXTENDED = 0x03
+
+
+class NegativeResponse(Exception):
+    """Raised by :class:`UdsClient` when the server answers 0x7F."""
+
+    def __init__(self, service: int, nrc: int) -> None:
+        super().__init__(f"service {service:#04x} rejected, NRC {nrc:#04x}")
+        self.service = service
+        self.nrc = nrc
+
+
+class UdsServer:
+    """The ECU-side diagnostic server."""
+
+    def __init__(
+        self,
+        endpoint: IsoTpEndpoint,
+        seed_key: SeedKeyAlgorithm,
+        rng: Optional[random.Random] = None,
+        max_key_attempts: int = 3,
+    ) -> None:
+        self.endpoint = endpoint
+        self.seed_key = seed_key
+        self.rng = rng if rng is not None else random.Random()
+        self.max_key_attempts = max_key_attempts
+        endpoint.on_message = self._on_request
+
+        self.session = UdsSession.DEFAULT
+        self.unlocked = False
+        self._pending_seed: Optional[bytes] = None
+        self._failed_attempts = 0
+        self.locked_out = False
+        self.data_identifiers: Dict[int, bytes] = {}
+        self.protected_dids: set = set()
+        self.routines: Dict[int, Callable[[], bytes]] = {}
+        self.resets = 0
+        self.audit: List[Tuple[int, bool]] = []  # (service, positive?)
+
+    # ------------------------------------------------------------------
+    def add_did(self, did: int, value: bytes, protected: bool = False) -> None:
+        """Register a data identifier; protected ones need security access
+        to write."""
+        self.data_identifiers[did] = value
+        if protected:
+            self.protected_dids.add(did)
+
+    def add_routine(self, rid: int, fn: Callable[[], bytes]) -> None:
+        self.routines[rid] = fn
+
+    # ------------------------------------------------------------------
+    def _respond(self, data: bytes) -> None:
+        self.endpoint.send(data)
+
+    def _negative(self, service: int, nrc: int) -> None:
+        self.audit.append((service, False))
+        self._respond(bytes([_NEGATIVE, service, nrc]))
+
+    def _positive(self, service: int, data: bytes = b"") -> None:
+        self.audit.append((service, True))
+        self._respond(bytes([service + _POSITIVE_OFFSET]) + data)
+
+    def _on_request(self, request: bytes) -> None:
+        if not request:
+            return
+        service = request[0]
+        handler = {
+            SVC_SESSION: self._handle_session,
+            SVC_RESET: self._handle_reset,
+            SVC_SECURITY: self._handle_security,
+            SVC_READ_DID: self._handle_read,
+            SVC_WRITE_DID: self._handle_write,
+            SVC_ROUTINE: self._handle_routine,
+        }.get(service)
+        if handler is None:
+            self._negative(service, NRC_SERVICE_NOT_SUPPORTED)
+            return
+        handler(request)
+
+    # ------------------------------------------------------------------
+    def _handle_session(self, request: bytes) -> None:
+        if len(request) < 2:
+            self._negative(SVC_SESSION, NRC_REQUEST_OUT_OF_RANGE)
+            return
+        try:
+            session = UdsSession(request[1])
+        except ValueError:
+            self._negative(SVC_SESSION, NRC_REQUEST_OUT_OF_RANGE)
+            return
+        self.session = session
+        if session == UdsSession.DEFAULT:
+            self.unlocked = False  # leaving extended drops security access
+        self._positive(SVC_SESSION, bytes([session.value]))
+
+    def _handle_reset(self, request: bytes) -> None:
+        self.resets += 1
+        self.session = UdsSession.DEFAULT
+        self.unlocked = False
+        self._pending_seed = None
+        self._positive(SVC_RESET, b"\x01")
+
+    def _handle_security(self, request: bytes) -> None:
+        if self.locked_out:
+            self._negative(SVC_SECURITY, NRC_EXCEEDED_ATTEMPTS)
+            return
+        if self.session == UdsSession.DEFAULT:
+            self._negative(SVC_SECURITY, NRC_CONDITIONS_NOT_CORRECT)
+            return
+        if len(request) < 2:
+            self._negative(SVC_SECURITY, NRC_REQUEST_OUT_OF_RANGE)
+            return
+        sub = request[1]
+        if sub == 0x01:  # requestSeed
+            if self.unlocked:
+                self._positive(SVC_SECURITY, bytes([sub]) + bytes(self.seed_key.seed_length))
+                return
+            self._pending_seed = bytes(
+                self.rng.randrange(256) for _ in range(self.seed_key.seed_length)
+            )
+            self._positive(SVC_SECURITY, bytes([sub]) + self._pending_seed)
+        elif sub == 0x02:  # sendKey
+            if self._pending_seed is None:
+                self._negative(SVC_SECURITY, NRC_CONDITIONS_NOT_CORRECT)
+                return
+            expected = self.seed_key.compute_key(self._pending_seed)
+            provided = request[2:]
+            self._pending_seed = None
+            if constant_time_eq(expected, provided):
+                self.unlocked = True
+                self._failed_attempts = 0
+                self._positive(SVC_SECURITY, bytes([sub]))
+            else:
+                self._failed_attempts += 1
+                if self._failed_attempts >= self.max_key_attempts:
+                    self.locked_out = True
+                    self._negative(SVC_SECURITY, NRC_EXCEEDED_ATTEMPTS)
+                else:
+                    self._negative(SVC_SECURITY, NRC_INVALID_KEY)
+        else:
+            self._negative(SVC_SECURITY, NRC_REQUEST_OUT_OF_RANGE)
+
+    def _handle_read(self, request: bytes) -> None:
+        if len(request) < 3:
+            self._negative(SVC_READ_DID, NRC_REQUEST_OUT_OF_RANGE)
+            return
+        did = (request[1] << 8) | request[2]
+        value = self.data_identifiers.get(did)
+        if value is None:
+            self._negative(SVC_READ_DID, NRC_REQUEST_OUT_OF_RANGE)
+            return
+        self._positive(SVC_READ_DID, request[1:3] + value)
+
+    def _check_write_access(self, service: int, did: Optional[int] = None) -> bool:
+        if self.session == UdsSession.DEFAULT:
+            self._negative(service, NRC_CONDITIONS_NOT_CORRECT)
+            return False
+        needs_unlock = did is None or did in self.protected_dids
+        if needs_unlock and not self.unlocked:
+            self._negative(service, NRC_ACCESS_DENIED)
+            return False
+        return True
+
+    def _handle_write(self, request: bytes) -> None:
+        if len(request) < 4:
+            self._negative(SVC_WRITE_DID, NRC_REQUEST_OUT_OF_RANGE)
+            return
+        did = (request[1] << 8) | request[2]
+        if did not in self.data_identifiers:
+            self._negative(SVC_WRITE_DID, NRC_REQUEST_OUT_OF_RANGE)
+            return
+        if not self._check_write_access(SVC_WRITE_DID, did):
+            return
+        self.data_identifiers[did] = bytes(request[3:])
+        self._positive(SVC_WRITE_DID, request[1:3])
+
+    def _handle_routine(self, request: bytes) -> None:
+        if len(request) < 4:
+            self._negative(SVC_ROUTINE, NRC_REQUEST_OUT_OF_RANGE)
+            return
+        rid = (request[2] << 8) | request[3]
+        routine = self.routines.get(rid)
+        if routine is None:
+            self._negative(SVC_ROUTINE, NRC_REQUEST_OUT_OF_RANGE)
+            return
+        if not self._check_write_access(SVC_ROUTINE):
+            return
+        result = routine()
+        self._positive(SVC_ROUTINE, request[1:4] + result)
+
+
+class UdsClient:
+    """Tester-side client with blocking-style request/response over the
+    event kernel (runs the simulator until the response arrives)."""
+
+    def __init__(self, sim: Simulator, endpoint: IsoTpEndpoint,
+                 timeout: float = 1.0) -> None:
+        self.sim = sim
+        self.endpoint = endpoint
+        self.timeout = timeout
+        self._responses: List[bytes] = []
+        endpoint.on_message = self._responses.append
+
+    def request(self, data: bytes) -> bytes:
+        """Send a request, run the sim until the response (or timeout)."""
+        before = len(self._responses)
+        self.endpoint.send(data)
+        deadline = self.sim.now + self.timeout
+        while len(self._responses) == before:
+            if self.sim.peek_time() is None or self.sim.now >= deadline:
+                raise TimeoutError("no diagnostic response")
+            self.sim.step()
+        response = self._responses[-1]
+        if response and response[0] == _NEGATIVE:
+            raise NegativeResponse(response[1], response[2])
+        return response
+
+    # Convenience wrappers ------------------------------------------------
+    def start_session(self, session: UdsSession) -> None:
+        self.request(bytes([SVC_SESSION, session.value]))
+
+    def request_seed(self) -> bytes:
+        response = self.request(bytes([SVC_SECURITY, 0x01]))
+        return response[2:]
+
+    def send_key(self, key: bytes) -> None:
+        self.request(bytes([SVC_SECURITY, 0x02]) + key)
+
+    def unlock(self, algorithm: SeedKeyAlgorithm) -> None:
+        """Legitimate unlock: compute the key with the shared algorithm."""
+        seed = self.request_seed()
+        if any(seed):
+            self.send_key(algorithm.compute_key(seed))
+
+    def read_did(self, did: int) -> bytes:
+        response = self.request(bytes([SVC_READ_DID, did >> 8, did & 0xFF]))
+        return response[3:]
+
+    def write_did(self, did: int, value: bytes) -> None:
+        self.request(bytes([SVC_WRITE_DID, did >> 8, did & 0xFF]) + value)
+
+    def routine(self, rid: int) -> bytes:
+        response = self.request(bytes([SVC_ROUTINE, 0x01, rid >> 8, rid & 0xFF]))
+        return response[4:]
+
+    def ecu_reset(self) -> None:
+        self.request(bytes([SVC_RESET, 0x01]))

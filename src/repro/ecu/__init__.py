@@ -1,0 +1,66 @@
+"""ECU and "Secure Processing" layer substrate.
+
+Models the paper's fourth architecture layer: MCU/MPU units "equipped with
+hardware implementation of the Secure Hardware Extension (SHE)
+specification", virtualization-based process isolation, and tamper
+detection against voltage/clock manipulation.
+
+- :mod:`repro.ecu.she` -- functional SHE model: protected key slots, the
+  M1/M2/M3 key-update protocol (AES-MP KDF, rollback-protected counters),
+  CMAC generation/verification, secure boot.
+- :mod:`repro.ecu.firmware` -- firmware images, versioning, CMAC and
+  ECDSA signing.
+- :mod:`repro.ecu.ecu` -- the ECU itself: boot flow, task dispatch,
+  compromise modelling.
+- :mod:`repro.ecu.hypervisor` -- partition isolation (one compromised
+  software stack must not reach another).
+- :mod:`repro.ecu.tamper` -- voltage/clock tamper detection and response.
+"""
+
+from repro.ecu.she import (
+    KeySlot,
+    KeyUpdateMessage,
+    She,
+    SheError,
+    SheFlags,
+    SLOT_BOOT_MAC,
+    SLOT_BOOT_MAC_KEY,
+    SLOT_KEY_1,
+    SLOT_KEY_10,
+    SLOT_MASTER_ECU_KEY,
+    SLOT_RAM_KEY,
+    make_key_update,
+)
+from repro.ecu.firmware import FirmwareImage, FirmwareStore, sign_firmware_cmac
+from repro.ecu.ecu import Ecu, EcuState
+from repro.ecu.keymaster import KeyBackend, KeyDistributionService, derive_master_key
+from repro.ecu.hypervisor import Hypervisor, IsolationViolation, Partition
+from repro.ecu.tamper import TamperDetector, TamperEvent
+
+__all__ = [
+    "KeySlot",
+    "KeyUpdateMessage",
+    "She",
+    "SheError",
+    "SheFlags",
+    "SLOT_BOOT_MAC",
+    "SLOT_BOOT_MAC_KEY",
+    "SLOT_KEY_1",
+    "SLOT_KEY_10",
+    "SLOT_MASTER_ECU_KEY",
+    "SLOT_RAM_KEY",
+    "make_key_update",
+    "FirmwareImage",
+    "FirmwareStore",
+    "sign_firmware_cmac",
+    "Ecu",
+    "EcuState",
+    "KeyBackend",
+    "KeyDistributionService",
+    "derive_master_key",
+    "Hypervisor",
+    "IsolationViolation",
+    "Partition",
+    "TamperDetector",
+    "TamperEvent",
+]

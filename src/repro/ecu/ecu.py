@@ -1,0 +1,149 @@
+"""The ECU model: boot flow, CAN attachment, compromise semantics.
+
+An :class:`Ecu` ties together a SHE instance, a firmware store, and a CAN
+node.  Its lifecycle captures the architecture points the paper makes:
+
+- secure boot gates entry to ``RUNNING`` (tampered firmware -> ``LOCKED``
+  if the policy says halt, or ``DEGRADED`` with boot-protected keys
+  disabled);
+- a *compromised* ECU keeps its SHE (keys are not readable) but the
+  attacker controls what the application layer sends -- the basis of the
+  masquerade/injection attacks.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, List, Optional
+
+from repro.ecu.firmware import FirmwareImage, FirmwareStore
+from repro.ecu.she import She, SheError
+from repro.ivn.canbus import CanBus, CanNode
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator, TraceRecorder
+
+
+class EcuState(Enum):
+    OFF = "off"
+    BOOTING = "booting"
+    RUNNING = "running"
+    DEGRADED = "degraded"   # boot auth failed, boot-protected keys disabled
+    LOCKED = "locked"       # halted by policy or tamper response
+    COMPROMISED = "compromised"
+
+
+class Ecu:
+    """One electronic control unit.
+
+    ``halt_on_boot_failure`` selects the secure-boot response strategy:
+    halting maximises integrity, degrading maximises availability -- the
+    safety/security trade-off of paper section 3.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        she: She,
+        firmware: FirmwareStore,
+        boot_time: float = 0.050,
+        halt_on_boot_failure: bool = False,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.she = she
+        self.firmware = firmware
+        self.boot_time = boot_time
+        self.halt_on_boot_failure = halt_on_boot_failure
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.state = EcuState.OFF
+        self.node: Optional[CanNode] = None
+        self._attacker_controlled = False
+        self._boot_callbacks: List[Callable[[bool], None]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach_can(self, bus: CanBus) -> CanNode:
+        """Join a CAN bus segment."""
+        self.node = bus.attach(self.name)
+        return self.node
+
+    def on_boot_complete(self, callback: Callable[[bool], None]) -> None:
+        self._boot_callbacks.append(callback)
+
+    def power_on(self) -> None:
+        """Start the boot sequence (secure boot after ``boot_time``)."""
+        if self.state not in (EcuState.OFF, EcuState.LOCKED):
+            raise RuntimeError(f"{self.name} already powered ({self.state})")
+        self.state = EcuState.BOOTING
+        self.sim.schedule(self.boot_time, self._finish_boot)
+
+    def _finish_boot(self) -> None:
+        image = self.firmware.active
+        try:
+            ok = self.she.secure_boot(image.canonical_bytes())
+        except SheError:
+            ok = False
+        if ok:
+            self.state = EcuState.RUNNING
+        elif self.halt_on_boot_failure:
+            self.state = EcuState.LOCKED
+        else:
+            self.state = EcuState.DEGRADED
+        self.trace.emit(
+            self.sim.now, self.name, "ecu.boot",
+            ok=ok, state=self.state.value,
+            firmware=image.name, version=image.version,
+        )
+        for callback in self._boot_callbacks:
+            callback(ok)
+
+    def reboot(self) -> None:
+        """Power-cycle (clears the SHE boot-failure latch)."""
+        self.state = EcuState.OFF
+        self.she.boot_failed = False
+        self.power_on()
+
+    # ------------------------------------------------------------------
+    # Application behaviour
+    # ------------------------------------------------------------------
+    @property
+    def operational(self) -> bool:
+        return self.state in (EcuState.RUNNING, EcuState.DEGRADED, EcuState.COMPROMISED)
+
+    def send(self, frame: CanFrame) -> None:
+        """Transmit on the attached CAN node (only while operational)."""
+        if self.node is None:
+            raise RuntimeError(f"{self.name} not attached to a bus")
+        if not self.operational:
+            return
+        self.node.send(frame)
+
+    # ------------------------------------------------------------------
+    # Attack surface
+    # ------------------------------------------------------------------
+    def compromise(self) -> None:
+        """Attacker takes over the application software.
+
+        The SHE keeps its keys; the attacker gains the ability to *invoke*
+        SHE operations and send arbitrary frames as this node -- the
+        paper's point that one compromised ECU can authenticate malicious
+        traffic if keys are shared across a class.
+        """
+        if self.state == EcuState.LOCKED:
+            raise RuntimeError("cannot compromise a locked ECU")
+        self.state = EcuState.COMPROMISED
+        self._attacker_controlled = True
+        self.trace.emit(self.sim.now, self.name, "ecu.compromised")
+
+    @property
+    def compromised(self) -> bool:
+        return self._attacker_controlled
+
+    def lock(self) -> None:
+        """Policy/tamper response: halt and lock the SHE."""
+        self.state = EcuState.LOCKED
+        self.she.lock()
+        self.trace.emit(self.sim.now, self.name, "ecu.locked")

@@ -1,0 +1,113 @@
+"""Firmware images, versioning, and signing.
+
+Two authentication schemes coexist, matching practice:
+
+- **CMAC** (symmetric, SHE-backed) for *local* secure boot;
+- **ECDSA** (asymmetric) for *distribution*: OTA metadata in
+  :mod:`repro.ota` signs image hashes with ECDSA so the vehicle never
+  needs the OEM's signing secret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto import aes_cmac, ecdsa_sign, ecdsa_verify, EcdsaSignature, sha256
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """A versioned firmware image for one ECU model."""
+
+    name: str
+    version: int
+    payload: bytes
+    hardware_id: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.version < 0:
+            raise ValueError("version must be non-negative")
+        if not self.payload:
+            raise ValueError("payload must be non-empty")
+
+    @property
+    def digest(self) -> bytes:
+        """SHA-256 over the canonical serialisation."""
+        return sha256(self.canonical_bytes())
+
+    def canonical_bytes(self) -> bytes:
+        header = f"{self.name}|{self.version}|{self.hardware_id}|".encode()
+        return header + self.payload
+
+    def tampered(self, flip_byte: int = 0) -> "FirmwareImage":
+        """Copy with one payload byte flipped (attack helper)."""
+        idx = flip_byte % len(self.payload)
+        mutated = (
+            self.payload[:idx]
+            + bytes([self.payload[idx] ^ 0xFF])
+            + self.payload[idx + 1 :]
+        )
+        return replace(self, payload=mutated)
+
+
+def sign_firmware_cmac(image: FirmwareImage, boot_mac_key: bytes, tag_len: int = 16) -> bytes:
+    """Produce the CMAC a SHE BOOT_MAC slot would store for this image."""
+    return aes_cmac(boot_mac_key, image.canonical_bytes(), tag_len=tag_len)
+
+
+@dataclass(frozen=True)
+class SignedFirmware:
+    """An image plus a detached ECDSA signature over its digest."""
+
+    image: FirmwareImage
+    signature: EcdsaSignature
+
+    def verify(self, public_key) -> bool:
+        return ecdsa_verify(public_key, self.image.digest, self.signature)
+
+
+def sign_firmware_ecdsa(image: FirmwareImage, private_key: int) -> SignedFirmware:
+    """OEM-side detached signature over the image digest."""
+    return SignedFirmware(image, ecdsa_sign(private_key, image.digest))
+
+
+class FirmwareStore:
+    """The flash bank of one ECU: active image + staged update slot.
+
+    A/B semantics: an update is *staged*, then *activated*; activation can
+    be rolled back once (the previous image is retained).
+    """
+
+    def __init__(self, initial: FirmwareImage) -> None:
+        self.active = initial
+        self.staged: Optional[FirmwareImage] = None
+        self.previous: Optional[FirmwareImage] = None
+        self.history: List[Tuple[str, int]] = [(initial.name, initial.version)]
+
+    def stage(self, image: FirmwareImage) -> None:
+        """Write an image to the inactive bank."""
+        if image.hardware_id != self.active.hardware_id:
+            raise ValueError(
+                f"hardware mismatch: {image.hardware_id} != {self.active.hardware_id}"
+            )
+        self.staged = image
+
+    def activate(self) -> FirmwareImage:
+        """Swap banks; the old active image becomes the rollback target."""
+        if self.staged is None:
+            raise ValueError("no staged image")
+        self.previous = self.active
+        self.active = self.staged
+        self.staged = None
+        self.history.append((self.active.name, self.active.version))
+        return self.active
+
+    def rollback(self) -> FirmwareImage:
+        """Return to the previous image (once)."""
+        if self.previous is None:
+            raise ValueError("nothing to roll back to")
+        self.active = self.previous
+        self.previous = None
+        self.history.append((self.active.name, self.active.version))
+        return self.active

@@ -1,0 +1,118 @@
+"""Virtualization-based partition isolation on an MCU/MPU.
+
+The paper: "Virtualization is employed to realize process isolation to
+prevent one compromised software stack from being exploited to attack
+other software stacks."  The model is an access-control matrix over
+partitions' memory regions and service endpoints, with an audit log.  The
+gateway experiment (E1) and the core architecture use it to show that a
+compromised infotainment stack cannot reach the ADAS partition unless the
+isolation policy says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class IsolationViolation(Exception):
+    """Raised when a partition attempts an access the policy forbids."""
+
+
+@dataclass
+class Partition:
+    """One virtualized software stack."""
+
+    name: str
+    memory: Dict[str, bytes] = field(default_factory=dict)
+    services: Set[str] = field(default_factory=set)
+    compromised: bool = False
+
+    def write(self, region: str, data: bytes) -> None:
+        self.memory[region] = data
+
+    def read(self, region: str) -> bytes:
+        if region not in self.memory:
+            raise KeyError(f"{self.name} has no region {region!r}")
+        return self.memory[region]
+
+
+class Hypervisor:
+    """Partition manager with an explicit inter-partition access policy.
+
+    Policy entries are (source, target, kind) with kind in
+    {"read", "write", "call"}.  Everything not granted is denied.
+    """
+
+    def __init__(self, name: str = "hv0") -> None:
+        self.name = name
+        self.partitions: Dict[str, Partition] = {}
+        self._grants: Set[Tuple[str, str, str]] = set()
+        self.audit: List[Tuple[str, str, str, bool]] = []
+
+    def create_partition(self, name: str, services: Optional[Set[str]] = None) -> Partition:
+        if name in self.partitions:
+            raise ValueError(f"partition {name!r} exists")
+        part = Partition(name, services=set(services) if services else set())
+        self.partitions[name] = part
+        return part
+
+    def grant(self, source: str, target: str, kind: str) -> None:
+        """Allow ``source`` to perform ``kind`` against ``target``."""
+        if kind not in ("read", "write", "call"):
+            raise ValueError(f"unknown access kind {kind!r}")
+        for p in (source, target):
+            if p not in self.partitions:
+                raise ValueError(f"unknown partition {p!r}")
+        self._grants.add((source, target, kind))
+
+    def revoke(self, source: str, target: str, kind: str) -> None:
+        self._grants.discard((source, target, kind))
+
+    def _check(self, source: str, target: str, kind: str) -> None:
+        allowed = (source, target, kind) in self._grants
+        self.audit.append((source, target, kind, allowed))
+        if not allowed:
+            raise IsolationViolation(f"{source} may not {kind} {target}")
+
+    # ------------------------------------------------------------------
+    # Mediated operations
+    # ------------------------------------------------------------------
+    def read(self, source: str, target: str, region: str) -> bytes:
+        """Cross-partition memory read, policy-mediated."""
+        if source != target:
+            self._check(source, target, "read")
+        return self.partitions[target].read(region)
+
+    def write(self, source: str, target: str, region: str, data: bytes) -> None:
+        """Cross-partition memory write, policy-mediated."""
+        if source != target:
+            self._check(source, target, "write")
+        self.partitions[target].write(region, data)
+
+    def call(self, source: str, target: str, service: str) -> None:
+        """Invoke a service endpoint in another partition."""
+        if source != target:
+            self._check(source, target, "call")
+        if service not in self.partitions[target].services:
+            raise KeyError(f"{target} exposes no service {service!r}")
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def reachable_from(self, source: str) -> Set[str]:
+        """Transitive closure of partitions a compromised ``source`` can
+        influence through write/call grants (the blast radius)."""
+        frontier = {source}
+        reached = {source}
+        while frontier:
+            current = frontier.pop()
+            for (s, t, kind) in self._grants:
+                if s == current and kind in ("write", "call") and t not in reached:
+                    reached.add(t)
+                    frontier.add(t)
+        return reached
+
+    def denied_attempts(self) -> List[Tuple[str, str, str]]:
+        """Audit entries that were denied (IDS food)."""
+        return [(s, t, k) for (s, t, k, ok) in self.audit if not ok]

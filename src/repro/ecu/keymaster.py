@@ -1,0 +1,120 @@
+"""In-vehicle key distribution: provisioning SHE slots across the fleet.
+
+The paper's bulk-production driver (§5): components ship "in bulk" and are
+"reconfigured and tuned for various in-field needs" — including their key
+material.  This module models the OEM backend + in-vehicle flow that turns
+a bulk-provisioned ECU (only its MASTER_ECU_KEY installed at the factory)
+into a personalised one:
+
+- :class:`KeyBackend` -- the OEM's HSM-resident database: per-device
+  master keys indexed by UID, and a monotonic counter per (UID, slot) so
+  generated updates can never be replayed or rolled back.
+- :class:`KeyDistributionService` -- the vehicle-side agent: applies
+  update bundles to local SHE instances and reports results.
+
+The security property (tested): an update bundle built for one UID is
+useless on every other device, even of the same model — the per-device
+diversification the paper's class-break scenario calls for.  Diversified
+master keys are derived ``KDF(fleet_secret, UID)``, so the backend stores
+one secret, not a million.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto import hkdf
+from repro.ecu.she import (
+    KeyUpdateMessage,
+    She,
+    SheError,
+    SheFlags,
+    SLOT_MASTER_ECU_KEY,
+    make_key_update,
+)
+
+
+def derive_master_key(fleet_secret: bytes, uid: bytes) -> bytes:
+    """Per-device MASTER_ECU_KEY from one fleet secret (key diversification)."""
+    if len(uid) != 15:
+        raise ValueError("UID must be 15 bytes")
+    return hkdf(fleet_secret, 16, salt=uid, info=b"master-ecu-key")
+
+
+class KeyBackend:
+    """The OEM backend holding the fleet secret and update counters."""
+
+    def __init__(self, fleet_secret: bytes) -> None:
+        if len(fleet_secret) < 16:
+            raise ValueError("fleet secret must be at least 16 bytes")
+        self._fleet_secret = bytes(fleet_secret)
+        self._counters: Dict[Tuple[bytes, int], int] = {}
+        self.updates_issued = 0
+
+    def master_key_for(self, uid: bytes) -> bytes:
+        """The device's diversified master key (factory provisioning and
+        update authorisation both derive it on demand)."""
+        return derive_master_key(self._fleet_secret, uid)
+
+    def provision_factory(self, she: She) -> None:
+        """Install the diversified master key into a blank SHE."""
+        she.provision(SLOT_MASTER_ECU_KEY, self.master_key_for(she.uid))
+
+    def build_update(
+        self,
+        uid: bytes,
+        target_slot: int,
+        new_key: bytes,
+        flags: SheFlags = SheFlags.NONE,
+    ) -> KeyUpdateMessage:
+        """Create an M1/M2/M3 bundle for one device, bumping its counter."""
+        counter_key = (bytes(uid), target_slot)
+        counter = self._counters.get(counter_key, 0) + 1
+        self._counters[counter_key] = counter
+        self.updates_issued += 1
+        return make_key_update(
+            uid, target_slot, SLOT_MASTER_ECU_KEY,
+            self.master_key_for(uid), new_key, counter, flags,
+        )
+
+
+@dataclass
+class DistributionReport:
+    """Outcome of one vehicle-wide key rollout."""
+
+    installed: List[str] = field(default_factory=list)
+    failed: List[Tuple[str, str]] = field(default_factory=list)  # (ecu, reason)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
+
+
+class KeyDistributionService:
+    """Vehicle-side agent applying backend bundles to the local ECUs."""
+
+    def __init__(self, shes: Dict[str, She]) -> None:
+        self.shes = dict(shes)
+
+    def distribute(
+        self,
+        backend: KeyBackend,
+        target_slot: int,
+        keys: Dict[str, bytes],
+        flags: SheFlags = SheFlags.NONE,
+    ) -> DistributionReport:
+        """Install a per-ECU key into ``target_slot`` of each named ECU."""
+        report = DistributionReport()
+        for ecu_name, new_key in keys.items():
+            she = self.shes.get(ecu_name)
+            if she is None:
+                report.failed.append((ecu_name, "unknown ECU"))
+                continue
+            update = backend.build_update(she.uid, target_slot, new_key, flags)
+            try:
+                she.load_key(update)
+                report.installed.append(ecu_name)
+            except SheError as exc:
+                report.failed.append((ecu_name, str(exc)))
+        return report

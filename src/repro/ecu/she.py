@@ -1,0 +1,330 @@
+"""Functional model of the Secure Hardware Extension (SHE).
+
+SHE is the automotive secure-key-storage / crypto-accelerator specification
+the paper names for the "Secure Processing" layer.  The model keeps the
+architecturally relevant behaviours:
+
+- **Key slots** with usage and protection flags.  Key *values* never leave
+  the module; software gets handles (slot ids) and operations.
+- **Key update protocol**: keys are provisioned with the M1/M2/M3 message
+  set, authenticated and encrypted under keys derived from an authorising
+  key by the AES-Miyaguchi-Preneel KDF, with a monotonic counter for
+  rollback protection.
+- **Secure boot**: BOOT_MAC_KEY authenticates the firmware image against
+  the stored BOOT_MAC; failure locks boot-protected keys.
+- **Lockdown** on tamper detection (used by :mod:`repro.ecu.tamper`).
+
+The side-channel experiments attack the *unprotected software AES* in
+:mod:`repro.crypto.aes` directly; SHE key extraction is modelled at a
+higher level (a compromised ECU can *use* SHE keys but not read them --
+which is exactly why the paper's shared-key class-break matters: the
+attacker clones behaviour, not bits, unless side channels leak the key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Flag, auto
+from typing import Dict, Optional
+
+from repro.crypto import (
+    SHE_KEY_UPDATE_ENC_C,
+    SHE_KEY_UPDATE_MAC_C,
+    aes_cmac,
+    cbc_decrypt,
+    cbc_encrypt,
+    cmac_verify,
+    constant_time_eq,
+    she_kdf,
+)
+from repro.crypto.aes import AES
+
+# Canonical slot numbers (SHE spec ordering).
+SLOT_SECRET_KEY = 0
+SLOT_MASTER_ECU_KEY = 1
+SLOT_BOOT_MAC_KEY = 2
+SLOT_BOOT_MAC = 3
+SLOT_KEY_1 = 4
+SLOT_KEY_10 = 13
+SLOT_RAM_KEY = 14
+
+_UPDATABLE_SLOTS = {SLOT_MASTER_ECU_KEY, SLOT_BOOT_MAC_KEY, SLOT_BOOT_MAC} | set(
+    range(SLOT_KEY_1, SLOT_KEY_10 + 1)
+)
+
+
+class SheFlags(Flag):
+    """Per-slot protection/usage flags."""
+
+    NONE = 0
+    WRITE_PROTECTION = auto()   # slot can never be updated again
+    BOOT_PROTECTION = auto()    # unusable after failed secure boot
+    DEBUGGER_PROTECTION = auto()  # unusable while a debugger is attached
+    KEY_USAGE_MAC = auto()      # CMAC operations only (else encryption)
+    WILDCARD_FORBIDDEN = auto()
+
+
+class SheError(Exception):
+    """Raised for any rejected SHE command (matching spec error codes)."""
+
+
+@dataclass
+class KeySlot:
+    """Internal slot state; never handed to callers."""
+
+    value: bytes
+    flags: SheFlags = SheFlags.NONE
+    counter: int = 0
+    empty: bool = False
+
+
+@dataclass(frozen=True)
+class KeyUpdateMessage:
+    """The M1/M2/M3 triple of the SHE key-update protocol."""
+
+    m1: bytes
+    m2: bytes
+    m3: bytes
+
+
+def make_key_update(
+    uid: bytes,
+    target_slot: int,
+    auth_slot: int,
+    auth_key: bytes,
+    new_key: bytes,
+    counter: int,
+    flags: SheFlags = SheFlags.NONE,
+) -> KeyUpdateMessage:
+    """Build an M1/M2/M3 key-update message set (the OEM/backend side).
+
+    ``auth_key`` is the value of the authorising key (slot ``auth_slot``),
+    known to the backend that provisioned it.
+    """
+    if len(uid) != 15:
+        raise ValueError("UID must be 15 bytes")
+    if len(new_key) != 16:
+        raise ValueError("new key must be 16 bytes")
+    if not 0 <= counter < (1 << 28):
+        raise ValueError("counter must fit in 28 bits")
+    k1 = she_kdf(auth_key, SHE_KEY_UPDATE_ENC_C)
+    k2 = she_kdf(auth_key, SHE_KEY_UPDATE_MAC_C)
+    m1 = uid + bytes([((target_slot & 0xF) << 4) | (auth_slot & 0xF)])
+    header = (counter << 4 | (flags.value & 0xF)).to_bytes(4, "big") + bytes(12)
+    m2 = cbc_encrypt(k1, bytes(16), header + new_key)
+    m3 = aes_cmac(k2, m1 + m2)
+    return KeyUpdateMessage(m1, m2, m3)
+
+
+class She:
+    """One SHE instance, bound to a device UID.
+
+    >>> she = She(uid=bytes(15))
+    >>> she.load_plain_key(bytes(16))
+    >>> tag = she.generate_mac(SLOT_RAM_KEY, b"hello")
+    >>> she.verify_mac(SLOT_RAM_KEY, b"hello", tag)
+    True
+    """
+
+    def __init__(self, uid: bytes, secret_key: Optional[bytes] = None) -> None:
+        if len(uid) != 15:
+            raise ValueError("UID must be 15 bytes")
+        self.uid = bytes(uid)
+        self._slots: Dict[int, KeySlot] = {
+            SLOT_SECRET_KEY: KeySlot(
+                secret_key if secret_key is not None else bytes(16),
+                SheFlags.WRITE_PROTECTION,
+            ),
+        }
+        self.locked = False
+        self.debugger_attached = False
+        self.boot_failed = False
+        self.command_count = 0
+
+    # ------------------------------------------------------------------
+    # Slot access control
+    # ------------------------------------------------------------------
+    def _check_operational(self) -> None:
+        if self.locked:
+            raise SheError("SHE is locked (tamper response)")
+
+    def _get_slot(self, slot: int, for_mac: Optional[bool] = None) -> KeySlot:
+        self._check_operational()
+        entry = self._slots.get(slot)
+        if entry is None or entry.empty:
+            raise SheError(f"slot {slot} is empty")
+        if self.boot_failed and SheFlags.BOOT_PROTECTION in entry.flags:
+            raise SheError(f"slot {slot} unavailable after failed secure boot")
+        if self.debugger_attached and SheFlags.DEBUGGER_PROTECTION in entry.flags:
+            raise SheError(f"slot {slot} unavailable with debugger attached")
+        if for_mac is not None and slot != SLOT_RAM_KEY:
+            is_mac_key = SheFlags.KEY_USAGE_MAC in entry.flags
+            if for_mac != is_mac_key:
+                raise SheError(
+                    f"slot {slot} key usage mismatch "
+                    f"({'MAC' if is_mac_key else 'ENC'} key)"
+                )
+        return entry
+
+    def has_key(self, slot: int) -> bool:
+        """True if the slot holds a key (no value disclosure)."""
+        entry = self._slots.get(slot)
+        return entry is not None and not entry.empty
+
+    def slot_counter(self, slot: int) -> int:
+        """The slot's rollback counter (public metadata)."""
+        entry = self._slots.get(slot)
+        if entry is None:
+            raise SheError(f"slot {slot} is empty")
+        return entry.counter
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    # ------------------------------------------------------------------
+    def provision(self, slot: int, key: bytes, flags: SheFlags = SheFlags.NONE) -> None:
+        """Factory provisioning (pre-personalisation; bypasses M1-M3).
+
+        Only allowed for empty slots -- in-field updates must use
+        :meth:`load_key`, which is the security-relevant path.
+        """
+        self._check_operational()
+        if len(key) != 16:
+            raise SheError("keys are 16 bytes")
+        if slot in self._slots and not self._slots[slot].empty:
+            raise SheError(f"slot {slot} already provisioned; use load_key")
+        self._slots[slot] = KeySlot(bytes(key), flags)
+
+    def load_key(self, update: KeyUpdateMessage) -> None:
+        """CMD_LOAD_KEY: install a key from an M1/M2/M3 message set."""
+        self._check_operational()
+        if len(update.m1) != 16:
+            raise SheError("malformed M1")
+        uid, meta = update.m1[:15], update.m1[15]
+        target_slot = (meta >> 4) & 0xF
+        auth_slot = meta & 0xF
+        if uid != self.uid:
+            raise SheError("M1 UID mismatch")
+        if target_slot not in _UPDATABLE_SLOTS:
+            raise SheError(f"slot {target_slot} is not updatable")
+        auth_entry = self._slots.get(auth_slot)
+        if auth_entry is None or auth_entry.empty:
+            raise SheError(f"authorising slot {auth_slot} is empty")
+
+        k1 = she_kdf(auth_entry.value, SHE_KEY_UPDATE_ENC_C)
+        k2 = she_kdf(auth_entry.value, SHE_KEY_UPDATE_MAC_C)
+        if not cmac_verify(k2, update.m1 + update.m2, update.m3):
+            raise SheError("M3 authentication failed")
+        try:
+            plain = cbc_decrypt(k1, bytes(16), update.m2)
+        except ValueError as exc:
+            raise SheError("M2 decryption failed") from exc
+        if len(plain) != 32:
+            raise SheError("malformed M2 payload")
+        header_word = int.from_bytes(plain[:4], "big")
+        counter = header_word >> 4
+        flags = SheFlags(header_word & 0xF)
+        new_key = plain[16:32]
+
+        target = self._slots.get(target_slot)
+        if target is not None and not target.empty:
+            if SheFlags.WRITE_PROTECTION in target.flags:
+                raise SheError(f"slot {target_slot} is write-protected")
+            if counter <= target.counter:
+                raise SheError(
+                    f"rollback rejected: counter {counter} <= {target.counter}"
+                )
+        self._slots[target_slot] = KeySlot(new_key, flags, counter)
+        self.command_count += 1
+
+    def load_plain_key(self, key: bytes) -> None:
+        """CMD_LOAD_PLAIN_KEY: the RAM key is the only plaintext-loadable one."""
+        self._check_operational()
+        if len(key) != 16:
+            raise SheError("keys are 16 bytes")
+        self._slots[SLOT_RAM_KEY] = KeySlot(bytes(key))
+        self.command_count += 1
+
+    # ------------------------------------------------------------------
+    # Crypto commands
+    # ------------------------------------------------------------------
+    def encrypt_ecb(self, slot: int, block: bytes) -> bytes:
+        """CMD_ENC_ECB with the key in ``slot``."""
+        entry = self._get_slot(slot, for_mac=False)
+        self.command_count += 1
+        return AES(entry.value).encrypt_block(block)
+
+    def decrypt_ecb(self, slot: int, block: bytes) -> bytes:
+        """CMD_DEC_ECB."""
+        entry = self._get_slot(slot, for_mac=False)
+        self.command_count += 1
+        return AES(entry.value).decrypt_block(block)
+
+    def encrypt_cbc(self, slot: int, iv: bytes, data: bytes) -> bytes:
+        """CMD_ENC_CBC."""
+        entry = self._get_slot(slot, for_mac=False)
+        self.command_count += 1
+        return cbc_encrypt(entry.value, iv, data)
+
+    def decrypt_cbc(self, slot: int, iv: bytes, data: bytes) -> bytes:
+        """CMD_DEC_CBC."""
+        entry = self._get_slot(slot, for_mac=False)
+        self.command_count += 1
+        return cbc_decrypt(entry.value, iv, data)
+
+    def generate_mac(self, slot: int, message: bytes, tag_len: int = 16) -> bytes:
+        """CMD_GENERATE_MAC (CMAC)."""
+        entry = self._get_slot(slot, for_mac=True)
+        self.command_count += 1
+        return aes_cmac(entry.value, message, tag_len=tag_len)
+
+    def verify_mac(self, slot: int, message: bytes, tag: bytes) -> bool:
+        """CMD_VERIFY_MAC (constant-time)."""
+        entry = self._get_slot(slot, for_mac=True)
+        self.command_count += 1
+        return cmac_verify(entry.value, message, tag)
+
+    # ------------------------------------------------------------------
+    # Secure boot
+    # ------------------------------------------------------------------
+    def set_boot_mac(self, firmware: bytes, boot_mac_key: bytes) -> None:
+        """Factory step: store BOOT_MAC_KEY and the image's BOOT_MAC."""
+        self.provision(SLOT_BOOT_MAC_KEY, boot_mac_key,
+                       SheFlags.KEY_USAGE_MAC | SheFlags.BOOT_PROTECTION)
+        mac = aes_cmac(boot_mac_key, firmware)
+        self._slots[SLOT_BOOT_MAC] = KeySlot(mac, SheFlags.NONE)
+
+    def secure_boot(self, firmware: bytes) -> bool:
+        """CMD_SECURE_BOOT: authenticate the firmware image.
+
+        On failure, boot-protected keys become unusable for this power
+        cycle and ``False`` is returned (the ECU decides whether to halt).
+        """
+        self._check_operational()
+        key_entry = self._slots.get(SLOT_BOOT_MAC_KEY)
+        mac_entry = self._slots.get(SLOT_BOOT_MAC)
+        if key_entry is None or mac_entry is None:
+            raise SheError("secure boot not provisioned")
+        self.command_count += 1
+        expected = mac_entry.value
+        actual = aes_cmac(key_entry.value, firmware, tag_len=len(expected))
+        if constant_time_eq(actual, expected):
+            self.boot_failed = False
+            return True
+        self.boot_failed = True
+        return False
+
+    # ------------------------------------------------------------------
+    # Tamper response
+    # ------------------------------------------------------------------
+    def lock(self) -> None:
+        """Tamper response: refuse all further commands."""
+        self.locked = True
+
+    def export_key_for_test(self, slot: int) -> bytes:
+        """Debug/back-door used ONLY by white-box tests and the attacker
+        model for side-channel ground truth.  Real SHE has no such command;
+        the attack experiments never call it from 'inside' a scenario."""
+        entry = self._slots.get(slot)
+        if entry is None:
+            raise SheError(f"slot {slot} is empty")
+        return entry.value

@@ -1,0 +1,94 @@
+"""Voltage/clock tamper detection.
+
+The paper's Secure Processing layer: "Tamper detection and resistance
+mechanisms are often implemented to protect MCU/MPUs from voltage/clock
+manipulation."  The detector watches a stream of supply-voltage and clock
+readings; excursions outside the guard band (fault-injection glitches)
+trigger a configurable response, by default locking the SHE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.ecu.she import She
+from repro.sim import Simulator, TraceRecorder
+
+
+@dataclass(frozen=True)
+class TamperEvent:
+    """A detected physical manipulation."""
+
+    time: float
+    kind: str      # "voltage" | "clock"
+    value: float
+    limit_low: float
+    limit_high: float
+
+
+class TamperDetector:
+    """Guard-band monitor over voltage and clock frequency.
+
+    ``detection_probability`` models imperfect sensors: fast glitches can
+    slip under the sampling window, which is why glitch attacks sweep
+    repetition counts (see :mod:`repro.attacks.glitch`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        she: Optional[She] = None,
+        nominal_voltage: float = 3.3,
+        voltage_tolerance: float = 0.10,
+        nominal_clock_hz: float = 100e6,
+        clock_tolerance: float = 0.05,
+        detection_probability: float = 0.95,
+        rng=None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.she = she
+        self.v_low = nominal_voltage * (1 - voltage_tolerance)
+        self.v_high = nominal_voltage * (1 + voltage_tolerance)
+        self.c_low = nominal_clock_hz * (1 - clock_tolerance)
+        self.c_high = nominal_clock_hz * (1 + clock_tolerance)
+        self.detection_probability = detection_probability
+        self.rng = rng
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.events: List[TamperEvent] = []
+        self.response_callbacks: List[Callable[[TamperEvent], None]] = []
+        self.missed = 0
+
+    def on_tamper(self, callback: Callable[[TamperEvent], None]) -> None:
+        self.response_callbacks.append(callback)
+
+    def _out_of_band(self, kind: str, value: float) -> Optional[TamperEvent]:
+        low, high = (self.v_low, self.v_high) if kind == "voltage" else (self.c_low, self.c_high)
+        if low <= value <= high:
+            return None
+        return TamperEvent(self.sim.now, kind, value, low, high)
+
+    def sample(self, kind: str, value: float) -> bool:
+        """Feed one sensor reading; returns True if tamper was flagged."""
+        if kind not in ("voltage", "clock"):
+            raise ValueError(f"unknown tamper channel {kind!r}")
+        event = self._out_of_band(kind, value)
+        if event is None:
+            return False
+        detected = True
+        if self.rng is not None and self.detection_probability < 1.0:
+            detected = self.rng.random() < self.detection_probability
+        if not detected:
+            self.missed += 1
+            return False
+        self.events.append(event)
+        self.trace.emit(
+            self.sim.now, "tamper", "tamper.detected",
+            channel=kind, value=value,
+        )
+        if self.she is not None:
+            self.she.lock()
+        for callback in self.response_callbacks:
+            callback(event)
+        return True

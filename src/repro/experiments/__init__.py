@@ -1,0 +1,48 @@
+"""Experiment drivers E1..E14.
+
+The paper has no tables or figures (it is an invited survey); DESIGN.md §3
+derives one quantitative experiment from each of its claims.  Every module
+here exposes ``run(...) -> SweepResult`` (or a small set of such
+functions) used by both ``benchmarks/`` and the examples.  All drivers are
+seeded and deterministic.
+"""
+
+from repro.experiments import (
+    e01_gateway,
+    e02_ids,
+    e03_realtime,
+    e04_sidechannel,
+    e05_classbreak,
+    e06_v2x_density,
+    e07_privacy,
+    e08_access,
+    e09_extensibility,
+    e10_ota,
+    e11_tradeoff,
+    e12_sensors,
+    e13_secureboot,
+    e14_verification,
+    e15_diagnostics,
+    e16_misbehavior,
+)
+
+ALL_EXPERIMENTS = {
+    "E1": e01_gateway.run,
+    "E2": e02_ids.run,
+    "E3": e03_realtime.run,
+    "E4": e04_sidechannel.run,
+    "E5": e05_classbreak.run,
+    "E6": e06_v2x_density.run,
+    "E7": e07_privacy.run,
+    "E8": e08_access.run,
+    "E9": e09_extensibility.run,
+    "E10": e10_ota.run,
+    "E11": e11_tradeoff.run,
+    "E12": e12_sensors.run,
+    "E13": e13_secureboot.run,
+    "E14": e14_verification.run,
+    "E15": e15_diagnostics.run,
+    "E16": e16_misbehavior.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [f"e{i:02d}" for i in range(1, 17)]

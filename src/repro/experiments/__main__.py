@@ -1,0 +1,53 @@
+"""Command-line experiment runner.
+
+Run any experiment (or all of them) and print its results table::
+
+    python -m repro.experiments E1
+    python -m repro.experiments E4 --seed 7
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run autosec experiments E1..E16 and print their tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (E1..E16, case-insensitive) or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    args = parser.parse_args(argv)
+
+    requested = args.experiment.upper()
+    if requested == "ALL":
+        ids = sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
+    elif requested in ALL_EXPERIMENTS:
+        ids = [requested]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:])))} or 'all'"
+        )
+
+    for exp_id in ids:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[exp_id](seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.to_table())
+        print(f"[{exp_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""E6 -- V2X verification load vs vehicle density (§5 "Verification Needs").
+
+"It is necessary to verify that the V2X communication remains secure
+regardless of how many vehicles and RSUs are in proximity."  Each station
+has a fixed verification budget (messages/second it can ECDSA-verify,
+calibrated from the real crypto micro-benchmarks in ``benchmarks/``); the
+sweep raises the number of broadcasting neighbours and measures, at a
+probe station: offered load, verified fraction, overload drops, and
+verification queueing latency.
+
+Crypto is surrogate (``skip_crypto`` + dummy signatures) so the sweep
+measures *queueing*, not pure-Python ECDSA time; the budget parameter is
+where real crypto cost enters.  See DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.stats import summarize
+from repro.analysis.sweep import SweepResult
+from repro.physical import Vehicle, VehicleState
+from repro.sim import RngStreams, Simulator
+from repro.v2x import (
+    MessageVerifier,
+    ObuStation,
+    PkiHierarchy,
+    PseudonymManager,
+    WirelessChannel,
+)
+
+BSM_RATE_HZ = 10.0
+
+
+def _scene(n_vehicles: int, verify_rate: float, duration: float,
+           seed: int) -> Dict[str, float]:
+    sim = Simulator()
+    rng = RngStreams(seed)
+    pki = PkiHierarchy(seed=b"e6")
+    channel = WirelessChannel(sim, comm_range=500.0,
+                              loss_probability=0.05, rng=rng.get("channel"))
+    stations = []
+    for i in range(n_vehicles):
+        vid = f"veh-{i}"
+        ecert, _ = pki.enroll_vehicle(vid)
+        batch = pki.issue_pseudonyms(vid, ecert, count=2, validity_start=0.0)
+        vehicle = Vehicle(VehicleState(
+            x=float((i * 37) % 400), y=float((i * 61) % 50), speed=15.0,
+        ), name=vid)
+        station = ObuStation(
+            sim, vid, vehicle, channel,
+            PseudonymManager(batch, rotation_period=1e9),
+            MessageVerifier(pki.trust_store(), skip_crypto=True),
+            bsm_period=1.0 / BSM_RATE_HZ,
+            verify_rate=verify_rate,
+            queue_deadline=0.1,
+            real_crypto=False,
+        )
+        stations.append(station)
+    for s in stations:
+        s.start_broadcasting()
+    sim.run_until(duration)
+
+    probe = stations[0]
+    offered = probe.radio.received / duration
+    latencies = summarize(probe.verify_latencies)
+    processed = probe.verified_ok + sum(probe.rejects.values())
+    return {
+        "offered_msgs_per_s": offered,
+        "verified_per_s": probe.verified_ok / duration,
+        "dropped_per_s": probe.dropped_overload / duration,
+        "verified_fraction": (
+            probe.verified_ok / probe.radio.received if probe.radio.received else 0.0
+        ),
+        "p95_latency_ms": latencies["p95"] * 1e3,
+    }
+
+
+def run(verify_rate: float = 250.0, duration: float = 3.0,
+        seed: int = 0) -> SweepResult:
+    """Density sweep at a fixed verification budget."""
+    result = SweepResult(
+        f"E6: V2X verification vs density (budget={verify_rate:.0f} verifies/s)",
+        ["n_vehicles", "offered_msgs_per_s", "verified_per_s",
+         "verified_fraction", "dropped_per_s", "p95_latency_ms"],
+    )
+    for n in (5, 10, 20, 40, 60):
+        row = _scene(n, verify_rate, duration, seed)
+        result.add(n_vehicles=n, **row)
+    return result

@@ -1,0 +1,144 @@
+"""E7 -- Authentication vs anonymity: pseudonym rotation (§4.2).
+
+The paper's "conundrum": V2X messages must be verifiable yet anonymous.
+The experiment reproduces the two-sided result from the pseudonym
+literature:
+
+1. **Rotation alone barely helps.**  A space-time tracking adversary links
+   a vehicle's consecutive pseudonyms by kinematic continuity; in anything
+   but bumper-to-bumper traffic the nearest silent track is almost always
+   the right one, at every rotation rate.
+2. **Synchronized rotation + radio silence (a "mix zone") helps.**  When
+   nearby vehicles rotate together and stay silent long enough to shuffle
+   positions, the adversary's candidate set is the whole platoon and its
+   accuracy falls toward 1/k.
+
+Cost column: pseudonym certificates consumed per vehicle-hour -- the PKI
+provisioning burden that rises with rotation rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.sweep import SweepResult
+from repro.physical import Vehicle, VehicleState
+from repro.sim import RngStreams, Simulator
+from repro.v2x import (
+    BasicSafetyMessage,
+    MessageVerifier,
+    ObuStation,
+    PkiHierarchy,
+    PseudonymManager,
+    TrackingAdversary,
+    WirelessChannel,
+)
+
+BSM_RATE_HZ = 5.0
+
+
+def _scene(rotation_period: float, silence_s: float, n_vehicles: int,
+           duration: float, seed: int) -> Dict[str, float]:
+    sim = Simulator()
+    rng = RngStreams(seed)
+    pki = PkiHierarchy(seed=b"e7")
+    channel = WirelessChannel(sim, comm_range=5000.0)
+    adversary = TrackingAdversary(
+        max_speed=45.0, gate_slack=15.0,
+        silence_window=min(rotation_period, 1e4) + silence_s + 2.0,
+    )
+    truth: Dict[str, str] = {}
+    stations: List[ObuStation] = []
+    vehicles: List[Vehicle] = []
+    managers: List[PseudonymManager] = []
+
+    speed_rng = rng.get("speeds")
+    for i in range(n_vehicles):
+        vid = f"veh-{i}"
+        ecert, _ = pki.enroll_vehicle(vid)
+        n_pseudonyms = max(4, int(duration / rotation_period) + 2) \
+            if rotation_period < 1e8 else 2
+        batch = pki.issue_pseudonyms(vid, ecert, count=n_pseudonyms,
+                                     validity_start=0.0)
+        for cert, _ in batch.entries:
+            truth[cert.subject] = vid
+        # Dense two-lane platoon: ~12 m spacing, similar speeds.
+        vehicle = Vehicle(VehicleState(
+            x=float(i * 12), y=float((i % 2) * 4),
+            speed=speed_rng.uniform(20.0, 24.0),
+        ), name=vid)
+        manager = PseudonymManager(batch, rotation_period=rotation_period)
+        station = ObuStation(
+            sim, vid, vehicle, channel, manager,
+            MessageVerifier(pki.trust_store(), skip_crypto=True),
+            bsm_period=1.0 / BSM_RATE_HZ, real_crypto=False,
+        )
+        stations.append(station)
+        vehicles.append(vehicle)
+        managers.append(manager)
+
+    sniffer = channel.attach("sniffer", lambda: (0.0, 0.0))
+
+    def overhear(message, sender):
+        bsm = BasicSafetyMessage.decode(message.payload)
+        adversary.observe(sim.now, message.certificate.subject, bsm.position)
+
+    sniffer.on_receive(overhear)
+
+    def advance():
+        for vehicle in vehicles:
+            vehicle.step(0.2)
+        sim.schedule(0.2, advance)
+
+    sim.schedule(0.2, advance)
+    for station in stations:
+        station.start_broadcasting()
+
+    # Mix-zone protocol: synchronized rotation with radio silence.
+    if silence_s > 0 and rotation_period < 1e8:
+        def enter_mix_zone():
+            for station, manager in zip(stations, managers):
+                station.stop_broadcasting()
+                manager.force_rotate(sim.now)
+            sim.schedule(silence_s, exit_mix_zone)
+
+        def exit_mix_zone():
+            for station in stations:
+                station.start_broadcasting()
+            sim.schedule(max(0.1, rotation_period - silence_s), enter_mix_zone)
+
+        sim.schedule(rotation_period, enter_mix_zone)
+
+    sim.run_until(duration)
+
+    total_rotations = sum(m.rotations for m in managers)
+    certs_per_hour = (total_rotations / n_vehicles) / duration * 3600.0
+    return {
+        "link_accuracy": adversary.link_accuracy(truth),
+        "tracking_recall": adversary.recall(truth),
+        "links_predicted": float(len(adversary.predicted_links)),
+        "certs_per_vehicle_hour": certs_per_hour,
+    }
+
+
+def run(n_vehicles: int = 10, duration: float = 120.0,
+        seed: int = 0) -> SweepResult:
+    """Rotation-period sweep, with and without mix-zone silence."""
+    result = SweepResult(
+        "E7: pseudonym rotation vs tracking adversary",
+        ["rotation_period_s", "mix_zone", "link_accuracy",
+         "tracking_recall", "certs_per_vehicle_hour"],
+    )
+    for period in (15.0, 30.0, 60.0, 1e9):
+        for silence in (0.0, 2.0):
+            if period >= 1e8 and silence > 0:
+                continue  # no rotation -> no mix zone to speak of
+            row = _scene(period, silence, n_vehicles, duration, seed)
+            result.add(
+                rotation_period_s=period if period < 1e8 else float("inf"),
+                mix_zone="yes" if silence > 0 else "no",
+                link_accuracy=row["link_accuracy"],
+                tracking_recall=row["tracking_recall"],
+                certs_per_vehicle_hour=row["certs_per_vehicle_hour"],
+            )
+    return result

@@ -1,0 +1,50 @@
+"""E9 -- Extensible vs custom architecture economics (§6).
+
+The paper asserts: extensible architectures "have longer latency of
+development at first deployment" but "reduce time-to-market in future
+products".  The generation cost model quantifies both and locates the
+crossover generation; the sweep ablates the per-generation reconfiguration
+cost (how good your extensibility actually is) to show when extensibility
+does NOT pay.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import SweepResult
+from repro.core.extensibility import GenerationCostModel
+
+
+def run(generations: int = 8, seed: int = 0) -> SweepResult:
+    """Cumulative-cost trajectories plus the crossover."""
+    model = GenerationCostModel()
+    custom = model.custom_cumulative(generations)
+    extensible = model.extensible_cumulative(generations)
+    result = SweepResult(
+        "E9: cumulative cost, custom vs extensible architecture",
+        ["generation", "custom_cost", "extensible_cost", "extensible_wins"],
+    )
+    for gen in range(generations):
+        result.add(
+            generation=gen + 1,
+            custom_cost=custom[gen],
+            extensible_cost=extensible[gen],
+            extensible_wins=extensible[gen] < custom[gen],
+        )
+    return result
+
+
+def run_ablation(generations: int = 12, seed: int = 0) -> SweepResult:
+    """Sweep the quality of the extensibility (per-generation cost)."""
+    result = SweepResult(
+        "E9b: crossover vs per-generation reconfiguration cost",
+        ["gen_cost", "ttm_penalty", "crossover_generation"],
+    )
+    for gen_cost in (10.0, 25.0, 50.0, 90.0, 130.0):
+        model = GenerationCostModel(extensible_gen_cost=gen_cost)
+        crossover = model.crossover_generation(max_generations=generations)
+        result.add(
+            gen_cost=gen_cost,
+            ttm_penalty=model.time_to_market_penalty(),
+            crossover_generation=crossover if crossover is not None else "never",
+        )
+    return result

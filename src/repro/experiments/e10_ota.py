@@ -1,0 +1,85 @@
+"""E10 -- OTA security under key compromise (§1, §4.2).
+
+The attack-success matrix: which combinations of compromised signing keys
+let an attacker install arbitrary firmware, for the naive single-key
+client vs the role-separated (Uptane-style) client.  The paper's demand
+that the in-field update flow itself be robust is exactly the difference
+between the two columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.sweep import SweepResult
+from repro.crypto import EcdsaKeyPair, HmacDrbg
+from repro.ecu.firmware import FirmwareImage, FirmwareStore
+from repro.ota import (
+    CompromiseScenario,
+    DirectorRepository,
+    FleetCampaign,
+    ImageRepository,
+    NaiveClient,
+    UptaneClient,
+)
+
+MALICIOUS = FirmwareImage("engine-fw", 77, b"owned" * 16, hardware_id="mcu-a")
+
+SCENARIOS: List[tuple] = [
+    ("none", {}),
+    ("timestamp-keys", {"image": ["timestamp"], "director": ["timestamp"]}),
+    ("snapshot+timestamp", {
+        "image": ["snapshot", "timestamp"], "director": ["snapshot", "timestamp"],
+    }),
+    ("director-online-all", {"director": ["targets", "snapshot", "timestamp"]}),
+    ("image-targets-only", {"image": ["targets", "snapshot", "timestamp"]}),
+    ("both-repos-all-online", {
+        "director": ["targets", "snapshot", "timestamp"],
+        "image": ["targets", "snapshot", "timestamp"],
+    }),
+]
+
+
+def _fresh_uptane():
+    image_repo = ImageRepository(seed=b"e10/img")
+    director = DirectorRepository(seed=b"e10/dir")
+    store = FirmwareStore(FirmwareImage("engine-fw", 1, b"base" * 12,
+                                        hardware_id="mcu-a"))
+    client = UptaneClient("veh-0", store,
+                          image_root=image_repo.metadata["root"],
+                          director_root=director.metadata["root"])
+    FleetCampaign(director, image_repo, [client]).rollout(
+        FirmwareImage("engine-fw", 2, b"honest" * 10, hardware_id="mcu-a"),
+        now=10.0,
+    )
+    return image_repo, director, client
+
+
+def run(seed: int = 0) -> SweepResult:
+    """Key-compromise scenario x client flavour attack matrix."""
+    result = SweepResult(
+        "E10: malicious-update success under key compromise",
+        ["compromised_keys", "naive_client", "uptane_client"],
+    )
+    oem = EcdsaKeyPair.generate(HmacDrbg(b"e10-oem"))
+    for name, compromised in SCENARIOS:
+        # Naive: the analogue of "any online signing key" is the single
+        # OEM key; it falls whenever the attacker got ANY signing key.
+        naive_store = FirmwareStore(FirmwareImage(
+            "engine-fw", 1, b"base" * 12, hardware_id="mcu-a"))
+        naive = NaiveClient("veh-0", naive_store, oem.public)
+        attacker_has_any_key = bool(compromised)
+        naive_result = CompromiseScenario.attack_naive(
+            naive, MALICIOUS, oem if attacker_has_any_key else None,
+        )
+
+        image_repo, director, client = _fresh_uptane()
+        scenario = CompromiseScenario(director, image_repo, compromised)
+        uptane_result = scenario.attack_uptane(client, MALICIOUS, now=20.0)
+
+        result.add(
+            compromised_keys=name,
+            naive_client="COMPROMISED" if naive_result.installed else "safe",
+            uptane_client="COMPROMISED" if uptane_result.installed else "safe",
+        )
+    return result

@@ -1,0 +1,153 @@
+"""E12 -- Sensor spoofing vs fusion plausibility gating (§4.1).
+
+Four sensor attacks (GPS jump, GPS slow drift, TPMS fake blowout, LIDAR
+phantom) against the fusion layer with gating on vs off.  "Success" means
+the forged data influenced the fused output (position error, accepted
+pressure, confirmed phantom); "detected" means the fusion layer raised an
+anomaly.  Expected shape: gating kills the crude attacks (jump, instant
+blowout, static phantom) and the *slow drift* survives -- the honest
+residual-risk row.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict
+
+from repro.analysis.sweep import SweepResult
+from repro.attacks import (
+    GpsSpoofingAttack,
+    LidarPhantomAttack,
+    TpmsSpoofingAttack,
+)
+from repro.physical import (
+    GpsSensor,
+    LidarSensor,
+    SensorFusion,
+    TpmsSensor,
+    Vehicle,
+    VehicleState,
+)
+
+STEPS = 60
+DT = 0.25
+
+
+def _rig(defended: bool, seed: int):
+    vehicle = Vehicle(VehicleState(speed=15.0))
+    gps = GpsSensor(vehicle, noise_std=1.0, rng=random.Random(seed))
+    tpms = TpmsSensor(rng=random.Random(seed + 1))
+    lidar = LidarSensor(vehicle, rng=random.Random(seed + 2))
+    fusion = SensorFusion(
+        vehicle, gps, tpms=tpms, lidar=lidar,
+        # "Undefended" = gates wide open.
+        gps_gate_base=15.0 if defended else 1e9,
+        tpms_max_rate_kpa_s=50.0 if defended else 1e12,
+        lidar_persistence=3 if defended else 1,
+    )
+    return vehicle, gps, tpms, lidar, fusion
+
+
+def _drive(vehicle, fusion, attack_step=None, n_steps=STEPS):
+    anomalies = 0
+    estimates = []
+    for i in range(n_steps):
+        vehicle.step(DT)
+        if attack_step is not None:
+            attack_step(i)
+        est = fusion.step(DT, now=(i + 1) * DT)
+        anomalies += bool(est.anomalies)
+        estimates.append(est)
+    return estimates, anomalies
+
+
+def _gps_jump(defended: bool, seed: int) -> Dict:
+    vehicle, gps, _, _, fusion = _rig(defended, seed)
+    attack = GpsSpoofingAttack(gps, vehicle)
+
+    def step(i):
+        if i == 20:
+            attack.start_jump((vehicle.state.x + 800.0, vehicle.state.y))
+
+    estimates, anomalies = _drive(vehicle, fusion, step)
+    final_error = math.hypot(
+        estimates[-1].position[0] - vehicle.state.x,
+        estimates[-1].position[1] - vehicle.state.y,
+    )
+    return {"induced_error_m": final_error, "success": final_error > 100.0,
+            "detected": anomalies > 0}
+
+
+def _gps_drift(defended: bool, seed: int) -> Dict:
+    vehicle, gps, _, _, fusion = _rig(defended, seed)
+    attack = GpsSpoofingAttack(gps, vehicle)
+    attack.start_drift(rate_m_s=3.0, bearing=math.pi / 2)
+
+    def step(i):
+        attack.step_drift(DT)
+
+    estimates, anomalies = _drive(vehicle, fusion, step)
+    final_error = math.hypot(
+        estimates[-1].position[0] - vehicle.state.x,
+        estimates[-1].position[1] - vehicle.state.y,
+    )
+    return {"induced_error_m": final_error, "success": final_error > 20.0,
+            "detected": anomalies > 0}
+
+
+def _tpms_blowout(defended: bool, seed: int) -> Dict:
+    vehicle, _, tpms, _, fusion = _rig(defended, seed)
+    attack = TpmsSpoofingAttack(tpms)
+    target = tpms.sensor_ids[0]
+
+    def step(i):
+        if i == 20:
+            attack.fake_blowout(target)
+
+    _, anomalies = _drive(vehicle, fusion, step)
+    accepted_zero = fusion._last_tpms.get(target, (220.0, 0))[0] < 50.0
+    return {"induced_error_m": 0.0, "success": accepted_zero,
+            "detected": fusion.rejected_tpms > 0}
+
+
+def _lidar_phantom(defended: bool, seed: int) -> Dict:
+    vehicle, _, _, lidar, fusion = _rig(defended, seed)
+    attack = LidarPhantomAttack(lidar)
+
+    def step(i):
+        if i == 10:
+            attack.inject(25.0, 0.0)
+
+    estimates, _ = _drive(vehicle, fusion, step)
+    phantom_confirmed = any(
+        any(t.phantom for t in est.confirmed_targets) for est in estimates
+    )
+    return {"induced_error_m": 0.0, "success": phantom_confirmed,
+            "detected": fusion.rejected_lidar > 0}
+
+
+ATTACKS = {
+    "gps-jump": _gps_jump,
+    "gps-drift": _gps_drift,
+    "tpms-blowout": _tpms_blowout,
+    "lidar-phantom": _lidar_phantom,
+}
+
+
+def run(seed: int = 0) -> SweepResult:
+    """Attack x defence matrix."""
+    result = SweepResult(
+        "E12: sensor spoofing vs fusion plausibility gating",
+        ["attack", "gating", "success", "detected", "induced_error_m"],
+    )
+    for attack_name, fn in ATTACKS.items():
+        for defended in (False, True):
+            row = fn(defended, seed)
+            result.add(
+                attack=attack_name,
+                gating="on" if defended else "off",
+                success=row["success"], detected=row["detected"],
+                induced_error_m=row["induced_error_m"],
+            )
+    return result

@@ -1,0 +1,106 @@
+"""E15 -- Diagnostic SecurityAccess strength (§2 repair-shop interface).
+
+The paper lists repair shops and third-party tools among the networks a
+vehicle talks to; UDS SecurityAccess is that interface's gate.  The
+experiment runs the full attack chain (sniff a legitimate workshop
+unlock, recover the transform, exploit) against the two seed/key
+families, plus the online-guessing fallback:
+
+- weak XOR transform: one sniffed exchange -> constant recovered ->
+  attacker unlocks and writes a protected identifier;
+- CMAC transform: recovery fails (cross-check rejects), online guessing
+  hits the attempt lockout after ``max_key_attempts`` tries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.analysis.sweep import SweepResult
+from repro.diag import (
+    CmacSeedKey,
+    IsoTpEndpoint,
+    SeedKeyRecoveryAttack,
+    UdsClient,
+    UdsServer,
+    UdsSession,
+    XorSeedKey,
+)
+from repro.ivn import CanBus
+from repro.sim import Simulator
+
+REQ_ID, RSP_ID = 0x7E0, 0x7E8
+PROTECTED_DID = 0xF015
+
+
+def _scenario(algorithm, seed: int) -> Dict[str, object]:
+    sim = Simulator()
+    bus = CanBus(sim)
+    tester_ep = IsoTpEndpoint(sim, bus, "tester", tx_id=REQ_ID, rx_id=RSP_ID)
+    ecu_ep = IsoTpEndpoint(sim, bus, "ecu", tx_id=RSP_ID, rx_id=REQ_ID)
+    server = UdsServer(ecu_ep, algorithm, rng=random.Random(seed))
+    server.add_did(PROTECTED_DID, b"\x00\x01", protected=True)
+    client = UdsClient(sim, tester_ep)
+    attack = SeedKeyRecoveryAttack(bus, REQ_ID, RSP_ID)
+
+    # Phase 1: legitimate workshop session (two unlocks; the attacker
+    # needs a second exchange only for the recovery cross-check).
+    for _ in range(2):
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)
+        client.ecu_reset()
+
+    # Phase 2: offline recovery.
+    constant = attack.recover_xor_constant()
+    recovered = constant is not None
+
+    # Phase 3: exploitation (or online fallback).
+    exploited = False
+    wrote_protected = False
+    bruteforce_attempts = 0
+    if recovered:
+        exploited = SeedKeyRecoveryAttack.exploit(client, constant)
+        if exploited:
+            try:
+                client.write_did(PROTECTED_DID, b"\x13\x37")
+                wrote_protected = server.data_identifiers[PROTECTED_DID] == b"\x13\x37"
+            except Exception:
+                wrote_protected = False
+    else:
+        unlocked, bruteforce_attempts = SeedKeyRecoveryAttack.online_bruteforce(
+            client, random.Random(seed + 1), attempts=1000,
+        )
+        exploited = unlocked
+
+    return {
+        "exchanges_sniffed": len(attack.exchanges),
+        "transform_recovered": recovered,
+        "ecu_unlocked": exploited,
+        "protected_write": wrote_protected,
+        "lockout": server.locked_out,
+        "bruteforce_attempts": bruteforce_attempts,
+    }
+
+
+def run(seed: int = 0) -> SweepResult:
+    """Weak vs sound seed/key under the full attack chain."""
+    result = SweepResult(
+        "E15: UDS SecurityAccess attack chain by seed/key algorithm",
+        ["algorithm", "exchanges_sniffed", "transform_recovered",
+         "ecu_unlocked", "protected_write", "lockout"],
+    )
+    for name, algorithm in (
+        ("xor-constant", XorSeedKey(b"\xde\xad\xbe\xef")),
+        ("aes-cmac", CmacSeedKey(b"S" * 16)),
+    ):
+        row = _scenario(algorithm, seed)
+        result.add(
+            algorithm=name,
+            exchanges_sniffed=row["exchanges_sniffed"],
+            transform_recovered=row["transform_recovered"],
+            ecu_unlocked=row["ecu_unlocked"],
+            protected_write=row["protected_write"],
+            lockout=row["lockout"],
+        )
+    return result

@@ -1,0 +1,25 @@
+"""The "Secure Gateway" layer.
+
+The paper: the gateway "acts as a firewall between the external interfaces
+and the safety-critical in-vehicular networks", "monitors and controls the
+traffic coming into the trusted IVNs", "routing traffic from one IVN to
+another", and "in case one IVN is compromised, the gateway can isolate the
+compromised components".
+
+- :mod:`repro.gateway.firewall` -- ordered rule engine (id ranges, domains,
+  rate limits) with default-deny or default-allow posture.
+- :mod:`repro.gateway.router` -- the central gateway joining CAN domains,
+  with per-domain quarantine.
+"""
+
+from repro.gateway.firewall import Firewall, FirewallAction, FirewallRule, RateLimiter
+from repro.gateway.router import GatewayStats, SecureGateway
+
+__all__ = [
+    "Firewall",
+    "FirewallAction",
+    "FirewallRule",
+    "RateLimiter",
+    "GatewayStats",
+    "SecureGateway",
+]

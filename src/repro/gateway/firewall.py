@@ -1,0 +1,107 @@
+"""Ordered-rule firewall for inter-domain CAN routing.
+
+Rules match on (source domain, destination domain, CAN id range) and carry
+an action plus an optional token-bucket rate limit.  First match wins;
+unmatched traffic falls to the default action.  Rule granularity is an
+ablation knob in experiment E1: an id-allowlist blocks injected diagnostic
+frames that a domain-level rule would pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.ivn.frame import CanFrame
+
+
+class FirewallAction(Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+class RateLimiter:
+    """Token bucket: ``rate`` frames/s sustained, ``burst`` frames burst."""
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError("rate must be > 0 and burst >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def admit(self, now: float) -> bool:
+        """Consume a token if available; refill by elapsed time."""
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class FirewallRule:
+    """One match-action entry.
+
+    ``src``/``dst`` are domain names or ``"*"``; ``id_range`` is an
+    inclusive (lo, hi) tuple over CAN ids or ``None`` for any id.
+    """
+
+    src: str
+    dst: str
+    action: FirewallAction
+    id_range: Optional[Tuple[int, int]] = None
+    rate_limit: Optional[RateLimiter] = None
+    description: str = ""
+    hits: int = field(default=0, init=False)
+
+    def matches(self, frame: CanFrame, src: str, dst: str) -> bool:
+        if self.src != "*" and self.src != src:
+            return False
+        if self.dst != "*" and self.dst != dst:
+            return False
+        if self.id_range is not None:
+            lo, hi = self.id_range
+            if not lo <= frame.can_id <= hi:
+                return False
+        return True
+
+
+class Firewall:
+    """First-match-wins rule list with a default posture.
+
+    >>> fw = Firewall(default=FirewallAction.DENY)
+    >>> fw.add_rule(FirewallRule("infotainment", "powertrain",
+    ...             FirewallAction.ALLOW, id_range=(0x700, 0x7FF)))
+    >>> fw.evaluate(CanFrame(0x720), "infotainment", "powertrain", 0.0)
+    <FirewallAction.ALLOW: 'allow'>
+    >>> fw.evaluate(CanFrame(0x0C9), "infotainment", "powertrain", 0.0)
+    <FirewallAction.DENY: 'deny'>
+    """
+
+    def __init__(self, default: FirewallAction = FirewallAction.DENY) -> None:
+        self.default = default
+        self.rules: List[FirewallRule] = []
+        self.evaluations = 0
+        self.rate_limited = 0
+
+    def add_rule(self, rule: FirewallRule) -> "Firewall":
+        self.rules.append(rule)
+        return self
+
+    def evaluate(self, frame: CanFrame, src: str, dst: str, now: float) -> FirewallAction:
+        """Return the action for a frame crossing ``src`` -> ``dst``."""
+        self.evaluations += 1
+        for rule in self.rules:
+            if rule.matches(frame, src, dst):
+                rule.hits += 1
+                if rule.action is FirewallAction.ALLOW and rule.rate_limit is not None:
+                    if not rule.rate_limit.admit(now):
+                        self.rate_limited += 1
+                        return FirewallAction.DENY
+                return rule.action
+        return self.default

@@ -1,0 +1,134 @@
+"""The central secure gateway joining CAN domains.
+
+The gateway taps every attached domain bus, consults a routing table
+(which CAN ids propagate to which domains), runs each candidate crossing
+through the firewall, and re-injects allowed frames on the destination
+domain via its own gateway node after a processing delay.  A quarantined
+domain's traffic is dropped at the tap -- the paper's "isolate the
+compromised components and prevent the attack from propagating".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.gateway.firewall import Firewall, FirewallAction
+from repro.ivn.canbus import CanBus, CanNode
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator, TraceRecorder
+
+
+@dataclass
+class GatewayStats:
+    forwarded: int = 0
+    dropped_firewall: int = 0
+    dropped_quarantine: int = 0
+    dropped_no_route: int = 0
+
+    @property
+    def total_dropped(self) -> int:
+        return self.dropped_firewall + self.dropped_quarantine + self.dropped_no_route
+
+
+class SecureGateway:
+    """Firewall + router + quarantine over multiple CAN domains."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        firewall: Optional[Firewall] = None,
+        name: str = "gateway",
+        processing_delay: float = 200e-6,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.firewall = firewall if firewall is not None else Firewall()
+        self.processing_delay = processing_delay
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.domains: Dict[str, CanBus] = {}
+        self._nodes: Dict[str, CanNode] = {}
+        # routing table: (src_domain, can_id) -> set of destination domains
+        self._routes: Dict[Tuple[str, int], Set[str]] = {}
+        self.quarantined: Set[str] = set()
+        self.stats = GatewayStats()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach_domain(self, domain: str, bus: CanBus) -> None:
+        """Join a domain bus: tap it and place a gateway node on it."""
+        if domain in self.domains:
+            raise ValueError(f"domain {domain!r} already attached")
+        self.domains[domain] = bus
+        self._nodes[domain] = bus.attach(f"{self.name}.{domain}")
+        bus.tap(lambda frame, d=domain: self._ingress(frame, d))
+
+    def add_route(self, src_domain: str, can_id: int, dst_domains: Set[str]) -> None:
+        """Declare that ``can_id`` from ``src_domain`` is needed in
+        ``dst_domains`` (the signal routing matrix from the OEM)."""
+        for d in (src_domain, *dst_domains):
+            if d not in self.domains:
+                raise ValueError(f"unknown domain {d!r}")
+        self._routes.setdefault((src_domain, can_id), set()).update(dst_domains)
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def quarantine(self, domain: str) -> None:
+        """Stop forwarding any traffic originating in ``domain``."""
+        if domain not in self.domains:
+            raise ValueError(f"unknown domain {domain!r}")
+        self.quarantined.add(domain)
+        self.trace.emit(self.sim.now, self.name, "gateway.quarantine", domain=domain)
+
+    def release(self, domain: str) -> None:
+        self.quarantined.discard(domain)
+        self.trace.emit(self.sim.now, self.name, "gateway.release", domain=domain)
+
+    # ------------------------------------------------------------------
+    # Forwarding pipeline
+    # ------------------------------------------------------------------
+    def _ingress(self, frame: CanFrame, src_domain: str) -> None:
+        # Ignore our own re-injections to avoid routing loops.
+        if frame.sender is not None and frame.sender.startswith(f"{self.name}."):
+            return
+        if src_domain in self.quarantined:
+            self.stats.dropped_quarantine += 1
+            self.trace.emit(
+                self.sim.now, self.name, "gateway.drop",
+                reason="quarantine", domain=src_domain, can_id=frame.can_id,
+            )
+            return
+        destinations = self._routes.get((src_domain, frame.can_id))
+        if not destinations:
+            self.stats.dropped_no_route += 1
+            return
+        for dst_domain in destinations:
+            if dst_domain == src_domain:
+                continue
+            action = self.firewall.evaluate(frame, src_domain, dst_domain, self.sim.now)
+            if action is FirewallAction.DENY:
+                self.stats.dropped_firewall += 1
+                self.trace.emit(
+                    self.sim.now, self.name, "gateway.drop",
+                    reason="firewall", src=src_domain, dst=dst_domain,
+                    can_id=frame.can_id,
+                )
+                continue
+            self.sim.schedule(
+                self.processing_delay, self._egress, frame, src_domain, dst_domain,
+            )
+
+    def _egress(self, frame: CanFrame, src_domain: str, dst_domain: str) -> None:
+        if src_domain in self.quarantined:
+            self.stats.dropped_quarantine += 1
+            return
+        node = self._nodes[dst_domain]
+        node.send(frame.with_data(frame.data))
+        self.stats.forwarded += 1
+        self.trace.emit(
+            self.sim.now, self.name, "gateway.forward",
+            src=src_domain, dst=dst_domain, can_id=frame.can_id,
+        )

@@ -1,0 +1,35 @@
+"""Intrusion detection for in-vehicle networks.
+
+CAN has no authentication, so practice (and the paper's "Secure Networks"
+layer) leans on network-level anomaly detection.  Three classical detector
+families are implemented, plus an ensemble:
+
+- :class:`~repro.ids.frequency.FrequencyIds` -- learns per-id inter-arrival
+  statistics; catches injection floods and added traffic.
+- :class:`~repro.ids.entropy.EntropyIds` -- windowed Shannon entropy of the
+  id distribution; floods collapse entropy, fuzzing inflates it.
+- :class:`~repro.ids.specification.SpecificationIds` -- whitelist of ids,
+  DLCs and payload ranges from the OEM database; catches unknown ids and
+  malformed signals.
+- :class:`~repro.ids.ensemble.EnsembleIds` -- any/majority combination.
+
+Detection quality metrics live in :mod:`repro.analysis.metrics`.
+"""
+
+from repro.ids.base import Alert, Detector
+from repro.ids.frequency import FrequencyIds
+from repro.ids.entropy import EntropyIds
+from repro.ids.specification import SignalSpec, SpecificationIds
+from repro.ids.ensemble import EnsembleIds
+from repro.ids.payload import PayloadRangeIds
+
+__all__ = [
+    "Alert",
+    "Detector",
+    "FrequencyIds",
+    "EntropyIds",
+    "SignalSpec",
+    "SpecificationIds",
+    "EnsembleIds",
+    "PayloadRangeIds",
+]

@@ -1,0 +1,64 @@
+"""Detector base class and alert type."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.ivn.canbus import CanBus
+from repro.ivn.frame import CanFrame
+
+
+@dataclass(frozen=True)
+class Alert:
+    """An IDS detection event."""
+
+    time: float
+    detector: str
+    can_id: int
+    reason: str
+    score: float = 1.0
+
+
+class Detector(ABC):
+    """Base class for CAN intrusion detectors.
+
+    Lifecycle: feed attack-free traffic to :meth:`train`, then stream live
+    frames through :meth:`observe` (directly or by :meth:`attach`-ing to a
+    bus tap).  Alerts accumulate in :attr:`alerts`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.alerts: List[Alert] = []
+        self.frames_seen = 0
+        self.trained = False
+
+    @abstractmethod
+    def train(self, frames: Iterable[Tuple[float, CanFrame]]) -> None:
+        """Learn the benign baseline from (time, frame) pairs."""
+
+    @abstractmethod
+    def _evaluate(self, time: float, frame: CanFrame) -> Optional[Alert]:
+        """Detector-specific logic; return an alert or ``None``."""
+
+    def observe(self, time: float, frame: CanFrame) -> Optional[Alert]:
+        """Process one live frame; records and returns any alert."""
+        self.frames_seen += 1
+        alert = self._evaluate(time, frame)
+        if alert is not None:
+            self.alerts.append(alert)
+        return alert
+
+    def attach(self, bus: CanBus) -> None:
+        """Tap a bus: every transmitted frame is observed at bus time."""
+        bus.tap(lambda frame: self.observe(bus.sim.now, frame))
+
+    def reset_alerts(self) -> None:
+        self.alerts.clear()
+
+    @property
+    def alert_rate(self) -> float:
+        """Alerts per observed frame."""
+        return len(self.alerts) / self.frames_seen if self.frames_seen else 0.0

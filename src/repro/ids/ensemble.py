@@ -1,0 +1,58 @@
+"""Detector ensembles.
+
+Single detectors have complementary blind spots (timing vs content vs
+distribution); the ensemble combines their verdicts per frame.  ``mode``:
+
+- ``"any"``    -- alert if any member alerts (max recall);
+- ``"majority"`` -- alert if more than half the members alert (precision).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.ids.base import Alert, Detector
+from repro.ivn.frame import CanFrame
+
+
+class EnsembleIds(Detector):
+    """Combines member detectors' per-frame verdicts."""
+
+    def __init__(
+        self,
+        members: List[Detector],
+        mode: str = "any",
+        name: str = "ensemble-ids",
+    ) -> None:
+        super().__init__(name)
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        if mode not in ("any", "majority"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.members = list(members)
+        self.mode = mode
+
+    def train(self, frames: Iterable[Tuple[float, CanFrame]]) -> None:
+        cached = list(frames)
+        for member in self.members:
+            member.train(iter(cached))
+        self.trained = True
+
+    def _evaluate(self, time: float, frame: CanFrame) -> Optional[Alert]:
+        votes: List[Alert] = []
+        for member in self.members:
+            # Use observe() so members keep their own state/alert logs.
+            alert = member.observe(time, frame)
+            if alert is not None:
+                votes.append(alert)
+        if not votes:
+            return None
+        needed = 1 if self.mode == "any" else len(self.members) // 2 + 1
+        if len(votes) < needed:
+            return None
+        strongest = max(votes, key=lambda a: a.score)
+        return Alert(
+            time, self.name, frame.can_id,
+            reason=f"{len(votes)}/{len(self.members)} members: {strongest.reason}",
+            score=strongest.score,
+        )

@@ -1,0 +1,90 @@
+"""Frequency-based (timing) intrusion detection.
+
+Periodic CAN traffic has stable inter-arrival times per id.  Injection adds
+frames *between* the legitimate ones, so observed inter-arrivals drop well
+below the learned period.  The detector learns per-id mean/min inter-arrival
+during training and alerts when a live gap is shorter than
+``ratio_threshold`` x the learned mean.
+
+Known blind spot (kept deliberately -- it is the classical one): attacks on
+*aperiodic* ids and attacks that first silence the legitimate sender
+(masquerade after bus-off) evade pure timing analysis; experiment E2 shows
+this as the frequency detector's miss column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.ids.base import Alert, Detector
+from repro.ivn.frame import CanFrame
+
+
+@dataclass
+class _IdStats:
+    mean_gap: float
+    min_gap: float
+    count: int
+
+
+class FrequencyIds(Detector):
+    """Per-id inter-arrival anomaly detector.
+
+    ``ratio_threshold``: alert when gap < threshold * learned mean gap.
+    ``min_training_frames``: ids seen fewer times than this during training
+    are treated as aperiodic and exempted from timing checks.
+    """
+
+    def __init__(
+        self,
+        name: str = "freq-ids",
+        ratio_threshold: float = 0.5,
+        min_training_frames: int = 5,
+    ) -> None:
+        super().__init__(name)
+        if not 0 < ratio_threshold < 1:
+            raise ValueError("ratio_threshold must be in (0, 1)")
+        self.ratio_threshold = ratio_threshold
+        self.min_training_frames = min_training_frames
+        self._baseline: Dict[int, _IdStats] = {}
+        self._last_seen: Dict[int, float] = {}
+
+    def train(self, frames: Iterable[Tuple[float, CanFrame]]) -> None:
+        last: Dict[int, float] = {}
+        gaps: Dict[int, list] = {}
+        for time, frame in frames:
+            prev = last.get(frame.can_id)
+            if prev is not None:
+                gaps.setdefault(frame.can_id, []).append(time - prev)
+            last[frame.can_id] = time
+        for can_id, values in gaps.items():
+            if len(values) + 1 < self.min_training_frames:
+                continue
+            self._baseline[can_id] = _IdStats(
+                mean_gap=sum(values) / len(values),
+                min_gap=min(values),
+                count=len(values) + 1,
+            )
+        self.trained = True
+        self._last_seen.clear()
+
+    def learned_period(self, can_id: int) -> Optional[float]:
+        stats = self._baseline.get(can_id)
+        return stats.mean_gap if stats else None
+
+    def _evaluate(self, time: float, frame: CanFrame) -> Optional[Alert]:
+        stats = self._baseline.get(frame.can_id)
+        prev = self._last_seen.get(frame.can_id)
+        self._last_seen[frame.can_id] = time
+        if stats is None or prev is None:
+            return None
+        gap = time - prev
+        limit = self.ratio_threshold * stats.mean_gap
+        if gap < limit:
+            return Alert(
+                time, self.name, frame.can_id,
+                reason=f"inter-arrival {gap:.6f}s < {limit:.6f}s",
+                score=limit / gap if gap > 0 else float("inf"),
+            )
+        return None

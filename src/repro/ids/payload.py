@@ -1,0 +1,100 @@
+"""Payload-range (signal-value) intrusion detection.
+
+Learns, per CAN id and byte position, the value range observed in benign
+traffic and alerts when a live frame carries an out-of-range byte.  This
+is the *learned* sibling of :class:`~repro.ids.specification.SpecificationIds`
+(which needs the OEM database): it catches payload manipulation that
+keeps the id and timing intact -- the gap between the frequency and
+specification detectors in E2.
+
+Limitations (deliberately preserved): values that stay inside the learned
+envelope pass (a forged-but-plausible speed), and byte-wise ranges miss
+cross-byte invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ids.base import Alert, Detector
+from repro.ivn.frame import CanFrame
+
+
+@dataclass
+class _ByteRange:
+    low: int
+    high: int
+
+    def widen(self, value: int) -> None:
+        if value < self.low:
+            self.low = value
+        if value > self.high:
+            self.high = value
+
+    def contains(self, value: int, margin: int) -> bool:
+        return self.low - margin <= value <= self.high + margin
+
+
+class PayloadRangeIds(Detector):
+    """Per-(id, byte) min/max envelope detector.
+
+    ``margin``: slack added to each learned bound (absorbs benign drift).
+    ``min_training_frames``: ids seen fewer times are not modelled.
+    """
+
+    def __init__(self, name: str = "payload-ids", margin: int = 8,
+                 min_training_frames: int = 20) -> None:
+        super().__init__(name)
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.margin = margin
+        self.min_training_frames = min_training_frames
+        self._ranges: Dict[int, List[_ByteRange]] = {}
+        self._counts: Dict[int, int] = {}
+
+    def train(self, frames: Iterable[Tuple[float, CanFrame]]) -> None:
+        for _, frame in frames:
+            self._counts[frame.can_id] = self._counts.get(frame.can_id, 0) + 1
+            ranges = self._ranges.get(frame.can_id)
+            if ranges is None or len(ranges) != frame.dlc:
+                self._ranges[frame.can_id] = [
+                    _ByteRange(b, b) for b in frame.data
+                ]
+                continue
+            for byte_range, value in zip(ranges, frame.data):
+                byte_range.widen(value)
+        # Drop under-trained ids.
+        for can_id, count in list(self._counts.items()):
+            if count < self.min_training_frames:
+                self._ranges.pop(can_id, None)
+        self.trained = True
+
+    def learned_envelope(self, can_id: int) -> Optional[List[Tuple[int, int]]]:
+        ranges = self._ranges.get(can_id)
+        if ranges is None:
+            return None
+        return [(r.low, r.high) for r in ranges]
+
+    def _evaluate(self, time: float, frame: CanFrame) -> Optional[Alert]:
+        ranges = self._ranges.get(frame.can_id)
+        if ranges is None:
+            return None
+        if len(ranges) != frame.dlc:
+            return Alert(time, self.name, frame.can_id,
+                         reason=f"dlc {frame.dlc} != learned {len(ranges)}",
+                         score=1.0)
+        for index, (byte_range, value) in enumerate(zip(ranges, frame.data)):
+            if not byte_range.contains(value, self.margin):
+                span = max(1, byte_range.high - byte_range.low + 2 * self.margin)
+                deviation = min(
+                    abs(value - byte_range.low), abs(value - byte_range.high),
+                ) / span
+                return Alert(
+                    time, self.name, frame.can_id,
+                    reason=(f"byte {index} value {value} outside learned "
+                            f"[{byte_range.low}, {byte_range.high}] "
+                            f"(margin {self.margin})"),
+                    score=1.0 + deviation,
+                )
+        return None

@@ -1,0 +1,75 @@
+"""Specification-based intrusion detection.
+
+Uses the OEM signal database as ground truth: which ids exist, their DLC,
+and per-signal physical bounds.  Anything outside the specification is an
+attack (or a defect) by definition, so the false-positive rate is near zero
+-- but the detector is blind to attacks that stay *within* spec (replayed
+plausible values), which is why the ensemble matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.ids.base import Alert, Detector
+from repro.ivn.frame import CanFrame
+
+PayloadValidator = Callable[[bytes], bool]
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """Specification entry for one CAN id."""
+
+    can_id: int
+    dlc: int
+    validator: Optional[PayloadValidator] = None
+    description: str = ""
+
+
+class SpecificationIds(Detector):
+    """Whitelist detector over the OEM signal database.
+
+    Training is optional (the spec *is* the baseline); calling
+    :meth:`train` additionally learns which ids actually appear, flagging
+    spec'd-but-never-seen ids for review (the paper's "reserved for future
+    use" configurations -- see experiment E14).
+    """
+
+    def __init__(self, specs: Iterable[SignalSpec], name: str = "spec-ids") -> None:
+        super().__init__(name)
+        self.specs: Dict[int, SignalSpec] = {}
+        for spec in specs:
+            if spec.can_id in self.specs:
+                raise ValueError(f"duplicate spec for id {spec.can_id:#x}")
+            self.specs[spec.can_id] = spec
+        self.seen_in_training: set = set()
+        self.trained = True  # usable without training
+
+    def train(self, frames: Iterable[Tuple[float, CanFrame]]) -> None:
+        for _, frame in frames:
+            self.seen_in_training.add(frame.can_id)
+
+    def unused_specs(self) -> set:
+        """Spec'd ids never observed in training traffic ("reserved" ids)."""
+        return set(self.specs) - self.seen_in_training
+
+    def _evaluate(self, time: float, frame: CanFrame) -> Optional[Alert]:
+        spec = self.specs.get(frame.can_id)
+        if spec is None:
+            return Alert(
+                time, self.name, frame.can_id,
+                reason=f"unknown id {frame.can_id:#x}", score=1.0,
+            )
+        if frame.dlc != spec.dlc:
+            return Alert(
+                time, self.name, frame.can_id,
+                reason=f"dlc {frame.dlc} != spec {spec.dlc}", score=1.0,
+            )
+        if spec.validator is not None and not spec.validator(frame.data):
+            return Alert(
+                time, self.name, frame.can_id,
+                reason="payload out of specified range", score=1.0,
+            )
+        return None

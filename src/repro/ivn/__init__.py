@@ -1,0 +1,62 @@
+"""In-vehicle network (IVN) substrate.
+
+The paper's "Secure Networks" layer observes that the dominant IVN protocols
+-- LIN, CAN, FlexRay -- lack security mechanisms, and that Automotive
+Ethernet is the next-generation option.  This package models all four at
+frame granularity on the discrete-event kernel:
+
+- :mod:`repro.ivn.frame` -- CAN frame encoding: real CRC-15, bit-stuffing
+  computation, wire-time arithmetic.
+- :mod:`repro.ivn.canbus` -- CAN bus with ID-priority arbitration, error
+  counters and the bus-off state machine (the substrate attacked in E1/E2
+  and loaded in E3).
+- :mod:`repro.ivn.lin` -- LIN master/slave schedule table.
+- :mod:`repro.ivn.flexray` -- FlexRay TDMA static segment + minislot
+  dynamic segment.
+- :mod:`repro.ivn.ethernet` -- switched Automotive Ethernet with VLANs and
+  a filtering hook.
+- :mod:`repro.ivn.scheduling` -- periodic senders, realistic automotive
+  traffic matrices, deadline bookkeeping.
+"""
+
+from repro.ivn.frame import CanFrame, can_frame_bit_length, can_crc15, count_stuff_bits
+from repro.ivn.canbus import BusState, CanBus, CanNode
+from repro.ivn.canfd import CanFdBus, CanFdFrame, fd_dlc_for
+from repro.ivn.lin import LinBus, LinFrameSlot, LinMaster, LinSlave
+from repro.ivn.flexray import FlexRayBus, FlexRayConfig, FlexRayNode
+from repro.ivn.ethernet import EthernetFrame, EthernetSwitch, EthernetEndpoint
+from repro.ivn.scheduling import (
+    DeadlineMonitor,
+    PeriodicSender,
+    TrafficMatrix,
+    typical_powertrain_matrix,
+    typical_body_matrix,
+)
+
+__all__ = [
+    "CanFrame",
+    "can_frame_bit_length",
+    "can_crc15",
+    "count_stuff_bits",
+    "BusState",
+    "CanFdBus",
+    "CanFdFrame",
+    "fd_dlc_for",
+    "CanBus",
+    "CanNode",
+    "LinBus",
+    "LinFrameSlot",
+    "LinMaster",
+    "LinSlave",
+    "FlexRayBus",
+    "FlexRayConfig",
+    "FlexRayNode",
+    "EthernetFrame",
+    "EthernetSwitch",
+    "EthernetEndpoint",
+    "DeadlineMonitor",
+    "PeriodicSender",
+    "TrafficMatrix",
+    "typical_powertrain_matrix",
+    "typical_body_matrix",
+]

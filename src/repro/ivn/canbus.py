@@ -1,0 +1,243 @@
+"""CAN bus simulation: arbitration, error handling, bus-off.
+
+Semantics modelled (these are what the experiments exercise):
+
+- **Arbitration**: when the bus goes idle, all nodes with pending frames
+  contend; the lowest identifier wins (dominant bits win, CAN 2.0 §3).
+  A flood of low-ID frames therefore starves higher-ID traffic -- the DoS
+  attack mode of §4.1 of the paper and experiment E1/E2.
+- **Error handling**: frames can be corrupted (random bit errors or a
+  targeted attacker).  Receivers signal an error frame; the transmitter's
+  TEC rises by 8 per error and falls by 1 per success; >127 puts the node
+  in error-passive, >255 in **bus-off** -- which is itself an attack target
+  (the bus-off attack in :mod:`repro.attacks.busoff`).
+- **Timing**: each frame occupies the wire for its stuffed bit length
+  divided by the bitrate; enqueue-to-delivery latency is traced for the
+  deadline analysis of E3.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ivn.frame import CanFrame
+from repro.sim import Simulator, TraceRecorder
+
+ReceiveFn = Callable[[CanFrame], None]
+
+_ERROR_FRAME_BITS = 29  # error flag(6..12) + delimiter(8) + IFS(3), worst-ish
+_TEC_ERROR_PASSIVE = 127
+_TEC_BUS_OFF = 255
+
+
+class BusState(Enum):
+    """CAN controller fault-confinement states."""
+
+    ERROR_ACTIVE = "error_active"
+    ERROR_PASSIVE = "error_passive"
+    BUS_OFF = "bus_off"
+
+
+class CanNode:
+    """A CAN controller attached to a :class:`CanBus`.
+
+    Transmit queue is ordered by (can_id, FIFO), mirroring hardware mailbox
+    behaviour where the highest-priority pending message enters arbitration.
+    """
+
+    def __init__(self, bus: "CanBus", name: str) -> None:
+        self.bus = bus
+        self.name = name
+        self.tx_queue: List[Tuple[CanFrame, float]] = []
+        self.receive_callbacks: List[ReceiveFn] = []
+        self.tec = 0  # transmit error counter
+        self.rec = 0  # receive error counter
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.arbitration_losses = 0
+        self.tx_errors = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BusState:
+        if self.tec > _TEC_BUS_OFF:
+            return BusState.BUS_OFF
+        if self.tec > _TEC_ERROR_PASSIVE or self.rec > _TEC_ERROR_PASSIVE:
+            return BusState.ERROR_PASSIVE
+        return BusState.ERROR_ACTIVE
+
+    @property
+    def bus_off(self) -> bool:
+        return self.state == BusState.BUS_OFF
+
+    def send(self, frame: CanFrame) -> None:
+        """Queue a frame for transmission (no-op if bus-off)."""
+        if self.bus_off:
+            return
+        stamped = frame.stamped(self.name, self.bus.sim.now)
+        self.tx_queue.append((stamped, self.bus.sim.now))
+        self.tx_queue.sort(key=lambda item: (item[0].can_id, item[1]))
+        self.bus.request_arbitration()
+
+    def on_receive(self, callback: ReceiveFn) -> None:
+        """Register a frame-delivery callback (acceptance filtering is the
+        callback's business, as with real controllers in promiscuous mode)."""
+        self.receive_callbacks.append(callback)
+
+    def recover(self) -> None:
+        """Bus-off recovery (the 128 x 11 recessive-bit sequence, abstracted)."""
+        self.tec = 0
+        self.rec = 0
+        self.bus.request_arbitration()
+
+    def _deliver(self, frame: CanFrame) -> None:
+        self.frames_received += 1
+        if self.rec > 0:
+            self.rec -= 1
+        for callback in self.receive_callbacks:
+            callback(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CanNode {self.name} tec={self.tec} {self.state.value}>"
+
+
+class CanBus:
+    """A single CAN segment on the event kernel.
+
+    ``corruption_hook`` -- if set, called with each frame about to complete
+    transmission; returning ``True`` corrupts it (used by targeted attacks);
+    independent random corruption is controlled by ``bit_error_rate``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "can0",
+        bitrate: float = 500_000.0,
+        trace: Optional[TraceRecorder] = None,
+        bit_error_rate: float = 0.0,
+        rng=None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.bitrate = float(bitrate)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.bit_error_rate = bit_error_rate
+        self.rng = rng
+        self.nodes: Dict[str, CanNode] = {}
+        self.listeners: List[ReceiveFn] = []
+        self.corruption_hook: Optional[Callable[[CanFrame], bool]] = None
+        self.busy = False
+        self.frames_on_wire = 0
+        self.error_frames = 0
+        self._arbitration_pending = False
+        self._busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(self, name: str) -> CanNode:
+        """Create and attach a named node."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already attached to {self.name}")
+        node = CanNode(self, name)
+        self.nodes[name] = node
+        return node
+
+    def tap(self, listener: ReceiveFn) -> None:
+        """Attach a bus-level monitor (IDS sensors, gateways, sniffers)."""
+        self.listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Arbitration and transmission
+    # ------------------------------------------------------------------
+    def request_arbitration(self) -> None:
+        """Ask the bus to (re)start arbitration as soon as it is idle."""
+        if self.busy or self._arbitration_pending:
+            return
+        self._arbitration_pending = True
+        self.sim.schedule(0.0, self._arbitrate)
+
+    def _contenders(self) -> List[CanNode]:
+        return [n for n in self.nodes.values() if n.tx_queue and not n.bus_off]
+
+    def _arbitrate(self) -> None:
+        self._arbitration_pending = False
+        if self.busy:
+            return
+        contenders = self._contenders()
+        if not contenders:
+            return
+        winner = min(contenders, key=lambda n: n.tx_queue[0][0].can_id)
+        for node in contenders:
+            if node is not winner:
+                node.arbitration_losses += 1
+        frame, _ = winner.tx_queue[0]
+        self.busy = True
+        duration = frame.wire_time(self.bitrate)
+        self._busy_time += duration
+        self.sim.schedule(duration, self._complete, winner, frame)
+
+    def _complete(self, node: CanNode, frame: CanFrame) -> None:
+        corrupted = False
+        if self.corruption_hook is not None and self.corruption_hook(frame):
+            corrupted = True
+        elif self.bit_error_rate > 0 and self.rng is not None:
+            # Probability any of the frame's bits flipped.
+            n_bits = frame.bit_length()
+            p_frame = 1.0 - (1.0 - self.bit_error_rate) ** n_bits
+            corrupted = self.rng.random() < p_frame
+
+        if corrupted:
+            self.error_frames += 1
+            node.tec += 8
+            node.tx_errors += 1
+            for other in self.nodes.values():
+                if other is not node:
+                    other.rec += 1
+            self.trace.emit(
+                self.sim.now, self.name, "can.error",
+                can_id=frame.can_id, sender=node.name, tec=node.tec,
+            )
+            if node.bus_off:
+                node.tx_queue.clear()
+                self.trace.emit(self.sim.now, self.name, "can.busoff", node=node.name)
+            # Error frame occupies the wire before the retransmission.
+            error_time = _ERROR_FRAME_BITS / self.bitrate
+            self._busy_time += error_time
+            self.sim.schedule(error_time, self._release)
+            return
+
+        # Successful transmission.
+        node.tx_queue.pop(0)
+        node.frames_sent += 1
+        if node.tec > 0:
+            node.tec -= 1
+        self.frames_on_wire += 1
+        latency = self.sim.now - frame.timestamp
+        self.trace.emit(
+            self.sim.now, self.name, "can.tx",
+            can_id=frame.can_id, dlc=frame.dlc, sender=node.name, latency=latency,
+        )
+        for other in self.nodes.values():
+            if other is not node:
+                other._deliver(frame)
+        for listener in self.listeners:
+            listener(frame)
+        self._release()
+
+    def _release(self) -> None:
+        self.busy = False
+        if self._contenders():
+            self.request_arbitration()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of wall-clock the wire was occupied."""
+        window = elapsed if elapsed is not None else self.sim.now
+        if window <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / window)

@@ -1,0 +1,115 @@
+"""CAN FD: flexible data-rate CAN.
+
+The successor protocol production vehicles adopted after the paper's
+timeframe: payloads up to 64 bytes and a faster *data phase* bitrate
+(arbitration still runs at the nominal rate).  Security-wise it changes
+the E3 economics completely -- a full 16-byte CMAC plus counter fits one
+frame with room to spare, so authentication stops costing frames.
+
+The model reuses the classic :class:`~repro.ivn.canbus.CanBus` semantics
+(arbitration, errors) with FD frame timing: the arbitration/control
+fields at the nominal bitrate, the data+CRC field at ``data_bitrate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ivn.canbus import CanBus
+
+# Valid CAN FD DLC payload sizes.
+FD_PAYLOAD_SIZES = (0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64)
+
+_ARBITRATION_BITS = 30   # SOF + 11-bit id + control at nominal rate
+_DATA_OVERHEAD_BITS = 28  # CRC(17/21) + delimiters + ACK + EOF, simplified
+_TRAILER_NOMINAL_BITS = 12  # ACK/EOF/IFS back at nominal rate
+
+
+def fd_dlc_for(length: int) -> int:
+    """Smallest valid FD payload size holding ``length`` bytes."""
+    for size in FD_PAYLOAD_SIZES:
+        if size >= length:
+            return size
+    raise ValueError(f"payload {length}B exceeds CAN FD maximum of 64")
+
+
+@dataclass(frozen=True)
+class CanFdFrame:
+    """A CAN FD data frame (11-bit id, up to 64 payload bytes)."""
+
+    can_id: int
+    data: bytes = b""
+    sender: Optional[str] = None
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.can_id <= 0x7FF:
+            raise ValueError(f"CAN FD id {self.can_id:#x} out of range")
+        if len(self.data) > 64:
+            raise ValueError("CAN FD payload limited to 64 bytes")
+
+    @property
+    def dlc(self) -> int:
+        return fd_dlc_for(len(self.data))
+
+    def stamped(self, sender: str, timestamp: float) -> "CanFdFrame":
+        """Copy with transmission metadata (called by the sending node)."""
+        return CanFdFrame(self.can_id, self.data, sender=sender,
+                          timestamp=timestamp)
+
+    def bit_length(self) -> int:
+        """Approximate on-wire bits (for the random bit-error model)."""
+        return _ARBITRATION_BITS + _TRAILER_NOMINAL_BITS + 8 * self.dlc + _DATA_OVERHEAD_BITS
+
+    def wire_time(self, nominal_bitrate: float, data_bitrate: float) -> float:
+        """Dual-rate transmission time (stuffing folded into overheads)."""
+        if nominal_bitrate <= 0 or data_bitrate <= 0:
+            raise ValueError("bitrates must be positive")
+        padded = self.dlc
+        data_bits = 8 * padded + _DATA_OVERHEAD_BITS
+        return (
+            (_ARBITRATION_BITS + _TRAILER_NOMINAL_BITS) / nominal_bitrate
+            + data_bits / data_bitrate
+        )
+
+
+class CanFdBus(CanBus):
+    """A CAN FD segment: classic arbitration, dual-rate frame timing.
+
+    Accepts both :class:`CanFdFrame` and classic :class:`CanFrame` (the
+    mixed-traffic reality of transition-era vehicles; classic frames are
+    timed entirely at the nominal rate).
+    """
+
+    def __init__(
+        self,
+        sim,
+        name: str = "canfd0",
+        bitrate: float = 500_000.0,
+        data_bitrate: float = 2_000_000.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, name=name, bitrate=bitrate, **kwargs)
+        self.data_bitrate = float(data_bitrate)
+
+    def _arbitrate(self) -> None:
+        # Identical to CanBus._arbitrate but times FD frames dual-rate.
+        self._arbitration_pending = False
+        if self.busy:
+            return
+        contenders = self._contenders()
+        if not contenders:
+            return
+        winner = min(contenders, key=lambda n: n.tx_queue[0][0].can_id)
+        for node in contenders:
+            if node is not winner:
+                node.arbitration_losses += 1
+        frame, _ = winner.tx_queue[0]
+        self.busy = True
+        if isinstance(frame, CanFdFrame):
+            duration = frame.wire_time(self.bitrate, self.data_bitrate)
+        else:
+            duration = frame.wire_time(self.bitrate)
+        self._busy_time += duration
+        self.sim.schedule(duration, self._complete, winner, frame)

@@ -1,0 +1,162 @@
+"""CAN frame encoding: CRC-15, bit stuffing, and wire-time arithmetic.
+
+The experiments that matter here (arbitration starvation in E1, timing IDS
+in E2, authentication bus-load in E3) all hinge on *how long a frame
+occupies the wire*, which depends on the stuffed bit length.  Rather than
+use a worst-case formula we serialise the stuffed region of each frame
+(SOF, arbitration, control, data, CRC) and count actual stuff bits, so two
+frames with the same DLC but different payloads correctly take different
+times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+CAN_MAX_STD_ID = 0x7FF
+CAN_MAX_EXT_ID = 0x1FFFFFFF
+
+# Non-stuffed trailer: CRC delimiter(1) + ACK slot(1) + ACK delimiter(1)
+# + EOF(7) + IFS(3)
+_TRAILER_BITS = 13
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """A CAN 2.0 data or remote frame.
+
+    ``can_id`` is the arbitration identifier (lower wins arbitration),
+    ``data`` the 0..8-byte payload.  Frames are immutable; mutation attacks
+    construct modified copies (which is also how real attackers operate --
+    they cannot rewrite a frame in flight, only inject new ones).
+    """
+
+    can_id: int
+    data: bytes = b""
+    extended: bool = False
+    remote: bool = False
+    sender: Optional[str] = None
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        limit = CAN_MAX_EXT_ID if self.extended else CAN_MAX_STD_ID
+        if not 0 <= self.can_id <= limit:
+            raise ValueError(
+                f"CAN id {self.can_id:#x} out of range for "
+                f"{'extended' if self.extended else 'standard'} frame"
+            )
+        if len(self.data) > 8:
+            raise ValueError(f"CAN payload limited to 8 bytes, got {len(self.data)}")
+        if self.remote and self.data:
+            raise ValueError("remote frames carry no data")
+
+    @property
+    def dlc(self) -> int:
+        return len(self.data)
+
+    def stuffed_region_bits(self) -> List[int]:
+        """Serialise the bit-stuffing-covered region of the frame.
+
+        Standard frame: SOF(1) ID(11) RTR(1) IDE(1) r0(1) DLC(4) DATA CRC(15).
+        Extended frame: SOF(1) ID-A(11) SRR(1) IDE(1) ID-B(18) RTR(1)
+        r1(1) r0(1) DLC(4) DATA CRC(15).
+        """
+        bits: List[int] = [0]  # SOF is dominant (0)
+        if self.extended:
+            id_a = (self.can_id >> 18) & 0x7FF
+            id_b = self.can_id & 0x3FFFF
+            bits += _int_bits(id_a, 11)
+            bits += [1]  # SRR recessive
+            bits += [1]  # IDE recessive (extended)
+            bits += _int_bits(id_b, 18)
+            bits += [1 if self.remote else 0]  # RTR
+            bits += [0, 0]  # r1, r0
+        else:
+            bits += _int_bits(self.can_id, 11)
+            bits += [1 if self.remote else 0]  # RTR
+            bits += [0]  # IDE dominant (standard)
+            bits += [0]  # r0
+        bits += _int_bits(self.dlc, 4)
+        for byte in self.data:
+            bits += _int_bits(byte, 8)
+        bits += _int_bits(can_crc15(bits), 15)
+        return bits
+
+    def bit_length(self) -> int:
+        """Total on-wire bits, including actual stuff bits and IFS."""
+        region = self.stuffed_region_bits()
+        return len(region) + count_stuff_bits(region) + _TRAILER_BITS
+
+    def wire_time(self, bitrate: float) -> float:
+        """Seconds this frame occupies the bus at ``bitrate`` bits/s."""
+        if bitrate <= 0:
+            raise ValueError("bitrate must be positive")
+        return self.bit_length() / bitrate
+
+    def with_data(self, data: bytes) -> "CanFrame":
+        """Copy with replaced payload (used by attack mutators)."""
+        return CanFrame(
+            self.can_id, data, extended=self.extended,
+            remote=self.remote, sender=self.sender, timestamp=self.timestamp,
+        )
+
+    def stamped(self, sender: str, timestamp: float) -> "CanFrame":
+        """Copy with transmission metadata (called by the sending node)."""
+        return CanFrame(
+            self.can_id, self.data, extended=self.extended,
+            remote=self.remote, sender=sender, timestamp=timestamp,
+        )
+
+
+def _int_bits(value: int, width: int) -> List[int]:
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def can_crc15(bits: List[int]) -> int:
+    """CAN CRC-15 over a bit sequence (polynomial 0x4599)."""
+    crc = 0
+    for bit in bits:
+        crc_next = bit ^ ((crc >> 14) & 1)
+        crc = (crc << 1) & 0x7FFF
+        if crc_next:
+            crc ^= 0x4599
+    return crc
+
+
+def count_stuff_bits(bits: List[int]) -> int:
+    """Count stuff bits CAN inserts after 5 consecutive equal bits.
+
+    Stuff bits themselves participate in subsequent run-length counting, so
+    this walks the stream statefully rather than just counting runs.
+    """
+    count = 0
+    run_bit = None
+    run_len = 0
+    for bit in bits:
+        if bit == run_bit:
+            run_len += 1
+        else:
+            run_bit = bit
+            run_len = 1
+        if run_len == 5:
+            count += 1
+            # The inserted stuff bit is the complement; it starts a new run.
+            run_bit = 1 - bit
+            run_len = 1
+    return count
+
+
+def can_frame_bit_length(dlc: int, extended: bool = False, worst_case: bool = False) -> int:
+    """Frame length formula without constructing a payload.
+
+    With ``worst_case=True`` returns the classical worst-case stuffing bound;
+    otherwise returns the unstuffed length (useful as a lower bound).
+    """
+    if not 0 <= dlc <= 8:
+        raise ValueError("dlc must be 0..8")
+    stuffable = (54 if extended else 34) + 8 * dlc
+    base = stuffable + _TRAILER_BITS
+    if worst_case:
+        return base + (stuffable - 1) // 4
+    return base

@@ -1,0 +1,153 @@
+"""LIN (Local Interconnect Network) master/slave simulation.
+
+LIN is the low-cost sensor/actuator bus the paper lists among IVNs lacking
+security.  It is strictly schedule-driven: the single master broadcasts a
+frame *header* per schedule slot and the designated publisher (master or a
+slave) answers with the response.  There is no arbitration and no sender
+authentication -- any node physically on the wire can answer a header, which
+is exactly the weakness :mod:`repro.attacks.injection` exploits on LIN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim import Simulator, TraceRecorder
+
+LIN_MAX_ID = 0x3F
+_HEADER_BITS = 34  # break(13) + sync(10) + protected id(10), rounded
+_BITS_PER_BYTE = 10  # 8N1 UART framing
+
+
+@dataclass(frozen=True)
+class LinFrameSlot:
+    """One entry of the master's schedule table."""
+
+    frame_id: int
+    publisher: str  # node name expected to supply the response
+    length: int = 8  # response bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.frame_id <= LIN_MAX_ID:
+            raise ValueError(f"LIN id {self.frame_id:#x} out of range")
+        if not 1 <= self.length <= 8:
+            raise ValueError("LIN response length must be 1..8")
+
+    def slot_time(self, bitrate: float) -> float:
+        """Nominal slot duration: header + response + checksum byte."""
+        response_bits = _BITS_PER_BYTE * (self.length + 1)
+        return 1.4 * (_HEADER_BITS + response_bits) / bitrate  # 40% inter-byte space
+
+
+class LinSlave:
+    """A LIN slave: publishes responses for some ids, listens to all."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._publications: Dict[int, Callable[[], bytes]] = {}
+        self.receive_callbacks: List[Callable[[int, bytes, str], None]] = []
+        self.frames_received = 0
+
+    def publish(self, frame_id: int, supplier: Callable[[], bytes]) -> None:
+        """Register as the data supplier for ``frame_id``."""
+        self._publications[frame_id] = supplier
+
+    def respond(self, frame_id: int) -> Optional[bytes]:
+        supplier = self._publications.get(frame_id)
+        return None if supplier is None else supplier()
+
+    def on_frame(self, callback: Callable[[int, bytes, str], None]) -> None:
+        self.receive_callbacks.append(callback)
+
+    def deliver(self, frame_id: int, data: bytes, publisher: str) -> None:
+        self.frames_received += 1
+        for callback in self.receive_callbacks:
+            callback(frame_id, data, publisher)
+
+
+class LinMaster(LinSlave):
+    """The LIN master also owns the schedule; modelled by :class:`LinBus`."""
+
+
+class LinBus:
+    """A LIN cluster: one master, many slaves, cyclic schedule."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "lin0",
+        bitrate: float = 19_200.0,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.bitrate = float(bitrate)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.master = LinMaster("master")
+        self.slaves: Dict[str, LinSlave] = {}
+        self.schedule: List[LinFrameSlot] = []
+        self.impostor: Optional[Callable[[int], Optional[bytes]]] = None
+        self._slot_index = 0
+        self._running = False
+        self.collisions = 0
+
+    def attach_slave(self, name: str) -> LinSlave:
+        if name in self.slaves or name == "master":
+            raise ValueError(f"slave {name!r} already attached")
+        slave = LinSlave(name)
+        self.slaves[name] = slave
+        return slave
+
+    def set_schedule(self, slots: List[LinFrameSlot]) -> None:
+        for slot in slots:
+            if slot.publisher != "master" and slot.publisher not in self.slaves:
+                raise ValueError(f"unknown publisher {slot.publisher!r}")
+        self.schedule = list(slots)
+
+    def start(self) -> None:
+        """Begin executing the schedule table cyclically."""
+        if not self.schedule:
+            raise ValueError("cannot start LIN bus with empty schedule")
+        if not self._running:
+            self._running = True
+            self.sim.schedule(0.0, self._run_slot)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _node(self, name: str) -> LinSlave:
+        return self.master if name == "master" else self.slaves[name]
+
+    def _run_slot(self) -> None:
+        if not self._running:
+            return
+        slot = self.schedule[self._slot_index]
+        self._slot_index = (self._slot_index + 1) % len(self.schedule)
+
+        publisher = self._node(slot.publisher)
+        response = publisher.respond(slot.frame_id)
+
+        # An impostor (attacker on the wire) may answer the header too.
+        spoofed = self.impostor(slot.frame_id) if self.impostor else None
+        effective_publisher = slot.publisher
+        if spoofed is not None:
+            if response is not None:
+                self.collisions += 1  # both drive the wire; attacker wins timing
+            response = spoofed
+            effective_publisher = "<impostor>"
+
+        if response is not None:
+            self.trace.emit(
+                self.sim.now, self.name, "lin.tx",
+                frame_id=slot.frame_id, publisher=effective_publisher,
+                dlc=len(response),
+            )
+            for node in [self.master, *self.slaves.values()]:
+                if node.name != effective_publisher:
+                    node.deliver(slot.frame_id, response, effective_publisher)
+        else:
+            self.trace.emit(
+                self.sim.now, self.name, "lin.no_response", frame_id=slot.frame_id,
+            )
+        self.sim.schedule(slot.slot_time(self.bitrate), self._run_slot)

@@ -1,0 +1,189 @@
+"""Authenticated CAN messaging (AUTOSAR SecOC shape).
+
+CAN frames carry at most 8 bytes, so message authentication must either
+steal payload bytes for a truncated MAC (**inline** mode: SecOC's default
+-- typically 4 bytes of truncated CMAC + 1 byte of freshness counter) or
+send the tag in a **separate** frame (full-width tag, doubled bus load).
+Both modes are implemented; experiment E3 sweeps tag length against bus
+load and deadline misses, experiment ablations compare the modes.
+
+Freshness: a per-id monotonic counter is MAC'd and (partially) transmitted;
+receivers accept a bounded window ahead of their last seen counter, which
+defeats replay while tolerating loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.crypto import aes_cmac, cmac_verify
+from repro.ivn.canbus import CanBus, CanNode
+from repro.ivn.frame import CanFrame
+
+# Separate-mode tag frames ride on extended ids in a reserved space so no
+# 11-bit base id can collide with its own (or another signal's) tag id.
+TAG_ID_BASE = 0x1F000000
+
+
+@dataclass
+class SecOcStats:
+    sent: int = 0
+    accepted: int = 0
+    rejected_mac: int = 0
+    rejected_freshness: int = 0
+
+
+class SecOcSender:
+    """Authenticates outgoing frames for a set of ids.
+
+    ``tag_len`` payload bytes are spent on the truncated CMAC and one byte
+    on the freshness counter (inline mode), leaving ``8 - tag_len - 1``
+    bytes of application payload.
+    """
+
+    def __init__(self, node: CanNode, key: bytes, tag_len: int = 4,
+                 mode: str = "inline") -> None:
+        if mode not in ("inline", "separate"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "inline" and not 1 <= tag_len <= 7:
+            raise ValueError("inline tag must leave at least one payload byte")
+        if mode == "separate" and not 1 <= tag_len <= 7:
+            raise ValueError(
+                "separate tag must fit one frame alongside the counter byte"
+            )
+        self.node = node
+        self.key = key
+        self.tag_len = tag_len
+        self.mode = mode
+        self._counters: Dict[int, int] = {}
+        self.stats = SecOcStats()
+
+    def max_payload(self) -> int:
+        """Application bytes available per frame."""
+        return 8 - self.tag_len - 1 if self.mode == "inline" else 7
+
+    def send(self, can_id: int, payload: bytes) -> None:
+        """Authenticate and transmit ``payload`` under ``can_id``."""
+        if len(payload) > self.max_payload():
+            raise ValueError(
+                f"payload {len(payload)}B exceeds authenticated capacity "
+                f"{self.max_payload()}B"
+            )
+        counter = self._counters.get(can_id, 0) + 1
+        self._counters[can_id] = counter
+        counter_byte = counter & 0xFF
+        auth_input = (
+            can_id.to_bytes(4, "big") + counter.to_bytes(8, "big") + payload
+        )
+        tag = aes_cmac(self.key, auth_input, tag_len=self.tag_len)
+        self.stats.sent += 1
+        if self.mode == "inline":
+            frame_payload = payload + bytes([counter_byte]) + tag
+            self.node.send(CanFrame(can_id, frame_payload))
+        else:
+            self.node.send(CanFrame(can_id, payload + bytes([counter_byte])))
+            # Tag frame carries the counter byte so receivers can pair
+            # data and tag even when congestion reorders them.
+            self.node.send(CanFrame(
+                TAG_ID_BASE | can_id, bytes([counter_byte]) + tag, extended=True,
+            ))
+
+
+class SecOcReceiver:
+    """Verifies authenticated frames; delivers accepted payloads.
+
+    ``window``: how far ahead of the last accepted counter the received
+    (truncated) counter may be -- loss tolerance vs replay window.
+    """
+
+    def __init__(self, key: bytes, tag_len: int = 4, window: int = 16,
+                 on_accept: Optional[Callable[[int, bytes], None]] = None) -> None:
+        self.key = key
+        self.tag_len = tag_len
+        self.window = window
+        self.on_accept = on_accept
+        self._counters: Dict[int, int] = {}
+        self.stats = SecOcStats()
+        # Separate mode: per-id map of counter byte -> waiting payload,
+        # bounded so a flood of unpaired data frames cannot grow it.
+        self._pending_separate: Dict[int, Dict[int, bytes]] = {}
+
+    def _reconstruct_counter(self, can_id: int, counter_byte: int) -> Optional[int]:
+        """Recover the full counter from its low byte within the window."""
+        last = self._counters.get(can_id, 0)
+        for candidate in range(last + 1, last + 1 + self.window):
+            if candidate & 0xFF == counter_byte:
+                return candidate
+        return None
+
+    def _verify(self, can_id: int, payload: bytes, counter_byte: int,
+                tag: bytes) -> bool:
+        counter = self._reconstruct_counter(can_id, counter_byte)
+        if counter is None:
+            self.stats.rejected_freshness += 1
+            return False
+        auth_input = (
+            can_id.to_bytes(4, "big") + counter.to_bytes(8, "big") + payload
+        )
+        if not cmac_verify(self.key, auth_input, tag):
+            self.stats.rejected_mac += 1
+            return False
+        self._counters[can_id] = counter
+        self.stats.accepted += 1
+        if self.on_accept is not None:
+            self.on_accept(can_id, payload)
+        return True
+
+    def receive_inline(self, frame: CanFrame) -> bool:
+        """Process one inline-authenticated frame."""
+        if frame.dlc < self.tag_len + 1:
+            self.stats.rejected_mac += 1
+            return False
+        tag = frame.data[-self.tag_len:]
+        counter_byte = frame.data[-self.tag_len - 1]
+        payload = frame.data[: -self.tag_len - 1]
+        return self._verify(frame.can_id, payload, counter_byte, tag)
+
+    def receive_separate(self, frame: CanFrame) -> Optional[bool]:
+        """Process frames of the two-frame (data + tag) scheme.
+
+        Returns None while waiting for the companion frame.
+        """
+        if frame.extended and (frame.can_id & TAG_ID_BASE) == TAG_ID_BASE:
+            if frame.dlc < 2:
+                self.stats.rejected_mac += 1
+                return False
+            base_id = frame.can_id & 0x7FF
+            counter_byte, tag = frame.data[0], frame.data[1:]
+            payload = self._pending_separate.get(base_id, {}).pop(counter_byte, None)
+            if payload is None:
+                self.stats.rejected_freshness += 1
+                return False
+            return self._verify(base_id, payload, counter_byte, tag)
+        if frame.dlc < 1:
+            self.stats.rejected_mac += 1
+            return False
+        pending = self._pending_separate.setdefault(frame.can_id, {})
+        if len(pending) >= self.window:
+            pending.pop(next(iter(pending)))
+        pending[frame.data[-1]] = frame.data[:-1]
+        return None
+
+
+def secured_payload_overhead(tag_len: int, mode: str = "inline") -> float:
+    """Bus-load multiplier of authentication vs plain 8-byte frames.
+
+    Inline: same frame count, same dlc (payload shrinks instead) -> 1.0 in
+    frame terms but the *effective* multiplier is payload-based: to move N
+    application bytes you need N / (7 - tag_len) frames instead of N / 8.
+    Separate: two frames per message.
+    """
+    if mode == "inline":
+        capacity = 8 - tag_len - 1
+        if capacity <= 0:
+            raise ValueError("no capacity at this tag length")
+        return 8.0 / capacity
+    if mode == "separate":
+        return 2.0
+    raise ValueError(f"unknown mode {mode!r}")

@@ -1,0 +1,46 @@
+"""Over-the-air (OTA) update framework.
+
+The paper's OTA threat scenario (§4.2): update flows gated by a single
+cryptographic key shared across a vehicle class turn one side-channel key
+extraction into a fleet-wide compromise.  The mitigation practice settled
+on (Uptane) separates signing authority across *roles* and *repositories*
+so that no single key compromise suffices to install arbitrary firmware.
+
+- :mod:`repro.ota.metadata` -- signed role metadata (root, timestamp,
+  snapshot, targets) with thresholds, expiry, and version monotonicity.
+- :mod:`repro.ota.repository` -- image repository + director (per-vehicle
+  assignment), both publishing full role chains.
+- :mod:`repro.ota.client` -- :class:`UptaneClient` (full verification
+  workflow) and :class:`NaiveClient` (single shared key -- the baseline
+  the paper's scenario breaks).
+- :mod:`repro.ota.campaign` -- fleet rollout bookkeeping and the E5/E10
+  key-compromise scenario driver.
+"""
+
+from repro.ota.metadata import (
+    Metadata,
+    MetadataError,
+    RoleKeySet,
+    key_id_of,
+    sign_metadata,
+    verify_metadata,
+)
+from repro.ota.repository import DirectorRepository, ImageRepository
+from repro.ota.client import NaiveClient, UpdateResult, UptaneClient
+from repro.ota.campaign import CompromiseScenario, FleetCampaign
+
+__all__ = [
+    "Metadata",
+    "MetadataError",
+    "RoleKeySet",
+    "key_id_of",
+    "sign_metadata",
+    "verify_metadata",
+    "DirectorRepository",
+    "ImageRepository",
+    "NaiveClient",
+    "UpdateResult",
+    "UptaneClient",
+    "CompromiseScenario",
+    "FleetCampaign",
+]

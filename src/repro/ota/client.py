@@ -1,0 +1,157 @@
+"""Vehicle-side update clients.
+
+:class:`UptaneClient` implements the full verification workflow over both
+repositories; :class:`NaiveClient` implements the pre-Uptane practice the
+paper's scenario attacks: one signature with one (class-shared) key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.crypto import ecdsa_verify, EcdsaSignature
+from repro.ecu.firmware import FirmwareImage, FirmwareStore
+from repro.ota.metadata import (
+    Metadata,
+    MetadataError,
+    role_keys_from_root,
+    verify_metadata,
+)
+from repro.ota.repository import DirectorRepository, ImageRepository
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one update attempt."""
+
+    installed: bool
+    reason: str
+    image: Optional[FirmwareImage] = None
+
+
+class UptaneClient:
+    """Full-verification OTA client for one vehicle.
+
+    The client is pinned to both repositories' root metadata (installed at
+    the factory) and remembers the last seen version of every role, giving
+    rollback/freeze protection.
+    """
+
+    def __init__(
+        self,
+        vehicle_id: str,
+        store: FirmwareStore,
+        image_root: Metadata,
+        director_root: Metadata,
+    ) -> None:
+        self.vehicle_id = vehicle_id
+        self.store = store
+        self._roots = {"image": image_root, "director": director_root}
+        self._last_versions: Dict[Tuple[str, str], int] = {}
+        self.history: list = []
+
+    # ------------------------------------------------------------------
+    def _check_chain(self, repo_name: str, metadata: Dict[str, Metadata],
+                     now: float) -> Dict:
+        """Verify timestamp -> snapshot -> targets; returns targets payload."""
+        root_payload = self._roots[repo_name].payload
+
+        def step(role: str, meta: Metadata) -> None:
+            keys, threshold = role_keys_from_root(root_payload, role)
+            verify_metadata(meta, keys, threshold, now, expected_role=role)
+            last = self._last_versions.get((repo_name, role), 0)
+            if meta.version < last:
+                raise MetadataError(f"{repo_name}/{role} version rollback")
+            self._last_versions[(repo_name, role)] = meta.version
+
+        timestamp = metadata["timestamp"]
+        step("timestamp", timestamp)
+        snapshot = metadata["snapshot"]
+        step("snapshot", snapshot)
+        if snapshot.digest != timestamp.payload.get("snapshot_digest"):
+            raise MetadataError(f"{repo_name}: snapshot digest mismatch")
+        targets = metadata["targets"]
+        step("targets", targets)
+        if targets.digest != snapshot.payload.get("targets_digest"):
+            raise MetadataError(f"{repo_name}: targets digest mismatch")
+        return targets.payload
+
+    def update(self, director: DirectorRepository, image_repo: ImageRepository,
+               now: float) -> UpdateResult:
+        """Run one full update cycle; returns the outcome."""
+        director.targets_for(self.vehicle_id, now)
+        try:
+            director_targets = self._check_chain("director", director.metadata, now)
+            image_targets = self._check_chain("image", image_repo.metadata, now)
+        except MetadataError as exc:
+            result = UpdateResult(False, f"metadata: {exc}")
+            self.history.append(result)
+            return result
+
+        assignments = director_targets.get("targets", {})
+        if not assignments:
+            result = UpdateResult(False, "no assignment")
+            self.history.append(result)
+            return result
+
+        for target_key, director_entry in assignments.items():
+            image_entry = image_targets.get("targets", {}).get(target_key)
+            if image_entry is None:
+                result = UpdateResult(False, f"{target_key} not in image repo targets")
+                self.history.append(result)
+                return result
+            if image_entry["digest"] != director_entry["digest"]:
+                result = UpdateResult(False, f"{target_key} digest disagreement")
+                self.history.append(result)
+                return result
+            image = image_repo.download(target_key)
+            if image is None:
+                result = UpdateResult(False, f"{target_key} download failed")
+                self.history.append(result)
+                return result
+            if image.digest.hex() != director_entry["digest"]:
+                result = UpdateResult(False, f"{target_key} image digest mismatch")
+                self.history.append(result)
+                return result
+            if image.version <= self.store.active.version:
+                result = UpdateResult(False, f"{target_key} not newer than installed")
+                self.history.append(result)
+                return result
+            self.store.stage(image)
+            self.store.activate()
+            result = UpdateResult(True, "installed", image)
+            self.history.append(result)
+            return result
+        result = UpdateResult(False, "nothing to do")
+        self.history.append(result)
+        return result
+
+
+class NaiveClient:
+    """Single-signature client with a class-shared verification key.
+
+    The paper's scenario: every vehicle of the class verifies updates with
+    the same key; extract it (or its signing counterpart) from one unit via
+    side channels and the whole class accepts malicious firmware.
+    """
+
+    def __init__(self, vehicle_id: str, store: FirmwareStore,
+                 oem_public_key: Tuple[int, int]) -> None:
+        self.vehicle_id = vehicle_id
+        self.store = store
+        self.oem_public_key = oem_public_key
+        self.history: list = []
+
+    def update(self, image: FirmwareImage, signature: EcdsaSignature) -> UpdateResult:
+        """Install if the single signature over the digest verifies."""
+        if not ecdsa_verify(self.oem_public_key, image.digest, signature):
+            result = UpdateResult(False, "bad signature")
+            self.history.append(result)
+            return result
+        # No version check in the naive flow (also historically accurate).
+        self.store.stage(image)
+        self.store.activate()
+        result = UpdateResult(True, "installed", image)
+        self.history.append(result)
+        return result

@@ -1,0 +1,144 @@
+"""Signed role metadata (TUF/Uptane shape).
+
+Four roles, each with its own key set and threshold:
+
+- **root**: distributes the role keys themselves (offline, high threshold);
+- **timestamp**: short-lived pointer to the current snapshot (online);
+- **snapshot**: version map of all targets metadata (online);
+- **targets**: the actual firmware assignments (offline for the image
+  repo, online for the director).
+
+Metadata is canonically JSON-encoded for signing; verification checks
+expiry, threshold-many valid signatures from the authorised keys, and
+leaves version-monotonicity to the client (who remembers what it last saw).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.crypto import EcdsaKeyPair, EcdsaSignature, ecdsa_sign, ecdsa_verify, sha256
+
+ROLES = ("root", "timestamp", "snapshot", "targets")
+
+
+class MetadataError(Exception):
+    """Verification failure (bad signature, expired, threshold not met)."""
+
+
+def key_id_of(public: Tuple[int, int]) -> str:
+    """Stable key identifier: hash of the public point."""
+    raw = public[0].to_bytes(32, "big") + public[1].to_bytes(32, "big")
+    return sha256(raw)[:8].hex()
+
+
+@dataclass
+class RoleKeySet:
+    """The key material and threshold for one role."""
+
+    role: str
+    keypairs: List[EcdsaKeyPair]
+    threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ValueError(f"unknown role {self.role!r}")
+        if not 1 <= self.threshold <= len(self.keypairs):
+            raise ValueError("threshold must be in 1..len(keys)")
+
+    @property
+    def public_keys(self) -> Dict[str, Tuple[int, int]]:
+        return {key_id_of(kp.public): kp.public for kp in self.keypairs}
+
+
+@dataclass(frozen=True)
+class Metadata:
+    """One signed metadata file."""
+
+    role: str
+    version: int
+    expires: float
+    payload: Dict
+    signatures: Tuple[Tuple[str, EcdsaSignature], ...] = ()
+
+    def tbs_bytes(self) -> bytes:
+        body = {
+            "role": self.role,
+            "version": self.version,
+            "expires": self.expires,
+            "payload": self.payload,
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+    @property
+    def digest(self) -> str:
+        return sha256(self.tbs_bytes()).hex()
+
+
+def sign_metadata(meta: Metadata, keypairs: List[EcdsaKeyPair]) -> Metadata:
+    """Attach signatures from ``keypairs`` (replaces existing ones)."""
+    tbs = meta.tbs_bytes()
+    sigs = tuple(
+        (key_id_of(kp.public), ecdsa_sign(kp.private, tbs)) for kp in keypairs
+    )
+    return replace(meta, signatures=sigs)
+
+
+def verify_metadata(
+    meta: Metadata,
+    authorized: Dict[str, Tuple[int, int]],
+    threshold: int,
+    now: float,
+    expected_role: str,
+) -> None:
+    """Verify one metadata file; raises :class:`MetadataError` on failure.
+
+    ``authorized`` maps key id -> public key for the role (from root
+    metadata).  Counts distinct authorised keys with valid signatures.
+    """
+    if meta.role != expected_role:
+        raise MetadataError(f"role mismatch: {meta.role} != {expected_role}")
+    if now > meta.expires:
+        raise MetadataError(f"{meta.role} metadata expired")
+    tbs = meta.tbs_bytes()
+    valid_keys = set()
+    for key_id, signature in meta.signatures:
+        public = authorized.get(key_id)
+        if public is None:
+            continue  # signature from an unauthorised key: ignored
+        if ecdsa_verify(public, tbs, signature):
+            valid_keys.add(key_id)
+    if len(valid_keys) < threshold:
+        raise MetadataError(
+            f"{meta.role}: {len(valid_keys)} valid signatures < threshold {threshold}"
+        )
+
+
+def make_root_payload(keysets: Dict[str, RoleKeySet]) -> Dict:
+    """The root role's payload: authorised keys + thresholds per role."""
+    return {
+        "roles": {
+            role: {
+                "key_ids": sorted(ks.public_keys),
+                "keys": {
+                    kid: [str(pub[0]), str(pub[1])]
+                    for kid, pub in ks.public_keys.items()
+                },
+                "threshold": ks.threshold,
+            }
+            for role, ks in keysets.items()
+        }
+    }
+
+
+def role_keys_from_root(root_payload: Dict, role: str) -> Tuple[Dict[str, Tuple[int, int]], int]:
+    """Extract (authorised keys, threshold) for ``role`` from root payload."""
+    entry = root_payload["roles"].get(role)
+    if entry is None:
+        raise MetadataError(f"root payload has no role {role!r}")
+    keys = {
+        kid: (int(x), int(y)) for kid, (x, y) in entry["keys"].items()
+    }
+    return keys, int(entry["threshold"])

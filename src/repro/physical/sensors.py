@@ -1,0 +1,205 @@
+"""Sensor models with explicit spoofing surfaces.
+
+Every sensor reads truth from a :class:`~repro.physical.vehicle.Vehicle`
+(or its own internal physical state), adds noise, and -- crucially --
+exposes a ``spoof(...)`` interface representing the attacker's physical
+channel (RF for GPS/TPMS, optical for LIDAR, acoustic for the MEMS
+accelerometer).  This keeps the attack surface explicit instead of letting
+tests poke sensor internals.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.physical.vehicle import Vehicle
+
+
+class GpsSensor:
+    """GPS receiver: position plus Gaussian noise; RF spoofing overrides.
+
+    Spoofing follows the civilian-GPS-spoofer literature the paper cites:
+    the attacker transmits a stronger counterfeit constellation, so the
+    receiver reports the attacker's chosen position (optionally drifting
+    from the true one to avoid a detectable jump).
+    """
+
+    def __init__(self, vehicle: Vehicle, noise_std: float = 1.5, rng=None) -> None:
+        self.vehicle = vehicle
+        self.noise_std = noise_std
+        self.rng = rng if rng is not None else random.Random()
+        self._spoof_position: Optional[Tuple[float, float]] = None
+
+    def spoof(self, position: Optional[Tuple[float, float]]) -> None:
+        """Engage (or clear, with ``None``) a counterfeit position."""
+        self._spoof_position = position
+
+    @property
+    def spoofed(self) -> bool:
+        return self._spoof_position is not None
+
+    def read(self) -> Tuple[float, float]:
+        if self._spoof_position is not None:
+            base = self._spoof_position
+        else:
+            base = self.vehicle.state.position
+        return (
+            base[0] + self.rng.gauss(0, self.noise_std),
+            base[1] + self.rng.gauss(0, self.noise_std),
+        )
+
+
+class TpmsSensor:
+    """Tire-pressure monitoring: four unauthenticated RF sensors.
+
+    Per the cited TPMS case study, packets carry a fixed sensor id and no
+    authentication, so an attacker can (a) track the vehicle by the ids and
+    (b) inject false pressure readings.
+    """
+
+    NOMINAL_KPA = 220.0
+
+    def __init__(self, sensor_ids: Optional[List[int]] = None, rng=None) -> None:
+        self.sensor_ids = sensor_ids or [0x1A2B3C01, 0x1A2B3C02, 0x1A2B3C03, 0x1A2B3C04]
+        if len(self.sensor_ids) != 4:
+            raise ValueError("TPMS needs exactly 4 sensor ids")
+        self.rng = rng if rng is not None else random.Random()
+        self.true_pressures: Dict[int, float] = {
+            sid: self.NOMINAL_KPA for sid in self.sensor_ids
+        }
+        self._injected: Dict[int, float] = {}
+
+    def spoof(self, sensor_id: int, pressure: Optional[float]) -> None:
+        """Inject (or clear) a forged reading for one wheel sensor."""
+        if sensor_id not in self.true_pressures:
+            raise ValueError(f"unknown TPMS sensor {sensor_id:#x}")
+        if pressure is None:
+            self._injected.pop(sensor_id, None)
+        else:
+            self._injected[sensor_id] = pressure
+
+    def read(self, sensor_id: int) -> float:
+        if sensor_id in self._injected:
+            return self._injected[sensor_id]
+        return self.true_pressures[sensor_id] + self.rng.gauss(0, 1.0)
+
+    def read_all(self) -> Dict[int, float]:
+        return {sid: self.read(sid) for sid in self.sensor_ids}
+
+
+@dataclass(frozen=True)
+class LidarTarget:
+    """One detected object: range (m), bearing (rad), and authenticity."""
+
+    range_m: float
+    bearing: float
+    phantom: bool = False  # ground truth tag for evaluation only
+
+
+class LidarSensor:
+    """LIDAR: returns targets within range; laser spoofing adds phantoms.
+
+    The cited $60 LIDAR hack replays laser pulses to create phantom
+    obstacles at attacker-chosen ranges; we model exactly that surface.
+    """
+
+    def __init__(self, vehicle: Vehicle, max_range: float = 120.0, rng=None) -> None:
+        self.vehicle = vehicle
+        self.max_range = max_range
+        self.rng = rng if rng is not None else random.Random()
+        self.real_objects: List[Tuple[float, float]] = []  # world (x, y)
+        self._phantoms: List[LidarTarget] = []
+
+    def add_object(self, x: float, y: float) -> None:
+        self.real_objects.append((x, y))
+
+    def spoof_phantom(self, range_m: float, bearing: float) -> None:
+        """Inject a phantom return (persists until cleared)."""
+        if not 0 < range_m <= self.max_range:
+            raise ValueError("phantom must be within sensor range")
+        self._phantoms.append(LidarTarget(range_m, bearing, phantom=True))
+
+    def clear_phantoms(self) -> None:
+        self._phantoms.clear()
+
+    def scan(self) -> List[LidarTarget]:
+        state = self.vehicle.state
+        targets: List[LidarTarget] = []
+        for ox, oy in self.real_objects:
+            dx, dy = ox - state.x, oy - state.y
+            dist = math.hypot(dx, dy)
+            if dist <= self.max_range:
+                bearing = (math.atan2(dy, dx) - state.heading) % (2 * math.pi)
+                noisy = max(0.1, dist + self.rng.gauss(0, 0.1))
+                targets.append(LidarTarget(noisy, bearing))
+        targets.extend(self._phantoms)
+        return targets
+
+
+class Accelerometer:
+    """MEMS accelerometer; acoustic resonance injects a false oscillation.
+
+    Models the "hacked using sound waves" result the paper cites: driving
+    the MEMS proof mass at its resonant frequency biases the output.
+    """
+
+    def __init__(self, vehicle: Vehicle, noise_std: float = 0.05,
+                 resonant_hz: float = 2_000.0, rng=None) -> None:
+        self.vehicle = vehicle
+        self.noise_std = noise_std
+        self.resonant_hz = resonant_hz
+        self.rng = rng if rng is not None else random.Random()
+        self._acoustic_amplitude = 0.0
+        self._acoustic_freq = 0.0
+
+    def acoustic_inject(self, amplitude: float, freq_hz: float) -> None:
+        """Apply an acoustic tone; effective only near resonance."""
+        self._acoustic_amplitude = amplitude
+        self._acoustic_freq = freq_hz
+
+    def injection_gain(self) -> float:
+        """Resonance response: Lorentzian around the resonant frequency."""
+        if self._acoustic_amplitude == 0.0:
+            return 0.0
+        bandwidth = self.resonant_hz * 0.05
+        detune = (self._acoustic_freq - self.resonant_hz) / bandwidth
+        return 1.0 / (1.0 + detune * detune)
+
+    def read(self, time: float) -> float:
+        true_accel = self.vehicle.state.accel
+        injected = (
+            self._acoustic_amplitude
+            * self.injection_gain()
+            * math.sin(2 * math.pi * self._acoustic_freq * time)
+        )
+        return true_accel + injected + self.rng.gauss(0, self.noise_std)
+
+
+class BatterySensor:
+    """EV battery telemetry (state of charge, voltage); spoofable firmware.
+
+    The cited smart-battery firmware hack lets an attacker misreport
+    charge state; fleet analytics and range estimation consume this value.
+    """
+
+    def __init__(self, capacity_kwh: float = 60.0, soc: float = 0.8, rng=None) -> None:
+        if not 0 <= soc <= 1:
+            raise ValueError("soc in [0, 1]")
+        self.capacity_kwh = capacity_kwh
+        self.true_soc = soc
+        self.rng = rng if rng is not None else random.Random()
+        self._reported_offset = 0.0
+
+    def drain(self, kwh: float) -> None:
+        self.true_soc = max(0.0, self.true_soc - kwh / self.capacity_kwh)
+
+    def spoof_offset(self, offset: float) -> None:
+        """Firmware-level misreporting: reported = true + offset."""
+        self._reported_offset = offset
+
+    def read_soc(self) -> float:
+        return min(1.0, max(0.0, self.true_soc + self._reported_offset
+                            + self.rng.gauss(0, 0.002)))

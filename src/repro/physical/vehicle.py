@@ -1,0 +1,65 @@
+"""Planar kinematic vehicle model.
+
+A deliberately simple bicycle-free kinematics (position, heading, speed,
+longitudinal acceleration, yaw rate) -- enough physics for sensor models,
+dead reckoning, and V2X geometry, with no pretence of tyre dynamics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """Immutable kinematic snapshot (SI units, radians)."""
+
+    x: float = 0.0
+    y: float = 0.0
+    heading: float = 0.0
+    speed: float = 0.0
+    accel: float = 0.0
+    yaw_rate: float = 0.0
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def distance_to(self, other: "VehicleState") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class Vehicle:
+    """A vehicle advancing under simple kinematics.
+
+    >>> v = Vehicle(VehicleState(speed=10.0))
+    >>> v.step(1.0)
+    >>> round(v.state.x, 6)
+    10.0
+    """
+
+    def __init__(self, state: VehicleState = VehicleState(), name: str = "ego") -> None:
+        self.state = state
+        self.name = name
+        self.odometer = 0.0
+
+    def set_controls(self, accel: float, yaw_rate: float) -> None:
+        """Commanded longitudinal acceleration and yaw rate."""
+        self.state = replace(self.state, accel=accel, yaw_rate=yaw_rate)
+
+    def step(self, dt: float) -> VehicleState:
+        """Advance ``dt`` seconds; returns the new state."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        s = self.state
+        speed = max(0.0, s.speed + s.accel * dt)
+        heading = (s.heading + s.yaw_rate * dt) % (2 * math.pi)
+        # Integrate with the average speed over the step.
+        avg_speed = (s.speed + speed) / 2
+        x = s.x + avg_speed * math.cos(heading) * dt
+        y = s.y + avg_speed * math.sin(heading) * dt
+        self.odometer += avg_speed * dt
+        self.state = VehicleState(x, y, heading, speed, s.accel, s.yaw_rate)
+        return self.state

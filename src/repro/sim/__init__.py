@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+Every time-based substrate in :mod:`repro` (in-vehicle networks, V2X radio,
+ECU task execution, attack schedules) runs on this kernel.  The kernel is a
+classic event-calendar design: events are ``(time, priority, seq, action)``
+tuples kept in a binary heap, executed in nondecreasing time order with a
+deterministic tie-break, so simulations are exactly reproducible for a fixed
+seed.
+
+Public surface:
+
+- :class:`~repro.sim.kernel.Simulator` -- the event calendar.
+- :class:`~repro.sim.kernel.Event` -- a scheduled, cancellable event handle.
+- :class:`~repro.sim.kernel.Process` -- coroutine-style process helper.
+- :class:`~repro.sim.rng.RngStreams` -- named, independently seeded RNG streams.
+- :class:`~repro.sim.trace.TraceRecorder` -- structured event trace.
+"""
+
+from repro.sim.kernel import Event, Process, Simulator, SimulationError
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "Event",
+    "Process",
+    "Simulator",
+    "SimulationError",
+    "RngStreams",
+    "TraceRecorder",
+    "TraceRecord",
+]

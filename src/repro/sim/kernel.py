@@ -1,0 +1,238 @@
+"""Event-calendar simulation kernel.
+
+The kernel is deliberately small: a heap of pending events, a current time,
+and run-loop variants (``run_until``, ``run``, ``step``).  Components built on
+top of it (buses, ECUs, radios) schedule callbacks; there is no implicit
+global state, so multiple independent simulators can coexist in one process
+(used heavily by the test suite and by parameter sweeps).
+
+Time is a ``float`` in **seconds**.  Determinism guarantees:
+
+- events at equal times fire in scheduling order (monotonic sequence number);
+- an explicit integer ``priority`` may be used to order same-time events
+  regardless of scheduling order (lower fires first).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    priority: int
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; callers may :meth:`cancel` it
+    before it fires.  A cancelled event stays in the heap but is skipped by
+    the run loop (lazy deletion).
+    """
+
+    __slots__ = ("time", "priority", "action", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        action: Callable[..., Any],
+        args: tuple,
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.action = action
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.action, "__name__", repr(self.action))
+        return f"<Event t={self.time:.6f} {name} [{state}]>"
+
+
+class Simulator:
+    """A discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> log = []
+    >>> _ = sim.schedule(1.0, log.append, "a")
+    >>> _ = sim.schedule(0.5, log.append, "b")
+    >>> sim.run()
+    >>> log
+    ['b', 'a']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[_HeapEntry] = []
+        self._seq = 0
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.event.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be >= 0.  Returns a cancellable :class:`Event`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, action, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time, action, args, priority)
+        self._seq += 1
+        heapq.heappush(self._heap, _HeapEntry(time, priority, self._seq, event))
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns ``False`` if none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._now = entry.time
+            event.fired = True
+            self._processed += 1
+            event.action(*event.args)
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the calendar is empty (or ``max_events`` executed).
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        while max_events is None or executed < max_events:
+            if not self.step():
+                break
+            executed += 1
+        return executed
+
+    def run_until(self, end_time: float) -> int:
+        """Run all events with time <= ``end_time``; advance clock to it.
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        while self._heap:
+            entry = self._heap[0]
+            if entry.event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if entry.time > end_time:
+                break
+            self.step()
+            executed += 1
+        if end_time > self._now:
+            self._now = end_time
+        return executed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the calendar is empty."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Process:
+    """Coroutine-style process on top of :class:`Simulator`.
+
+    The generator passed in yields delays (floats, seconds); the process
+    resumes after each delay.  This gives sequential-looking code for
+    naturally sequential behaviours (e.g. an ECU boot sequence) without a
+    full process-interaction framework.
+
+    >>> sim = Simulator()
+    >>> out = []
+    >>> def worker():
+    ...     out.append(("start", sim.now))
+    ...     yield 2.0
+    ...     out.append(("done", sim.now))
+    >>> p = Process(sim, worker())
+    >>> sim.run()
+    >>> out
+    [('start', 0.0), ('done', 2.0)]
+    """
+
+    def __init__(self, sim: Simulator, generator: Iterator[float]) -> None:
+        self._sim = sim
+        self._gen = generator
+        self.finished = False
+        self._event: Optional[Event] = sim.schedule(0.0, self._resume)
+
+    def _resume(self) -> None:
+        try:
+            delay = next(self._gen)
+        except StopIteration:
+            self.finished = True
+            self._event = None
+            return
+        if not isinstance(delay, (int, float)) or delay < 0:
+            raise SimulationError(f"process yielded invalid delay {delay!r}")
+        self._event = self._sim.schedule(float(delay), self._resume)
+
+    def cancel(self) -> None:
+        """Stop the process before its next resumption."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self.finished = True

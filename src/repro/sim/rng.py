@@ -1,0 +1,56 @@
+"""Named, independently seeded random streams.
+
+Reproducibility discipline: a simulation takes one master seed; every
+stochastic component asks :class:`RngStreams` for a *named* stream.  Stream
+seeds are derived by hashing ``(master_seed, name)``, so adding a new
+component never perturbs the random numbers drawn by existing ones -- a
+property parameter sweeps rely on when comparing architecture variants under
+identical workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from a master seed and a stream name."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngStreams:
+    """Factory and cache of named :class:`random.Random` streams.
+
+    >>> streams = RngStreams(42)
+    >>> a1 = streams.get("channel").random()
+    >>> b1 = streams.get("attacker").random()
+    >>> streams2 = RngStreams(42)
+    >>> a1 == streams2.get("channel").random()
+    True
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.master_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RngStreams":
+        """Create a child stream-space (for a sub-simulation)."""
+        return RngStreams(derive_seed(self.master_seed, f"fork:{name}"))
+
+    def randbytes(self, name: str, n: int) -> bytes:
+        """Draw ``n`` random bytes from the named stream."""
+        return self.get(name).randbytes(n)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

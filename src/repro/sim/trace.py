@@ -1,0 +1,82 @@
+"""Structured simulation tracing.
+
+Components emit :class:`TraceRecord` entries (time, source, kind, payload
+dict) into a shared :class:`TraceRecorder`.  Analyses and intrusion-detection
+experiments replay these traces rather than re-running the simulation, and
+the test suite asserts on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    ``kind`` is a dotted event name (e.g. ``"can.tx"``, ``"ids.alert"``,
+    ``"gateway.drop"``); ``data`` carries event-specific fields.
+    """
+
+    time: float
+    source: str
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only in-memory trace with simple query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+        self.dropped = 0
+
+    def emit(self, time: float, source: str, kind: str, **data: Any) -> None:
+        """Record an event; notify live listeners."""
+        record = TraceRecord(time, source, kind, data)
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            self.dropped += 1
+        else:
+            self._records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked on every future record."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(self, kind: Optional[str] = None, source: Optional[str] = None) -> List[TraceRecord]:
+        """All records, optionally filtered by kind prefix and/or source."""
+        out = self._records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind or r.kind.startswith(kind + ".")]
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        return list(out)
+
+    def count(self, kind: Optional[str] = None, source: Optional[str] = None) -> int:
+        """Number of matching records."""
+        return len(self.records(kind=kind, source=source))
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent matching record, or ``None``."""
+        matches = self.records(kind=kind)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        """Drop all stored records (listeners stay subscribed)."""
+        self._records.clear()
+        self.dropped = 0

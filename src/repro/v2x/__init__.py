@@ -1,0 +1,57 @@
+"""V2X "Secure Interfaces" layer.
+
+Models the paper's first architecture layer: IEEE 1609.2-style message
+authentication for vehicle-to-everything broadcast, an SCMS-like PKI with
+pseudonym certificates for the authentication-vs-anonymity conundrum of
+§4.2, and the radio/RSU substrate.
+
+- :mod:`repro.v2x.certificates` -- explicit certificates, CA, CRL.
+- :mod:`repro.v2x.ieee1609` -- signed-message envelope: generation time,
+  freshness window, replay cache, ECDSA-P256 signatures.
+- :mod:`repro.v2x.pki` -- root/enrollment/pseudonym authorities with
+  batch pseudonym issuance.
+- :mod:`repro.v2x.bsm` -- Basic Safety Message encoding.
+- :mod:`repro.v2x.channel` -- broadcast radio with range and loss.
+- :mod:`repro.v2x.station` -- the on-board unit: signs outgoing BSMs,
+  verifies incoming ones under a bounded verification budget (E6).
+- :mod:`repro.v2x.rsu` -- roadside unit aggregation.
+- :mod:`repro.v2x.privacy` -- pseudonym rotation and the tracking
+  adversary that scores linkability (E7).
+"""
+
+from repro.v2x.certificates import (
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    RevocationList,
+)
+from repro.v2x.ieee1609 import SignedMessage, MessageVerifier, sign_payload
+from repro.v2x.pki import PkiHierarchy, PseudonymBatch
+from repro.v2x.bsm import BasicSafetyMessage
+from repro.v2x.channel import WirelessChannel, Radio
+from repro.v2x.station import ObuStation
+from repro.v2x.rsu import RoadsideUnit
+from repro.v2x.privacy import PseudonymManager, TrackingAdversary
+from repro.v2x.misbehavior import BsmPlausibilityChecker, MisbehaviorAuthority, MisbehaviorReport
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "RevocationList",
+    "SignedMessage",
+    "MessageVerifier",
+    "sign_payload",
+    "PkiHierarchy",
+    "PseudonymBatch",
+    "BasicSafetyMessage",
+    "WirelessChannel",
+    "Radio",
+    "ObuStation",
+    "RoadsideUnit",
+    "PseudonymManager",
+    "BsmPlausibilityChecker",
+    "MisbehaviorAuthority",
+    "MisbehaviorReport",
+    "TrackingAdversary",
+]

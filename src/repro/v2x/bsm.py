@@ -1,0 +1,49 @@
+"""Basic Safety Message (BSM) encoding.
+
+The SAE J2735 BSM core data frame, reduced to the fields our experiments
+consume: message count, position, speed, heading, and an event flag (e.g.
+hazard warning).  Encoded to a canonical byte string for signing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BasicSafetyMessage:
+    """One BSM core frame."""
+
+    msg_count: int
+    x: float
+    y: float
+    speed: float
+    heading: float
+    event: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.msg_count < 128:
+            raise ValueError("msg_count wraps at 128 (J2735)")
+        if self.speed < 0:
+            raise ValueError("speed must be non-negative")
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def encode(self) -> bytes:
+        event_bytes = self.event.encode()[:32]
+        return struct.pack(
+            ">Bddddl", self.msg_count, self.x, self.y, self.speed, self.heading,
+            len(event_bytes),
+        ) + event_bytes
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BasicSafetyMessage":
+        if len(data) < 37:
+            raise ValueError("truncated BSM")
+        msg_count, x, y, speed, heading, event_len = struct.unpack(">Bddddl", data[:37])
+        event = data[37 : 37 + event_len].decode()
+        return cls(msg_count, x, y, speed, heading, event)

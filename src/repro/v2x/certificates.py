@@ -1,0 +1,170 @@
+"""Explicit certificates, certificate authorities, and revocation.
+
+A compact certificate format in the spirit of IEEE 1609.2 explicit
+certificates: subject id, public verification key, validity window,
+permissions (PSIDs), and the issuer's ECDSA signature over the canonical
+encoding.  Pseudonym certificates simply carry an opaque random subject id
+and a short validity window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional, Set, Tuple
+
+from repro.crypto import (
+    EcdsaKeyPair,
+    EcdsaSignature,
+    HmacDrbg,
+    ecdsa_sign,
+    ecdsa_verify,
+    sha256,
+)
+
+
+class CertificateError(Exception):
+    """Any certificate validation failure."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of subject id to a public key."""
+
+    subject: str
+    public_key: Tuple[int, int]
+    valid_from: float
+    valid_to: float
+    issuer: str
+    psids: frozenset = frozenset({"bsm"})
+    is_pseudonym: bool = False
+    signature: Optional[EcdsaSignature] = None
+
+    @cached_property
+    def _tbs(self) -> bytes:
+        psid_str = ",".join(sorted(self.psids))
+        header = (
+            f"{self.subject}|{self.issuer}|{self.valid_from:.3f}|"
+            f"{self.valid_to:.3f}|{psid_str}|{int(self.is_pseudonym)}|"
+        ).encode()
+        return header + self.public_key[0].to_bytes(32, "big") + self.public_key[1].to_bytes(32, "big")
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed canonical encoding (cached; certs are frozen)."""
+        return self._tbs
+
+    @cached_property
+    def digest(self) -> bytes:
+        """HashedId8-style short identifier (8 bytes, cached)."""
+        return sha256(self.tbs_bytes())[:8]
+
+    def valid_at(self, time: float) -> bool:
+        return self.valid_from <= time <= self.valid_to
+
+
+class RevocationList:
+    """A CRL keyed by certificate digest."""
+
+    def __init__(self) -> None:
+        self._revoked: Set[bytes] = set()
+
+    def revoke(self, cert: Certificate) -> None:
+        self._revoked.add(cert.digest)
+
+    def is_revoked(self, cert: Certificate) -> bool:
+        return cert.digest in self._revoked
+
+    def __len__(self) -> int:
+        return len(self._revoked)
+
+
+class CertificateAuthority:
+    """An issuing CA with its own key pair.
+
+    Root CAs are self-certified; subordinate CAs carry a certificate from
+    their parent, forming a verifiable chain.
+    """
+
+    def __init__(self, name: str, seed: bytes, parent: Optional["CertificateAuthority"] = None,
+                 validity: Tuple[float, float] = (0.0, 1e9)) -> None:
+        self.name = name
+        self.keypair = EcdsaKeyPair.generate(HmacDrbg(seed, personalization=name.encode()))
+        self.parent = parent
+        self.crl = RevocationList()
+        self.issued_count = 0
+        if parent is None:
+            self.certificate = self._self_sign(validity)
+        else:
+            self.certificate = parent.issue(
+                subject=name, public_key=self.keypair.public,
+                valid_from=validity[0], valid_to=validity[1],
+                psids=frozenset({"ca"}),
+            )
+
+    def _self_sign(self, validity: Tuple[float, float]) -> Certificate:
+        unsigned = Certificate(
+            subject=self.name, public_key=self.keypair.public,
+            valid_from=validity[0], valid_to=validity[1],
+            issuer=self.name, psids=frozenset({"ca"}),
+        )
+        sig = ecdsa_sign(self.keypair.private, unsigned.tbs_bytes())
+        return Certificate(
+            subject=unsigned.subject, public_key=unsigned.public_key,
+            valid_from=unsigned.valid_from, valid_to=unsigned.valid_to,
+            issuer=unsigned.issuer, psids=unsigned.psids,
+            signature=sig,
+        )
+
+    def issue(
+        self,
+        subject: str,
+        public_key: Tuple[int, int],
+        valid_from: float,
+        valid_to: float,
+        psids: frozenset = frozenset({"bsm"}),
+        is_pseudonym: bool = False,
+    ) -> Certificate:
+        """Sign a certificate for ``subject``."""
+        if valid_to <= valid_from:
+            raise CertificateError("empty validity window")
+        unsigned = Certificate(
+            subject=subject, public_key=public_key,
+            valid_from=valid_from, valid_to=valid_to,
+            issuer=self.name, psids=psids, is_pseudonym=is_pseudonym,
+        )
+        sig = ecdsa_sign(self.keypair.private, unsigned.tbs_bytes())
+        self.issued_count += 1
+        return Certificate(
+            subject=unsigned.subject, public_key=unsigned.public_key,
+            valid_from=unsigned.valid_from, valid_to=unsigned.valid_to,
+            issuer=unsigned.issuer, psids=unsigned.psids,
+            is_pseudonym=is_pseudonym, signature=sig,
+        )
+
+    def verify_issued(self, cert: Certificate) -> bool:
+        """Check a certificate's signature against this CA's key."""
+        if cert.signature is None or cert.issuer != self.name:
+            return False
+        return ecdsa_verify(self.keypair.public, cert.tbs_bytes(), cert.signature)
+
+
+def verify_chain(cert: Certificate, authorities: dict, time: float,
+                 crls: Optional[list] = None) -> None:
+    """Validate ``cert`` up to a trusted root.
+
+    ``authorities`` maps CA name -> :class:`CertificateAuthority` (the
+    receiver's trust store).  Raises :class:`CertificateError` on failure.
+    """
+    if not cert.valid_at(time):
+        raise CertificateError(f"certificate {cert.subject} expired/not yet valid")
+    for crl in crls or []:
+        if crl.is_revoked(cert):
+            raise CertificateError(f"certificate {cert.subject} revoked")
+    issuer = authorities.get(cert.issuer)
+    if issuer is None:
+        raise CertificateError(f"unknown issuer {cert.issuer!r}")
+    if not issuer.verify_issued(cert):
+        raise CertificateError(f"bad signature on {cert.subject}")
+    # Walk up: subordinate CAs must themselves chain to a root.
+    if issuer.parent is not None:
+        verify_chain(issuer.certificate, authorities, time, crls)

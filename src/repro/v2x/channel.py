@@ -1,0 +1,95 @@
+"""Broadcast wireless channel (DSRC/C-V2X abstraction).
+
+Radios register with a position provider; a broadcast reaches every other
+radio within ``comm_range`` after a propagation+MAC delay, subject to an
+independent loss probability (collisions and fading are folded into one
+per-receiver Bernoulli loss -- adequate for the density/overhead trends the
+experiments study).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim import Simulator, TraceRecorder
+
+PositionFn = Callable[[], Tuple[float, float]]
+ReceiveFn = Callable[[Any, str], None]
+
+
+class Radio:
+    """One V2X transceiver."""
+
+    def __init__(self, channel: "WirelessChannel", name: str, position_fn: PositionFn) -> None:
+        self.channel = channel
+        self.name = name
+        self.position_fn = position_fn
+        self.receive_callbacks: List[ReceiveFn] = []
+        self.sent = 0
+        self.received = 0
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return self.position_fn()
+
+    def broadcast(self, message: Any) -> None:
+        self.sent += 1
+        self.channel.broadcast(self, message)
+
+    def on_receive(self, callback: ReceiveFn) -> None:
+        self.receive_callbacks.append(callback)
+
+    def deliver(self, message: Any, sender: str) -> None:
+        self.received += 1
+        for callback in self.receive_callbacks:
+            callback(message, sender)
+
+
+class WirelessChannel:
+    """Shared broadcast medium."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        comm_range: float = 300.0,
+        loss_probability: float = 0.0,
+        latency: float = 2e-3,
+        rng=None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if not 0 <= loss_probability < 1:
+            raise ValueError("loss probability in [0, 1)")
+        self.sim = sim
+        self.comm_range = comm_range
+        self.loss_probability = loss_probability
+        self.latency = latency
+        self.rng = rng
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.radios: Dict[str, Radio] = {}
+        self.transmissions = 0
+        self.deliveries = 0
+        self.losses = 0
+
+    def attach(self, name: str, position_fn: PositionFn) -> Radio:
+        if name in self.radios:
+            raise ValueError(f"radio {name!r} already attached")
+        radio = Radio(self, name, position_fn)
+        self.radios[name] = radio
+        return radio
+
+    def broadcast(self, sender: Radio, message: Any) -> None:
+        self.transmissions += 1
+        sx, sy = sender.position
+        for radio in self.radios.values():
+            if radio is sender:
+                continue
+            rx, ry = radio.position
+            if math.hypot(rx - sx, ry - sy) > self.comm_range:
+                continue
+            if self.loss_probability > 0 and self.rng is not None:
+                if self.rng.random() < self.loss_probability:
+                    self.losses += 1
+                    continue
+            self.deliveries += 1
+            self.sim.schedule(self.latency, radio.deliver, message, sender.name)

@@ -1,0 +1,137 @@
+"""V2X misbehavior detection and credential revocation.
+
+Authentication (E6) only proves a message came from an enrolled vehicle;
+an *insider* with valid pseudonyms can still broadcast lies ("ghost
+vehicle" stopped on the highway).  The deployed answer is misbehavior
+detection + revocation:
+
+- :class:`BsmPlausibilityChecker` -- receiver-local checks on accepted
+  BSMs: range plausibility (a sender we hear must be within radio range),
+  kinematic consistency (implied velocity between successive positions vs
+  claimed speed), and teleportation detection.
+- :class:`MisbehaviorAuthority` -- backend aggregation: when enough
+  *distinct* reporters accuse the same pseudonym, the authority uses the
+  PKI linkage map to revoke the underlying vehicle's entire credential
+  set (all its pseudonyms land on the CRL).
+
+This closes the loop the paper's security scenario opens: trust the
+sender's *credential*, verify the *content*, and evict liars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.v2x.bsm import BasicSafetyMessage
+from repro.v2x.pki import PkiHierarchy
+
+
+@dataclass(frozen=True)
+class MisbehaviorReport:
+    """One receiver's accusation against one pseudonym."""
+
+    time: float
+    reporter: str
+    accused_subject: str
+    accused_digest: bytes
+    reason: str
+
+
+class BsmPlausibilityChecker:
+    """Receiver-local content plausibility over accepted BSMs.
+
+    ``max_range``: the radio's realistic reach -- a BSM claiming a position
+    far beyond it is physically implausible (we *heard* the sender).
+    ``max_speed``: kinematic ceiling for implied velocities.
+    ``speed_tolerance``: slack between implied and claimed speed.
+    """
+
+    def __init__(
+        self,
+        max_range: float = 600.0,
+        max_speed: float = 70.0,
+        speed_tolerance: float = 15.0,
+    ) -> None:
+        self.max_range = max_range
+        self.max_speed = max_speed
+        self.speed_tolerance = speed_tolerance
+        self._tracks: Dict[str, Tuple[float, float, float, float]] = {}
+        self.checked = 0
+        self.flagged = 0
+
+    def check(
+        self,
+        now: float,
+        subject: str,
+        bsm: BasicSafetyMessage,
+        receiver_position: Tuple[float, float],
+    ) -> Optional[str]:
+        """Return a reason string if the BSM is implausible, else None."""
+        self.checked += 1
+        reason = self._evaluate(now, subject, bsm, receiver_position)
+        self._tracks[subject] = (now, bsm.x, bsm.y, bsm.speed)
+        if reason is not None:
+            self.flagged += 1
+        return reason
+
+    def _evaluate(self, now, subject, bsm, receiver_position) -> Optional[str]:
+        distance = math.hypot(bsm.x - receiver_position[0],
+                              bsm.y - receiver_position[1])
+        if distance > self.max_range:
+            return f"claimed position {distance:.0f}m away, beyond radio range"
+        if bsm.speed > self.max_speed:
+            return f"claimed speed {bsm.speed:.0f} m/s exceeds ceiling"
+        previous = self._tracks.get(subject)
+        if previous is not None:
+            prev_time, prev_x, prev_y, prev_speed = previous
+            dt = now - prev_time
+            if dt > 1e-6:
+                implied = math.hypot(bsm.x - prev_x, bsm.y - prev_y) / dt
+                if implied > self.max_speed:
+                    return f"teleport: implied {implied:.0f} m/s between BSMs"
+                if abs(implied - bsm.speed) > self.speed_tolerance:
+                    return (f"inconsistent: implied {implied:.0f} m/s vs "
+                            f"claimed {bsm.speed:.0f} m/s")
+        return None
+
+
+class MisbehaviorAuthority:
+    """Backend aggregation and revocation decision.
+
+    ``report_threshold``: distinct reporters required before revocation --
+    a single malicious *reporter* must not be able to evict honest
+    vehicles (the dual threat), so one accusation is never enough.
+    """
+
+    def __init__(self, pki: PkiHierarchy, report_threshold: int = 3) -> None:
+        if report_threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.pki = pki
+        self.report_threshold = report_threshold
+        self.reports: List[MisbehaviorReport] = []
+        self._reporters_by_subject: Dict[str, Set[str]] = {}
+        self._digest_by_subject: Dict[str, bytes] = {}
+        self.revoked_vehicles: Set[str] = set()
+
+    def submit(self, report: MisbehaviorReport) -> Optional[str]:
+        """File a report; returns the revoked vehicle id when the
+        threshold trips, else None."""
+        self.reports.append(report)
+        reporters = self._reporters_by_subject.setdefault(
+            report.accused_subject, set(),
+        )
+        reporters.add(report.reporter)
+        self._digest_by_subject[report.accused_subject] = report.accused_digest
+        if len(reporters) < self.report_threshold:
+            return None
+        vehicle = self.pki.linkage_map.get(report.accused_digest)
+        if vehicle is None or vehicle in self.revoked_vehicles:
+            return None
+        self.pki.revoke_vehicle(vehicle)
+        self.revoked_vehicles.add(vehicle)
+        return vehicle
+
+    def accusation_count(self, subject: str) -> int:
+        return len(self._reporters_by_subject.get(subject, set()))

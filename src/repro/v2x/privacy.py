@@ -1,0 +1,155 @@
+"""Pseudonym rotation and the tracking adversary.
+
+The privacy scenario of §4.2: broadcast messages must be authenticated
+*and* anonymous.  Pseudonym certificates provide sender validity without
+identity; their weakness is **linkability** -- an eavesdropper who sees
+pseudonym A stop transmitting and pseudonym B start transmitting nearby a
+moment later links them.  :class:`TrackingAdversary` implements exactly
+that space-time gating attack; E7 sweeps rotation period against its
+success rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.v2x.certificates import Certificate
+from repro.v2x.pki import PseudonymBatch
+
+
+class PseudonymManager:
+    """Rotates through a batch of pseudonym certificates.
+
+    ``rotation_period``: wall-clock seconds between pseudonym changes; the
+    E7 knob.  The batch wraps around when exhausted (a refill callback
+    hookpoint exists for campaigns that model re-provisioning).
+    """
+
+    def __init__(self, batch: PseudonymBatch, rotation_period: float = 300.0) -> None:
+        if rotation_period <= 0:
+            raise ValueError("rotation_period must be positive")
+        if len(batch) == 0:
+            raise ValueError("empty pseudonym batch")
+        self.batch = batch
+        self.rotation_period = rotation_period
+        self.rotations = 0
+        self._index = 0
+        self._period_start: Optional[float] = None
+
+    def current(self, time: float) -> Tuple[Certificate, int]:
+        """The active (certificate, private key), rotating on schedule."""
+        if self._period_start is None:
+            self._period_start = time
+        while time - self._period_start >= self.rotation_period:
+            self._period_start += self.rotation_period
+            self._index = (self._index + 1) % len(self.batch)
+            self.rotations += 1
+        return self.batch.entries[self._index]
+
+    def force_rotate(self, time: float) -> None:
+        """Rotate immediately (e.g. after a privacy-sensitive event)."""
+        self._index = (self._index + 1) % len(self.batch)
+        self.rotations += 1
+        self._period_start = time
+
+
+@dataclass
+class _Track:
+    subject: str
+    last_time: float
+    last_pos: Tuple[float, float]
+    chain: List[str] = field(default_factory=list)
+
+
+class TrackingAdversary:
+    """Passive eavesdropper linking pseudonyms by space-time continuity.
+
+    Feed it every overheard (time, pseudonym subject, position); it keeps
+    live tracks and, when a new pseudonym appears, links it to a recently
+    silent track whose position is kinematically consistent.  Scoring
+    compares predicted links against ground truth.
+    """
+
+    def __init__(self, max_speed: float = 50.0, gate_slack: float = 10.0,
+                 silence_window: float = 5.0) -> None:
+        self.max_speed = max_speed
+        self.gate_slack = gate_slack
+        self.silence_window = silence_window
+        self._tracks: Dict[str, _Track] = {}
+        self.predicted_links: List[Tuple[str, str]] = []  # (old, new)
+
+    def observe(self, time: float, subject: str, position: Tuple[float, float]) -> None:
+        track = self._tracks.get(subject)
+        if track is not None:
+            track.last_time = time
+            track.last_pos = position
+            return
+        # New pseudonym: try to link to a recently-silent track.
+        best: Optional[_Track] = None
+        best_distance = float("inf")
+        for candidate in self._tracks.values():
+            silence = time - candidate.last_time
+            if silence <= 0 or silence > self.silence_window:
+                continue
+            distance = math.hypot(
+                position[0] - candidate.last_pos[0],
+                position[1] - candidate.last_pos[1],
+            )
+            gate = self.max_speed * silence + self.gate_slack
+            if distance <= gate and distance < best_distance:
+                best = candidate
+                best_distance = distance
+        new_track = _Track(subject, time, position)
+        if best is not None:
+            self.predicted_links.append((best.subject, subject))
+            new_track.chain = best.chain + [best.subject]
+            del self._tracks[best.subject]
+        self._tracks[subject] = new_track
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def link_accuracy(self, truth: Dict[str, str]) -> float:
+        """Fraction of predicted links that are correct.
+
+        ``truth`` maps pseudonym subject -> vehicle id.
+        """
+        if not self.predicted_links:
+            return 0.0
+        correct = sum(
+            1 for old, new in self.predicted_links
+            if truth.get(old) is not None and truth.get(old) == truth.get(new)
+        )
+        return correct / len(self.predicted_links)
+
+    def recall(self, truth: Dict[str, str]) -> float:
+        """Fraction of true same-vehicle transitions the adversary linked.
+
+        A *transition* is any consecutive pseudonym pair of one vehicle
+        that actually appeared on air (approximated by the set of subjects
+        seen, grouped by vehicle).
+        """
+        seen_by_vehicle: Dict[str, int] = {}
+        for subject in self._subjects_seen():
+            vid = truth.get(subject)
+            if vid is not None:
+                seen_by_vehicle[vid] = seen_by_vehicle.get(vid, 0) + 1
+        total_transitions = sum(max(0, n - 1) for n in seen_by_vehicle.values())
+        if total_transitions == 0:
+            return 0.0
+        correct = sum(
+            1 for old, new in self.predicted_links
+            if truth.get(old) is not None and truth.get(old) == truth.get(new)
+        )
+        return min(1.0, correct / total_transitions)
+
+    def _subjects_seen(self) -> List[str]:
+        subjects = set(self._tracks)
+        for old, new in self.predicted_links:
+            subjects.add(old)
+            subjects.add(new)
+        for track in self._tracks.values():
+            subjects.update(track.chain)
+        return list(subjects)

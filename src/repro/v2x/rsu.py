@@ -1,0 +1,72 @@
+"""Roadside units (RSUs).
+
+Fixed infrastructure stations: verify incoming BSMs (same pipeline as an
+OBU), maintain a local traffic picture, and broadcast signed infrastructure
+messages (signal phase, hazard warnings).  Their density is one axis of the
+E6 verification-load sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim import Simulator, TraceRecorder
+from repro.v2x.bsm import BasicSafetyMessage
+from repro.v2x.certificates import Certificate
+from repro.v2x.channel import Radio, WirelessChannel
+from repro.v2x.ieee1609 import MessageVerifier, SignedMessage, sign_payload
+
+
+class RoadsideUnit:
+    """A fixed V2X station with an infrastructure certificate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        position: Tuple[float, float],
+        channel: WirelessChannel,
+        verifier: MessageVerifier,
+        certificate: Certificate,
+        private_key: int,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.position = position
+        self.verifier = verifier
+        self.certificate = certificate
+        self.private_key = private_key
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.radio: Radio = channel.attach(name, lambda: self.position)
+        self.radio.on_receive(self._receive)
+        # Local traffic picture: pseudonym subject -> latest accepted BSM.
+        self.traffic_picture: Dict[str, Tuple[float, BasicSafetyMessage]] = {}
+        self.accepted = 0
+        self.rejected = 0
+
+    def _receive(self, message: SignedMessage, sender: str) -> None:
+        reason = self.verifier.verify(message, self.sim.now, required_psid="bsm")
+        if reason is not None:
+            self.rejected += 1
+            return
+        self.accepted += 1
+        bsm = BasicSafetyMessage.decode(message.payload)
+        self.traffic_picture[message.certificate.subject] = (self.sim.now, bsm)
+
+    def vehicles_in_picture(self, max_age: float = 2.0) -> int:
+        """Distinct (pseudonymous) senders heard within ``max_age``."""
+        now = self.sim.now
+        return sum(1 for t, _ in self.traffic_picture.values() if now - t <= max_age)
+
+    def broadcast_warning(self, event: str) -> None:
+        """Send a signed infrastructure message (e.g. 'ice ahead')."""
+        bsm = BasicSafetyMessage(
+            msg_count=0, x=self.position[0], y=self.position[1],
+            speed=0.0, heading=0.0, event=event,
+        )
+        message = sign_payload(
+            bsm.encode(), "bsm", self.sim.now, self.certificate, self.private_key,
+        )
+        self.radio.broadcast(message)
+        self.trace.emit(self.sim.now, self.name, "rsu.warning", event=event)

@@ -1,0 +1,159 @@
+"""The on-board unit (OBU): sign outgoing BSMs, verify incoming ones.
+
+The verification side models the paper's density concern ("verify that the
+V2X communication remains secure regardless of how many vehicles and RSUs
+are in proximity"): each station has a bounded verification throughput
+(``verify_rate`` messages/s -- the crypto accelerator budget).  Incoming
+messages queue; a message that waits longer than ``queue_deadline`` is
+dropped unverified.  E6 sweeps sender density against this budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.physical.vehicle import Vehicle
+from repro.sim import Simulator, TraceRecorder
+from repro.v2x.bsm import BasicSafetyMessage
+from repro.v2x.channel import Radio, WirelessChannel
+from repro.v2x.ieee1609 import MessageVerifier, SignedMessage, sign_payload
+from repro.v2x.privacy import PseudonymManager
+
+
+class ObuStation:
+    """A V2X station bound to a vehicle."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        vehicle: Vehicle,
+        channel: WirelessChannel,
+        pseudonyms: PseudonymManager,
+        verifier: MessageVerifier,
+        bsm_period: float = 0.1,
+        verify_rate: float = 400.0,
+        queue_deadline: float = 0.1,
+        trace: Optional[TraceRecorder] = None,
+        real_crypto: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.vehicle = vehicle
+        self.pseudonyms = pseudonyms
+        self.verifier = verifier
+        self.bsm_period = bsm_period
+        self.verify_time = 1.0 / verify_rate
+        self.queue_deadline = queue_deadline
+        self.real_crypto = real_crypto
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.radio: Radio = channel.attach(name, lambda: vehicle.state.position)
+        self.radio.on_receive(self._enqueue)
+
+        self._queue: Deque[Tuple[float, SignedMessage]] = deque()
+        self._verifying = False
+        self._msg_count = 0
+        self._broadcasting = False
+
+        self.signed = 0
+        # Optional hook invoked for every accepted BSM:
+        # on_bsm(now, bsm, sender_subject, signed_message).
+        self.on_bsm = None
+        self.accepted: List[Tuple[float, BasicSafetyMessage, str]] = []
+        self.rejects: dict = {}
+        self.dropped_overload = 0
+        self.verify_latencies: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def start_broadcasting(self) -> None:
+        if not self._broadcasting:
+            self._broadcasting = True
+            self.sim.schedule(0.0, self._broadcast_bsm)
+
+    def stop_broadcasting(self) -> None:
+        self._broadcasting = False
+
+    def _broadcast_bsm(self) -> None:
+        if not self._broadcasting:
+            return
+        state = self.vehicle.state
+        bsm = BasicSafetyMessage(
+            msg_count=self._msg_count % 128,
+            x=state.x, y=state.y, speed=state.speed, heading=state.heading,
+        )
+        self._msg_count += 1
+        message = self._sign(bsm.encode())
+        self.signed += 1
+        self.radio.broadcast(message)
+        self.sim.schedule(self.bsm_period, self._broadcast_bsm)
+
+    def _sign(self, payload: bytes) -> SignedMessage:
+        cert, key = self.pseudonyms.current(self.sim.now)
+        if self.real_crypto:
+            return sign_payload(payload, "bsm", self.sim.now, cert, key)
+        # Scale-mode surrogate (paired with MessageVerifier(skip_crypto=True)):
+        # structurally identical message with a dummy signature.
+        from repro.crypto import EcdsaSignature
+
+        return SignedMessage(payload, "bsm", self.sim.now, cert, EcdsaSignature(1, 1))
+
+    def send_event(self, event: str) -> None:
+        """Broadcast an event BSM (e.g. hazard warning) immediately."""
+        state = self.vehicle.state
+        bsm = BasicSafetyMessage(
+            msg_count=self._msg_count % 128,
+            x=state.x, y=state.y, speed=state.speed, heading=state.heading,
+            event=event,
+        )
+        self._msg_count += 1
+        self.signed += 1
+        self.radio.broadcast(self._sign(bsm.encode()))
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _enqueue(self, message: SignedMessage, sender: str) -> None:
+        self._queue.append((self.sim.now, message))
+        if not self._verifying:
+            self._verifying = True
+            self.sim.schedule(self.verify_time, self._process_one)
+
+    def _process_one(self) -> None:
+        # Shed everything that already blew its deadline.
+        while self._queue and self.sim.now - self._queue[0][0] > self.queue_deadline:
+            self._queue.popleft()
+            self.dropped_overload += 1
+        if not self._queue:
+            self._verifying = False
+            return
+        arrival, message = self._queue.popleft()
+        reason = self.verifier.verify(message, self.sim.now, required_psid="bsm")
+        latency = self.sim.now - arrival
+        if reason is None:
+            self.verify_latencies.append(latency)
+            bsm = BasicSafetyMessage.decode(message.payload)
+            self.accepted.append((self.sim.now, bsm, message.certificate.subject))
+            if self.on_bsm is not None:
+                self.on_bsm(self.sim.now, bsm, message.certificate.subject, message)
+            if bsm.event:
+                self.trace.emit(self.sim.now, self.name, "v2x.event",
+                                event=bsm.event, sender=message.certificate.subject)
+        else:
+            self.rejects[reason] = self.rejects.get(reason, 0) + 1
+        if self._queue:
+            self.sim.schedule(self.verify_time, self._process_one)
+        else:
+            self._verifying = False
+
+    # ------------------------------------------------------------------
+    @property
+    def verified_ok(self) -> int:
+        return len(self.accepted)
+
+    def mean_verify_latency(self) -> float:
+        if not self.verify_latencies:
+            return 0.0
+        return sum(self.verify_latencies) / len(self.verify_latencies)

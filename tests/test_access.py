@@ -1,0 +1,197 @@
+"""Tests for access security: DST cipher, immobilizer, PKES, relay."""
+
+import random
+
+import pytest
+
+from repro.access import (
+    DistanceBounder,
+    Immobilizer,
+    KeyCracker,
+    KeyFob,
+    PkesSystem,
+    RelayAttack,
+    ToyDst,
+    Transponder,
+)
+from repro.access.dst_cipher import RESPONSE_BITS
+from repro.access.keyless import LF_WAKE_RANGE_M, SPEED_OF_LIGHT
+
+
+class TestToyDst:
+    def test_deterministic(self):
+        c = ToyDst(0x12345)
+        assert c.respond(42) == c.respond(42)
+
+    def test_response_width(self):
+        c = ToyDst((1 << 40) - 1)
+        for challenge in (0, 1, 0xFFFFFFFFFF):
+            assert 0 <= c.respond(challenge) < (1 << RESPONSE_BITS)
+
+    def test_key_sensitivity(self):
+        challenge = 0xA5A5A5A5A5
+        responses = {ToyDst(k).respond(challenge) for k in range(64)}
+        assert len(responses) > 48  # near-unique per key
+
+    def test_challenge_sensitivity(self):
+        c = ToyDst(0xDEADBEEF)
+        responses = {c.respond(ch) for ch in range(64)}
+        assert len(responses) > 48
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ToyDst(1 << 40)
+        with pytest.raises(ValueError):
+            ToyDst(1).respond(1 << 40)
+
+
+class TestImmobilizer:
+    def test_matching_key_starts(self):
+        key = 0x1122334455
+        immo = Immobilizer(key, rng=random.Random(0))
+        assert immo.attempt_start(Transponder(key))
+        assert immo.authorized_starts == 1
+
+    def test_wrong_key_rejected(self):
+        immo = Immobilizer(0x1122334455, rng=random.Random(0))
+        assert not immo.attempt_start(Transponder(0x5544332211))
+        assert immo.rejected_starts == 1
+
+    def test_replay_device_fails_fresh_challenge(self):
+        """A recorder that replays one old response fails new challenges."""
+        key = 0xCAFECAFECA
+        transponder = Transponder(key)
+        old_response = transponder.respond(12345)
+
+        class Replayer:
+            def respond(self, challenge):
+                return old_response
+
+        immo = Immobilizer(key, rng=random.Random(1))
+        assert not immo.attempt_start(Replayer())
+
+
+class TestKeyCracker:
+    def test_cracks_reduced_keyspace(self):
+        key = 0xAB00000000 | 0x3F2A  # high byte known, 16 unknown bits used
+        transponder = Transponder(key)
+        pairs = KeyCracker.eavesdrop(transponder, 3, rng=random.Random(0))
+        cracker = KeyCracker(pairs)
+        result = cracker.crack(true_key_prefix=key, known_bits=24)
+        assert result.key == key
+        assert result.keys_tried <= 1 << 16
+
+    def test_cracked_key_clones_transponder(self):
+        key = 0xAB00000000 | 0x1234
+        pairs = KeyCracker.eavesdrop(Transponder(key), 3, rng=random.Random(1))
+        result = KeyCracker(pairs).crack(true_key_prefix=key, known_bits=24)
+        clone = Transponder(result.key, serial="CLONE")
+        immo = Immobilizer(key, rng=random.Random(2))
+        assert immo.attempt_start(clone)  # stolen car starts
+
+    def test_multiple_pairs_disambiguate(self):
+        """With a 24-bit response, ~2^-8 of a 16-bit space false-matches one
+        pair; the second pair must eliminate survivors."""
+        key = 0x0000004321
+        pairs = KeyCracker.eavesdrop(Transponder(key), 2, rng=random.Random(3))
+        result = KeyCracker(pairs).crack(true_key_prefix=0, known_bits=24)
+        assert result.key == key
+
+    def test_extrapolation_scales(self):
+        from repro.access.immobilizer import CrackResult
+        r = CrackResult(key=1, keys_tried=1 << 16, elapsed_s=1.0)
+        # 2^40 keys at 2^16 keys/s = 2^24 seconds.
+        assert r.extrapolate(40) == pytest.approx(float(1 << 24))
+
+    def test_needs_two_pairs(self):
+        with pytest.raises(ValueError):
+            KeyCracker([(1, 2)])
+
+    def test_known_bits_validation(self):
+        pairs = KeyCracker.eavesdrop(Transponder(1), 2, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            KeyCracker(pairs).crack(0, known_bits=40)
+
+
+class TestPkes:
+    KEY = b"F" * 16
+
+    def _system(self, bounder=None):
+        return PkesSystem(self.KEY, distance_bounder=bounder,
+                          rng=random.Random(0))
+
+    def test_nearby_fob_unlocks(self):
+        pkes = self._system()
+        result = pkes.attempt_unlock(KeyFob(self.KEY), fob_distance_m=1.0)
+        assert result.unlocked
+
+    def test_distant_fob_out_of_lf_range(self):
+        pkes = self._system()
+        result = pkes.attempt_unlock(KeyFob(self.KEY), fob_distance_m=50.0)
+        assert not result.unlocked
+        assert "LF range" in result.reason
+
+    def test_wrong_key_fob_rejected(self):
+        pkes = self._system()
+        result = pkes.attempt_unlock(KeyFob(b"X" * 16), fob_distance_m=1.0)
+        assert not result.unlocked and result.reason == "bad response"
+
+    def test_relay_extends_range_without_bounding(self):
+        """The Francillon result: relay defeats proximity inference."""
+        pkes = self._system()
+        relay = RelayAttack(relay_latency_s=1e-6)
+        relay.engage()
+        result = pkes.attempt_unlock(KeyFob(self.KEY), fob_distance_m=50.0,
+                                     relay=relay)
+        assert result.unlocked  # car opens with the owner 50 m away
+
+    def test_distance_bounding_stops_relay(self):
+        bounder = DistanceBounder(max_distance_m=3.0)
+        pkes = self._system(bounder)
+        relay = RelayAttack(relay_latency_s=1e-6)
+        relay.engage()
+        result = pkes.attempt_unlock(KeyFob(self.KEY), fob_distance_m=50.0,
+                                     relay=relay)
+        assert not result.unlocked
+        assert result.reason == "distance bound exceeded"
+        assert result.implied_distance_m > 3.0
+
+    def test_distance_bounding_admits_legit_fob(self):
+        bounder = DistanceBounder(max_distance_m=3.0)
+        pkes = self._system(bounder)
+        result = pkes.attempt_unlock(KeyFob(self.KEY), fob_distance_m=1.5)
+        assert result.unlocked
+
+    def test_ultrafast_relay_evades_loose_bound(self):
+        """A sub-nanosecond analogue relay under a sloppy bound: the
+        documented residual risk of distance bounding."""
+        bounder = DistanceBounder(max_distance_m=3.0, slack_s=2e-7)  # sloppy
+        pkes = self._system(bounder)
+        relay = RelayAttack(relay_latency_s=1e-9)
+        relay.engage()
+        # True distance large, but its flight time is hidden by the slack.
+        result = pkes.attempt_unlock(KeyFob(self.KEY), fob_distance_m=20.0,
+                                     relay=relay)
+        assert result.unlocked
+
+    def test_disengaged_relay_does_not_help(self):
+        pkes = self._system()
+        relay = RelayAttack()
+        result = pkes.attempt_unlock(KeyFob(self.KEY), fob_distance_m=50.0,
+                                     relay=relay)
+        assert not result.unlocked
+
+    def test_rtt_physics(self):
+        pkes = self._system()
+        fob = KeyFob(self.KEY, processing_time_s=1e-6)
+        result = pkes.attempt_unlock(fob, fob_distance_m=1.0)
+        expected = 2 * 1.0 / SPEED_OF_LIGHT + 1e-6
+        assert result.measured_rtt_s == pytest.approx(expected)
+
+    def test_fob_key_validation(self):
+        with pytest.raises(ValueError):
+            KeyFob(b"short")
+
+    def test_relay_latency_validation(self):
+        with pytest.raises(ValueError):
+            RelayAttack(relay_latency_s=-1)

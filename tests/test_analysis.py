@@ -1,0 +1,142 @@
+"""Tests for analysis: metrics, statistics, sweep tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    ConfusionMatrix,
+    Sweep,
+    detection_metrics,
+    mean,
+    percentile,
+    roc_points,
+    score_alerts,
+    stdev,
+    summarize,
+)
+from repro.analysis.metrics import auc
+from repro.ids.base import Alert
+
+
+class TestConfusionMatrix:
+    def test_perfect(self):
+        cm = ConfusionMatrix(tp=10, tn=90)
+        assert cm.precision == 1.0 and cm.recall == 1.0
+        assert cm.false_positive_rate == 0.0
+        assert cm.f1 == 1.0 and cm.accuracy == 1.0
+
+    def test_all_zero(self):
+        cm = ConfusionMatrix()
+        assert cm.precision == 0.0 and cm.recall == 0.0
+        assert cm.f1 == 0.0 and cm.accuracy == 0.0
+
+    def test_mixed(self):
+        cm = ConfusionMatrix(tp=8, fp=2, tn=88, fn=2)
+        assert cm.precision == pytest.approx(0.8)
+        assert cm.recall == pytest.approx(0.8)
+        assert cm.false_positive_rate == pytest.approx(2 / 90)
+
+    def test_detection_metrics_dict(self):
+        metrics = detection_metrics(ConfusionMatrix(tp=1, tn=1))
+        assert set(metrics) == {"precision", "recall", "fpr", "f1", "accuracy"}
+
+
+class TestScoreAlerts:
+    def test_exact_time_matching(self):
+        observations = [(1.0, True), (2.0, False), (3.0, True)]
+        alerts = [Alert(1.0, "d", 0x1, "x"), Alert(2.0, "d", 0x1, "x")]
+        cm = score_alerts(observations, alerts)
+        assert cm.tp == 1 and cm.fn == 1 and cm.fp == 1 and cm.tn == 0
+
+    def test_tolerance_window(self):
+        observations = [(1.0, True)]
+        alerts = [Alert(1.05, "d", 0x1, "x")]
+        assert score_alerts(observations, alerts).tp == 0
+        assert score_alerts(observations, alerts, tolerance=0.1).tp == 1
+
+    def test_empty(self):
+        cm = score_alerts([], [])
+        assert cm.tp == cm.fp == cm.tn == cm.fn == 0
+
+
+class TestRoc:
+    def test_perfect_separation(self):
+        scored = [(0.9, True), (0.8, True), (0.2, False), (0.1, False)]
+        points = roc_points(scored)
+        assert points[0] == (0.0, 0.0)
+        assert points[-1] == (1.0, 1.0)
+        assert auc(points) == pytest.approx(1.0)
+
+    def test_random_scores_auc_half(self):
+        scored = [(0.5, True), (0.5, False)] * 50
+        assert 0.3 < auc(roc_points(scored)) < 0.7
+
+    def test_inverted_scores_auc_zero(self):
+        scored = [(0.1, True), (0.9, False)]
+        assert auc(roc_points(scored)) == 0.0
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([2.0, 2.0, 2.0]) == 0.0
+        assert stdev([1.0]) == 0.0
+        assert stdev([0.0, 2.0]) == 1.0
+
+    def test_percentile(self):
+        values = list(range(101))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 50) == 50
+        assert percentile(values, 100) == 100
+        assert percentile(values, 95) == pytest.approx(95)
+
+    def test_percentile_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_percentile_empty_and_single(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_summarize_empty(self):
+        assert summarize([])["p99"] == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_percentile_bounds(self, values):
+        assert min(values) <= percentile(values, 50) <= max(values)
+
+
+class TestSweep:
+    def test_run_collects_rows(self):
+        sweep = Sweep("test", lambda x: {"double": 2 * x})
+        result = sweep.run([{"x": 1}, {"x": 5}])
+        assert result.column("double") == [2, 10]
+        assert result.column("x") == [1, 5]
+
+    def test_table_rendering(self):
+        sweep = Sweep("demo", lambda n: {"value": n * 1.5, "ok": n > 1})
+        table = sweep.run([{"n": 1}, {"n": 2}]).to_table()
+        assert "== demo ==" in table
+        assert "value" in table and "yes" in table and "no" in table
+
+    def test_explicit_columns(self):
+        sweep = Sweep("t", lambda a: {"b": a, "c": a})
+        result = sweep.run([{"a": 1}], columns=["a", "b"])
+        assert "c" not in result.to_table().splitlines()[1]
+
+    def test_empty_grid(self):
+        result = Sweep("empty", lambda: {}).run([])
+        assert result.rows == []
+        assert "== empty ==" in result.to_table()

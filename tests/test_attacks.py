@@ -1,0 +1,409 @@
+"""Tests for the attack library."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    AcousticMemsAttack,
+    BusFloodAttack,
+    BusOffAttack,
+    CpaAttack,
+    FuzzAttack,
+    GpsSpoofingAttack,
+    InjectionAttack,
+    LidarPhantomAttack,
+    MasqueradeAttack,
+    ReplayAttack,
+    SpoofAttack,
+    TpmsSpoofingAttack,
+    VoltageGlitchAttack,
+)
+from repro.crypto.aes import AES, MaskedAES
+from repro.ecu import TamperDetector
+from repro.ivn import CanBus, CanFrame, PeriodicSender
+from repro.physical import (
+    Accelerometer,
+    GpsSensor,
+    LidarSensor,
+    PowerTraceModel,
+    TpmsSensor,
+    Vehicle,
+    VehicleState,
+)
+from repro.sim import Simulator
+
+
+class TestInjection:
+    def test_injects_at_rate(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        bus.attach("victim")
+        attack = SpoofAttack(sim, bus, 0x0C9, b"\xff" * 8, rate_hz=100)
+        attack.start()
+        sim.run_until(0.1)
+        assert 9 <= attack.injected <= 12
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        attack = SpoofAttack(sim, bus, 0x100, b"", rate_hz=100)
+        attack.start()
+        sim.run_until(0.05)
+        attack.stop()
+        count = attack.injected
+        sim.run_until(0.2)
+        assert attack.injected == count
+
+    def test_ground_truth_window(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        attack = SpoofAttack(sim, bus, 0x100, b"", rate_hz=10)
+        sim.run_until(1.0)
+        attack.start()
+        sim.run_until(2.0)
+        attack.stop()
+        assert not attack.was_active_at(0.5)
+        assert attack.was_active_at(1.5)
+        assert not attack.was_active_at(2.5)
+
+    def test_rate_validation(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        with pytest.raises(ValueError):
+            InjectionAttack(sim, bus, lambda s: CanFrame(0), rate_hz=0)
+
+    def test_spoofed_frames_reach_receivers(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        victim = bus.attach("dashboard")
+        got = []
+        victim.on_receive(got.append)
+        attack = SpoofAttack(sim, bus, 0x0C9, b"\x88" * 8, rate_hz=50)
+        attack.start()
+        sim.run_until(0.1)
+        assert got and all(f.can_id == 0x0C9 and f.data == b"\x88" * 8 for f in got)
+
+
+class TestBusFlood:
+    def test_starves_legitimate_traffic(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        legit = bus.attach("legit")
+        PeriodicSender(sim, legit, 0x200, period=0.01, start_offset=0.0)
+        flood = BusFloodAttack(sim, bus)
+        flood.start()
+        sim.run_until(0.5)
+        # Legit node queued ~50 frames but sent almost none.
+        assert legit.frames_sent <= 2
+        assert len(legit.tx_queue) > 30
+
+    def test_bus_saturated(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        flood = BusFloodAttack(sim, bus)
+        flood.start()
+        sim.run_until(0.2)
+        assert bus.utilization() > 0.95
+
+    def test_headroom_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            BusFloodAttack(sim, CanBus(sim), headroom=0)
+
+
+class TestBusOff:
+    def test_silences_victim(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        victim = bus.attach("brake")
+        bus.attach("other")
+        PeriodicSender(sim, victim, 0x0D1, period=0.01, start_offset=0.0)
+        attack = BusOffAttack(sim, bus, "brake")
+        attack.start()
+        sim.run_until(2.0)
+        assert attack.succeeded
+        assert attack.errors_induced >= attack.frames_to_bus_off()
+
+    def test_other_nodes_unaffected(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        victim = bus.attach("brake")
+        other = bus.attach("engine")
+        PeriodicSender(sim, victim, 0x0D1, period=0.01, start_offset=0.0)
+        PeriodicSender(sim, other, 0x0C9, period=0.01, start_offset=0.0)
+        attack = BusOffAttack(sim, bus, "brake")
+        attack.start()
+        sim.run_until(2.0)
+        assert attack.succeeded
+        assert not other.bus_off
+        assert other.frames_sent > 100
+
+    def test_unknown_victim_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            BusOffAttack(sim, CanBus(sim), "ghost")
+
+    def test_stop_restores_hook(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        bus.attach("v")
+        attack = BusOffAttack(sim, bus, "v")
+        attack.start()
+        attack.stop()
+        assert bus.corruption_hook is None
+
+
+class TestReplay:
+    def test_records_then_replays(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        legit = bus.attach("legit")
+        attack = ReplayAttack(sim, bus, target_ids={0x100})
+        attack.start_recording()
+        legit.send(CanFrame(0x100, b"\x01"))
+        legit.send(CanFrame(0x200, b"\x02"))  # filtered out
+        sim.run()
+        attack.stop_recording()
+        assert len(attack.recorded) == 1
+        scheduled = attack.replay()
+        assert scheduled == 1
+        sim.run()
+        assert attack.replayed == 1
+        assert bus.frames_on_wire == 3  # 2 legit + 1 replayed
+
+    def test_replay_preserves_relative_timing(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        legit = bus.attach("legit")
+        attack = ReplayAttack(sim, bus)
+        attack.start_recording()
+        legit.send(CanFrame(0x100))
+        sim.run_until(0.5)
+        legit.send(CanFrame(0x101))
+        sim.run()
+        attack.stop_recording()
+        start = sim.now
+        attack.replay()
+        times = []
+        bus.tap(lambda f: times.append(sim.now))
+        sim.run()
+        assert times[-1] - times[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_does_not_record_own_replays(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        legit = bus.attach("legit")
+        attack = ReplayAttack(sim, bus)
+        attack.start_recording()
+        legit.send(CanFrame(0x100))
+        sim.run()
+        attack.replay()
+        sim.run()
+        assert len(attack.recorded) == 1
+
+    def test_empty_replay(self):
+        sim = Simulator()
+        attack = ReplayAttack(sim, CanBus(sim))
+        assert attack.replay() == 0
+
+    def test_speedup_validation(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        legit = bus.attach("l")
+        attack = ReplayAttack(sim, bus)
+        attack.start_recording()
+        legit.send(CanFrame(0x1))
+        sim.run()
+        with pytest.raises(ValueError):
+            attack.replay(speedup=0)
+
+
+class TestFuzz:
+    def test_random_ids_within_range(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        seen = []
+        bus.tap(lambda f: seen.append(f.can_id))
+        attack = FuzzAttack(sim, bus, rate_hz=500, rng=random.Random(0),
+                            id_range=(0x400, 0x4FF))
+        attack.start()
+        sim.run_until(0.1)
+        assert seen and all(0x400 <= i <= 0x4FF for i in seen)
+        assert len(set(seen)) > 5
+
+    def test_id_range_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FuzzAttack(sim, CanBus(sim), 10, id_range=(0x500, 0x100))
+
+
+class TestMasquerade:
+    def test_full_attack_chain(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        victim = bus.attach("brake")
+        monitor = bus.attach("monitor")
+        PeriodicSender(sim, victim, 0x0D1, period=0.01, start_offset=0.0)
+        received = []
+        monitor.on_receive(lambda f: received.append((sim.now, f)))
+        attack = MasqueradeAttack(
+            sim, bus, victim="brake", target_id=0x0D1, period=0.01,
+            payload_fn=lambda seq: b"\xde\xad" + bytes(6),
+        )
+        attack.start()
+        sim.run_until(5.0)
+        assert attack.busoff.succeeded
+        assert attack.impersonating
+        assert attack.sent > 50
+        # After takeover the 0x0D1 frames carry the attacker payload.
+        late = [f for t, f in received if t > 4.0 and f.can_id == 0x0D1]
+        assert late and all(f.data.startswith(b"\xde\xad") for f in late)
+
+    def test_masquerade_timing_mimics_victim(self):
+        """Inter-arrival of the forged id stays at the victim's period."""
+        sim = Simulator()
+        bus = CanBus(sim)
+        victim = bus.attach("brake")
+        bus.attach("monitor")
+        PeriodicSender(sim, victim, 0x0D1, period=0.01, start_offset=0.0)
+        times = []
+        bus.tap(lambda f: times.append(sim.now) if f.can_id == 0x0D1 else None)
+        attack = MasqueradeAttack(
+            sim, bus, "brake", 0x0D1, 0.01, lambda s: bytes(8),
+        )
+        attack.start()
+        sim.run_until(5.0)
+        late = [t for t in times if t > 4.0]
+        gaps = [b - a for a, b in zip(late, late[1:])]
+        assert gaps and all(abs(g - 0.01) < 0.002 for g in gaps)
+
+    def test_period_validation(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        bus.attach("v")
+        with pytest.raises(ValueError):
+            MasqueradeAttack(sim, bus, "v", 0x1, 0, lambda s: b"")
+
+
+class TestCpa:
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+    def test_recovers_key_from_clean_traces(self):
+        model = PowerTraceModel(AES(self.KEY), noise_std=0.1, rng=random.Random(42))
+        result = CpaAttack(model).run(150)
+        assert result.success(self.KEY)
+
+    def test_noise_requires_more_traces(self):
+        noisy = PowerTraceModel(AES(self.KEY), noise_std=3.0, rng=random.Random(42))
+        few = CpaAttack(noisy).run(30)
+        assert few.bytes_correct(self.KEY) < 16
+        many = CpaAttack(
+            PowerTraceModel(AES(self.KEY), noise_std=3.0, rng=random.Random(42))
+        ).run(1500)
+        assert many.bytes_correct(self.KEY) >= 14
+
+    def test_masking_defeats_cpa(self):
+        engine = MaskedAES(self.KEY, rng=random.Random(7))
+        model = PowerTraceModel(engine, noise_std=0.1, rng=random.Random(42))
+        result = CpaAttack(model).run(800)
+        assert result.bytes_correct(self.KEY) <= 3  # chance level
+
+    def test_traces_to_success_grid(self):
+        model = PowerTraceModel(AES(self.KEY), noise_std=0.5, rng=random.Random(1))
+        n = CpaAttack(model).traces_to_success(self.KEY, max_traces=600, step=50)
+        assert n is not None and n <= 600
+
+    def test_minimum_traces_enforced(self):
+        with pytest.raises(ValueError):
+            CpaAttack.analyze([bytes(16)] * 2, [[0.0] * 16] * 2)
+
+
+class TestSensorAttacks:
+    def test_gps_jump(self):
+        v = Vehicle()
+        gps = GpsSensor(v, noise_std=0.0, rng=random.Random(0))
+        attack = GpsSpoofingAttack(gps, v)
+        attack.start_jump((1000.0, 0.0))
+        assert gps.read() == (1000.0, 0.0)
+        attack.stop()
+        assert not gps.spoofed
+
+    def test_gps_drift_accumulates(self):
+        v = Vehicle(VehicleState(speed=10.0))
+        gps = GpsSensor(v, noise_std=0.0, rng=random.Random(0))
+        attack = GpsSpoofingAttack(gps, v)
+        attack.start_drift(rate_m_s=2.0, bearing=0.0)
+        for _ in range(10):
+            v.step(0.1)
+            attack.step_drift(0.1)
+        assert attack.induced_error() == pytest.approx(2.0)
+        fix = gps.read()
+        assert fix[0] - v.state.x == pytest.approx(2.0, abs=1e-6)
+
+    def test_tpms_fake_blowout_and_stop(self):
+        tpms = TpmsSensor(rng=random.Random(0))
+        attack = TpmsSpoofingAttack(tpms)
+        sid = tpms.sensor_ids[1]
+        attack.fake_blowout(sid)
+        assert tpms.read(sid) == 0.0
+        attack.stop()
+        assert tpms.read(sid) > 100
+
+    def test_tpms_mask_real_blowout(self):
+        tpms = TpmsSensor(rng=random.Random(0))
+        sid = tpms.sensor_ids[0]
+        tpms.true_pressures[sid] = 60.0  # real deflation
+        attack = TpmsSpoofingAttack(tpms)
+        attack.mask_real_pressure(sid)
+        assert tpms.read(sid) == pytest.approx(TpmsSensor.NOMINAL_KPA)
+
+    def test_lidar_phantom_count(self):
+        lidar = LidarSensor(Vehicle(), rng=random.Random(0))
+        attack = LidarPhantomAttack(lidar)
+        attack.inject(30.0, 0.0, count=3)
+        assert len(lidar.scan()) == 3
+        attack.stop()
+        assert lidar.scan() == []
+
+    def test_acoustic_on_resonance_effective(self):
+        acc = Accelerometer(Vehicle(), rng=random.Random(0))
+        attack = AcousticMemsAttack(acc)
+        attack.start(amplitude=3.0)
+        assert attack.effectiveness() == pytest.approx(1.0)
+        attack.stop()
+        assert attack.effectiveness() == 0.0
+
+    def test_acoustic_off_resonance_ineffective(self):
+        acc = Accelerometer(Vehicle(), rng=random.Random(0))
+        attack = AcousticMemsAttack(acc)
+        attack.start(amplitude=3.0, freq_hz=acc.resonant_hz * 3)
+        assert attack.effectiveness() < 0.01
+
+
+class TestGlitch:
+    def test_perfect_detector_blocks_campaign(self):
+        sim = Simulator()
+        det = TamperDetector(sim, detection_probability=1.0)
+        attack = VoltageGlitchAttack(det, rng=random.Random(0))
+        result = attack.campaign(max_attempts=100)
+        assert result.detected_at_attempt == 1
+        assert result.faults_landed == 0
+
+    def test_weak_detector_eventually_faulted(self):
+        sim = Simulator()
+        det = TamperDetector(
+            sim, detection_probability=0.1, rng=random.Random(3),
+        )
+        attack = VoltageGlitchAttack(
+            det, fault_probability=0.2, rng=random.Random(4),
+        )
+        result = attack.campaign(max_attempts=500)
+        assert result.faults_landed == 1 or result.detected_at_attempt is not None
+
+    def test_campaign_stops_on_detection(self):
+        sim = Simulator()
+        det = TamperDetector(sim, detection_probability=1.0)
+        attack = VoltageGlitchAttack(det, rng=random.Random(0))
+        result = attack.campaign(max_attempts=100, stop_on_detection=True)
+        assert result.attempts == 1

@@ -1,0 +1,37 @@
+"""Tests for the command-line experiment runner."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCliRunner:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["E9"]) == 0
+        out = capsys.readouterr().out
+        assert "E9: cumulative cost" in out
+        assert "[E9 completed" in out
+
+    def test_case_insensitive(self, capsys):
+        assert main(["e11"]) == 0
+        assert "E11" in capsys.readouterr().out
+
+    def test_seed_flag(self, capsys):
+        assert main(["E13", "--seed", "5"]) == 0
+        assert "secure-boot outcomes" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["E99"])
+        assert exc.value.code == 2
+
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "E9"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "extensible_wins" in result.stdout

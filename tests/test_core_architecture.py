@@ -1,0 +1,144 @@
+"""Tests for the 4+1-layer architecture facade and its assessment."""
+
+import pytest
+
+from repro.core import SecurityLayer, VehicleArchitecture
+from repro.core.safety import Asil
+from repro.ecu import Ecu, FirmwareImage, FirmwareStore, She
+from repro.gateway import Firewall, FirewallAction, FirewallRule, SecureGateway
+from repro.ids import FrequencyIds
+from repro.sim import Simulator
+
+UID = bytes(15)
+
+
+def make_ecu(sim, name="engine", secure_boot=True):
+    image = FirmwareImage(f"{name}-fw", 1, b"payload" * 10, hardware_id="mcu")
+    she = She(uid=UID)
+    if secure_boot:
+        she.set_boot_mac(image.canonical_bytes(), b"B" * 16)
+    return Ecu(sim, name, she, FirmwareStore(image))
+
+
+class TestConstruction:
+    def test_add_domain(self):
+        arch = VehicleArchitecture(Simulator())
+        bus = arch.add_domain("powertrain")
+        assert "powertrain" in arch.domains
+        with pytest.raises(ValueError):
+            arch.add_domain("powertrain")
+
+    def test_gateway_attaches_existing_domains(self):
+        sim = Simulator()
+        arch = VehicleArchitecture(sim)
+        arch.add_domain("a")
+        arch.add_domain("b")
+        gw = arch.install_gateway(SecureGateway(sim))
+        assert set(gw.domains) == {"a", "b"}
+
+    def test_gateway_attaches_future_domains(self):
+        sim = Simulator()
+        arch = VehicleArchitecture(sim)
+        gw = arch.install_gateway(SecureGateway(sim))
+        arch.add_domain("late")
+        assert "late" in gw.domains
+
+    def test_add_ecu_requires_domain(self):
+        sim = Simulator()
+        arch = VehicleArchitecture(sim)
+        with pytest.raises(ValueError):
+            arch.add_ecu(make_ecu(sim), "nowhere")
+
+    def test_add_ecu_detects_secure_boot(self):
+        sim = Simulator()
+        arch = VehicleArchitecture(sim)
+        arch.add_domain("powertrain")
+        arch.add_ecu(make_ecu(sim), "powertrain")
+        assert arch.has_secure_boot
+
+    def test_ecu_without_secure_boot(self):
+        sim = Simulator()
+        arch = VehicleArchitecture(sim)
+        arch.add_domain("powertrain")
+        arch.add_ecu(make_ecu(sim, secure_boot=False), "powertrain")
+        assert not arch.has_secure_boot
+
+    def test_install_ids(self):
+        sim = Simulator()
+        arch = VehicleArchitecture(sim)
+        arch.add_domain("powertrain")
+        arch.install_ids(FrequencyIds(), "powertrain")
+        assert arch.detectors
+        with pytest.raises(ValueError):
+            arch.install_ids(FrequencyIds(), "ghost")
+
+
+class TestLayersAndAssessment:
+    def _bare(self):
+        return VehicleArchitecture(Simulator())
+
+    def test_bare_architecture_no_layers(self):
+        arch = self._bare()
+        assert arch.deployed_layers() == set()
+        report = arch.assess()
+        assert report.coverage_ratio == 0.0
+        assert report.max_residual_asil == Asil.D
+
+    def test_gateway_layer_requires_rules(self):
+        sim = Simulator()
+        arch = VehicleArchitecture(sim)
+        arch.install_gateway(SecureGateway(sim))  # no rules: posture only
+        assert SecurityLayer.SECURE_GATEWAY not in arch.deployed_layers()
+        arch.gateway.firewall.add_rule(FirewallRule(
+            "*", "*", FirewallAction.DENY,
+        ))
+        assert SecurityLayer.SECURE_GATEWAY in arch.deployed_layers()
+
+    def test_ids_gives_secure_networks(self):
+        arch = self._bare()
+        arch.add_domain("d")
+        arch.install_ids(FrequencyIds(), "d")
+        assert SecurityLayer.SECURE_NETWORKS in arch.deployed_layers()
+
+    def test_flags_map_to_layers(self):
+        arch = self._bare()
+        arch.has_v2x_security = True
+        arch.has_access_protection = True
+        arch.has_tamper_detection = True
+        layers = arch.deployed_layers()
+        assert SecurityLayer.SECURE_INTERFACES in layers
+        assert SecurityLayer.PHYSICAL_PROTECTION in layers
+        assert SecurityLayer.SECURE_PROCESSING in layers
+
+    def test_full_deployment_full_coverage(self):
+        sim = Simulator()
+        arch = VehicleArchitecture(sim)
+        arch.add_domain("powertrain")
+        gw = arch.install_gateway(SecureGateway(sim))
+        gw.firewall.add_rule(FirewallRule("*", "*", FirewallAction.DENY))
+        arch.add_ecu(make_ecu(sim), "powertrain")
+        arch.install_ids(FrequencyIds(), "powertrain")
+        arch.has_v2x_security = True
+        arch.has_access_protection = True
+        report = arch.assess()
+        assert report.coverage_ratio == 1.0
+        assert report.uncovered_threats == []
+        assert report.max_residual_asil == Asil.QM
+
+    def test_partial_deployment_residual_hazards(self):
+        sim = Simulator()
+        arch = VehicleArchitecture(sim)
+        arch.add_domain("powertrain")
+        arch.install_ids(FrequencyIds(), "powertrain")  # networks only
+        report = arch.assess()
+        assert 0 < report.coverage_ratio < 1.0
+        # Without V2X security, forged V2X warnings remain a hazard.
+        assert "v2x-forgery" in report.uncovered_threats
+        names = [h.name for h in report.residual_hazards]
+        assert "false-v2x-warning" in names
+
+    def test_report_summary_renders(self):
+        report = self._bare().assess()
+        text = report.summary()
+        assert "threat coverage" in text
+        assert "residual hazard" in text

@@ -1,0 +1,282 @@
+"""Tests for the policy engine, extensibility manager, trade-off controller."""
+
+import pytest
+
+from repro.core import (
+    ConfigUpdate,
+    ExtensibilityManager,
+    Feature,
+    PolicyDecision,
+    PolicyEngine,
+    PolicyRule,
+    SecurityPolicy,
+    UpdateRejected,
+)
+from repro.core.extensibility import GenerationCostModel
+from repro.core.tradeoff import (
+    ContextEstimate,
+    DEFAULT_MODE_TABLE,
+    DrivingContext,
+    OperatingPoint,
+    TradeoffController,
+    classify_context,
+)
+
+KEY = b"P" * 16
+
+
+def rule(subjects, objects, actions, decision, contexts=(), name=""):
+    return PolicyRule(
+        frozenset(subjects), frozenset(objects), frozenset(actions),
+        decision, frozenset(contexts), name,
+    )
+
+
+class TestPolicyEngine:
+    def _engine(self):
+        policy = SecurityPolicy(version=1, rules=[
+            rule({"diag-tool"}, {"engine"}, {"read"}, PolicyDecision.ALLOW,
+                 name="diag-read"),
+            rule({"diag-tool"}, {"engine"}, {"write"}, PolicyDecision.ALLOW,
+                 contexts={"workshop"}, name="diag-write-workshop"),
+            rule({"*"}, {"she-keys"}, {"read"}, PolicyDecision.DENY,
+                 name="keys-never-readable"),
+        ])
+        return PolicyEngine(policy, update_key=KEY)
+
+    def test_allow_rule(self):
+        assert self._engine().allows("diag-tool", "engine", "read")
+
+    def test_default_deny(self):
+        assert not self._engine().allows("infotainment", "engine", "write")
+
+    def test_context_gating(self):
+        engine = self._engine()
+        assert not engine.allows("diag-tool", "engine", "write", context="normal")
+        assert engine.allows("diag-tool", "engine", "write", context="workshop")
+
+    def test_wildcard_subject(self):
+        assert not self._engine().allows("anything", "she-keys", "read")
+
+    def test_first_match_wins(self):
+        policy = SecurityPolicy(version=1, rules=[
+            rule({"a"}, {"x"}, {"op"}, PolicyDecision.DENY),
+            rule({"*"}, {"x"}, {"op"}, PolicyDecision.ALLOW),
+        ])
+        engine = PolicyEngine(policy)
+        assert not engine.allows("a", "x", "op")
+        assert engine.allows("b", "x", "op")
+
+    def test_denial_counter(self):
+        engine = self._engine()
+        engine.allows("x", "y", "z")
+        assert engine.denials == 1
+
+    def test_signed_update_applies(self):
+        engine = self._engine()
+        new = SecurityPolicy(version=2, rules=[
+            rule({"ota-agent"}, {"firmware"}, {"write"}, PolicyDecision.ALLOW),
+        ])
+        blob, tag = engine.export_update(new, KEY)
+        engine.apply_update(blob, tag)
+        assert engine.policy.version == 2
+        assert engine.allows("ota-agent", "firmware", "write")
+        assert engine.update_history == [1, 2]
+
+    def test_forged_update_rejected(self):
+        engine = self._engine()
+        new = SecurityPolicy(version=2)
+        blob, _ = engine.export_update(new, KEY)
+        with pytest.raises(PermissionError):
+            engine.apply_update(blob, b"\x00" * 16)
+
+    def test_rollback_update_rejected(self):
+        engine = self._engine()
+        old = SecurityPolicy(version=1)
+        blob, tag = engine.export_update(old, KEY)
+        with pytest.raises(ValueError, match="rollback"):
+            engine.apply_update(blob, tag)
+
+    def test_no_update_key_disables_updates(self):
+        engine = PolicyEngine(SecurityPolicy(version=1))
+        with pytest.raises(PermissionError, match="disabled"):
+            engine.apply_update(b"x", b"y")
+
+    def test_serialization_roundtrip(self):
+        policy = self._engine().policy
+        restored = SecurityPolicy.deserialize(policy.serialize())
+        assert restored.version == policy.version
+        assert restored.rules == policy.rules
+        assert restored.default == policy.default
+
+    def test_configuration_space_size(self):
+        engine = self._engine()
+        assert engine.configuration_space(
+            ["a", "b"], ["x"], ["r", "w"], ["normal", "workshop"],
+        ) == 8
+
+    def test_decision_table_exhaustive(self):
+        engine = self._engine()
+        table = engine.decision_table(["diag-tool"], ["engine"], ["read", "write"])
+        assert table[("diag-tool", "engine", "read", "normal")] is PolicyDecision.ALLOW
+        assert table[("diag-tool", "engine", "write", "normal")] is PolicyDecision.DENY
+
+
+class TestExtensibilityManager:
+    def _manager(self):
+        return ExtensibilityManager(KEY, features=[
+            Feature("v2x-rx", version=1, enabled=True),
+            Feature("remote-park", version=1, enabled=False, reserved=True),
+        ])
+
+    def test_registry(self):
+        mgr = self._manager()
+        assert mgr.enabled_features() == {"v2x-rx"}
+        assert mgr.reserved_features() == {"remote-park"}
+        assert mgr.is_enabled("v2x-rx")
+        assert not mgr.is_enabled("missing")
+
+    def test_duplicate_feature_rejected(self):
+        mgr = self._manager()
+        with pytest.raises(ValueError):
+            mgr.register(Feature("v2x-rx"))
+
+    def test_signed_enable_of_reserved_feature(self):
+        mgr = self._manager()
+        update = ExtensibilityManager.build_update(
+            KEY, config_version=1, settings={"remote-park": (2, True)},
+        )
+        mgr.apply_update(update)
+        assert mgr.is_enabled("remote-park")
+        assert "remote-park" not in mgr.reserved_features()
+
+    def test_update_can_introduce_new_feature(self):
+        mgr = self._manager()
+        update = ExtensibilityManager.build_update(
+            KEY, 1, {"platoon-mode": (1, True)},
+        )
+        mgr.apply_update(update)
+        assert mgr.is_enabled("platoon-mode")
+
+    def test_forged_update_rejected(self):
+        mgr = self._manager()
+        update = ExtensibilityManager.build_update(
+            b"W" * 16, 1, {"remote-park": (2, True)},
+        )
+        with pytest.raises(UpdateRejected, match="authentication"):
+            mgr.apply_update(update)
+        assert mgr.rejected_updates == 1
+
+    def test_config_rollback_rejected(self):
+        mgr = self._manager()
+        mgr.apply_update(ExtensibilityManager.build_update(KEY, 5, {}))
+        with pytest.raises(UpdateRejected, match="rollback"):
+            mgr.apply_update(ExtensibilityManager.build_update(KEY, 5, {}))
+
+    def test_feature_version_rollback_rejected(self):
+        mgr = self._manager()
+        mgr.apply_update(ExtensibilityManager.build_update(
+            KEY, 1, {"v2x-rx": (3, True)},
+        ))
+        with pytest.raises(UpdateRejected, match="version rollback"):
+            mgr.apply_update(ExtensibilityManager.build_update(
+                KEY, 2, {"v2x-rx": (2, True)},
+            ))
+
+    def test_negotiation(self):
+        assert ExtensibilityManager.negotiate({1, 2, 3}, {2, 3, 4}) == 3
+        assert ExtensibilityManager.negotiate({1}, {2}) is None
+
+    def test_key_validation(self):
+        with pytest.raises(ValueError):
+            ExtensibilityManager(b"short")
+
+
+class TestGenerationCostModel:
+    def test_extensible_more_expensive_first(self):
+        model = GenerationCostModel()
+        custom = model.custom_cumulative(1)
+        extensible = model.extensible_cumulative(1)
+        assert extensible[0] > custom[0]
+
+    def test_crossover_exists(self):
+        model = GenerationCostModel()
+        crossover = model.crossover_generation()
+        assert crossover is not None and crossover > 1
+
+    def test_extensible_wins_long_run(self):
+        model = GenerationCostModel()
+        custom = model.custom_cumulative(10)
+        extensible = model.extensible_cumulative(10)
+        assert extensible[-1] < custom[-1]
+
+    def test_time_to_market_penalty_above_one(self):
+        assert GenerationCostModel().time_to_market_penalty() > 1.0
+
+    def test_no_crossover_when_extensible_too_costly(self):
+        model = GenerationCostModel(extensible_gen_cost=1000.0)
+        assert model.crossover_generation(max_generations=10) is None
+
+
+class TestTradeoffController:
+    def test_classification(self):
+        assert classify_context(ContextEstimate(0.0, 0, 0)) is DrivingContext.PARKED
+        assert classify_context(ContextEstimate(30.0, 1, 2)) is DrivingContext.HIGHWAY
+        assert classify_context(ContextEstimate(10.0, 8, 20)) is DrivingContext.URBAN
+        assert classify_context(ContextEstimate(5.0, 15, 50)) is DrivingContext.DENSE_URBAN
+        assert classify_context(ContextEstimate(15.0, 2, 3)) is DrivingContext.RURAL
+
+    def test_mode_switch_changes_operating_point(self):
+        ctrl = TradeoffController(dwell_time=0.0)
+        highway = ctrl.update(0.0, ContextEstimate(30.0, 1, 2))
+        city = ctrl.update(10.0, ContextEstimate(10.0, 8, 20))
+        assert city.analytics_load > highway.analytics_load
+        assert city.cloud_bandwidth_mbps > highway.cloud_bandwidth_mbps
+
+    def test_dwell_time_prevents_thrash(self):
+        ctrl = TradeoffController(dwell_time=5.0,
+                                  initial=DrivingContext.HIGHWAY)
+        # First switch always passes (controller starts unlatched) ...
+        ctrl.update(0.0, ContextEstimate(10.0, 8, 20))   # urban evidence
+        assert ctrl.context is DrivingContext.URBAN
+        # ... then flapping within the dwell window is suppressed ...
+        ctrl.update(1.0, ContextEstimate(30.0, 1, 2))    # highway again, too soon
+        assert ctrl.context is DrivingContext.URBAN
+        # ... and allowed again once the dwell time has elapsed.
+        ctrl.update(10.0, ContextEstimate(30.0, 1, 2))
+        assert ctrl.context is DrivingContext.HIGHWAY
+
+    def test_register_mode_in_field(self):
+        ctrl = TradeoffController()
+        custom = OperatingPoint(0.5, 3.0, 0.8, 100.0)
+        ctrl.register_mode(DrivingContext.RURAL, custom)
+        assert ctrl.mode_table[DrivingContext.RURAL] is custom
+
+    def test_operating_point_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(1.5, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(0.5, 1.0, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(0.5, -1.0, 1.0, 1.0)
+
+    def test_integrate_accounting(self):
+        ctrl = TradeoffController(dwell_time=0.0)
+        timeline = [
+            (float(t), ContextEstimate(30.0, 1, 2)) for t in range(10)
+        ] + [
+            (float(t), ContextEstimate(10.0, 8, 20)) for t in range(10, 20)
+        ]
+        totals = ctrl.integrate(timeline, dt=1.0)
+        assert totals["energy_wh"] > 0
+        assert totals["data_mb"] > 0
+        assert 0 < totals["mean_verify_fraction"] <= 1
+        assert totals["mode_switches"] >= 1
+
+    def test_adaptive_cheaper_than_static_worstcase(self):
+        """The E11 claim in miniature: context-adaptive beats always-max."""
+        timeline = [(float(t), ContextEstimate(30.0, 1, 2)) for t in range(100)]
+        adaptive = TradeoffController(dwell_time=0.0).integrate(timeline, dt=1.0)
+        static_max = DEFAULT_MODE_TABLE[DrivingContext.DENSE_URBAN]
+        static_energy_wh = static_max.power_w * 100 / 3600.0
+        assert adaptive["energy_wh"] < static_energy_wh

@@ -1,0 +1,121 @@
+"""Tests for the threat taxonomy and ISO 26262 safety model."""
+
+import pytest
+
+from repro.core import (
+    Asil,
+    AttackMode,
+    AttackModel,
+    Controllability,
+    Exposure,
+    Hazard,
+    SecurityLayer,
+    Severity,
+    ThreatCatalog,
+    ThreatEntry,
+    default_catalog,
+    determine_asil,
+)
+from repro.core.safety import DEFAULT_HAZARDS
+
+
+class TestAsilDetermination:
+    def test_worst_case_is_d(self):
+        assert determine_asil(Severity.S3, Exposure.E4, Controllability.C3) == Asil.D
+
+    def test_zero_factors_give_qm(self):
+        assert determine_asil(Severity.S0, Exposure.E4, Controllability.C3) == Asil.QM
+        assert determine_asil(Severity.S3, Exposure.E0, Controllability.C3) == Asil.QM
+        assert determine_asil(Severity.S3, Exposure.E4, Controllability.C0) == Asil.QM
+
+    def test_standard_table_spot_checks(self):
+        # S3/E4/C2 -> C;  S3/E3/C3 -> C;  S2/E4/C3 -> C (rank 9)
+        assert determine_asil(Severity.S3, Exposure.E4, Controllability.C2) == Asil.C
+        assert determine_asil(Severity.S3, Exposure.E3, Controllability.C3) == Asil.C
+        assert determine_asil(Severity.S2, Exposure.E4, Controllability.C3) == Asil.C
+        # S1/E4/C3 -> B (rank 8);  S1/E3/C3 -> A (rank 7)
+        assert determine_asil(Severity.S1, Exposure.E4, Controllability.C3) == Asil.B
+        assert determine_asil(Severity.S1, Exposure.E3, Controllability.C3) == Asil.A
+        # S1/E2/C3 -> QM (rank 6)
+        assert determine_asil(Severity.S1, Exposure.E2, Controllability.C3) == Asil.QM
+
+    def test_monotone_in_each_factor(self):
+        for s in Severity:
+            for e in Exposure:
+                for c in Controllability:
+                    level = determine_asil(s, e, c)
+                    if s < Severity.S3:
+                        worse = determine_asil(Severity(s + 1), e, c)
+                        assert worse >= level
+
+    def test_hazard_asil_property(self):
+        hazard = Hazard("h", Severity.S3, Exposure.E4, Controllability.C3)
+        assert hazard.asil == Asil.D
+
+    def test_security_induced_flag(self):
+        assert Hazard("h", Severity.S1, Exposure.E1, Controllability.C1,
+                      induced_by_threat="can-spoof").is_security_induced
+        assert not Hazard("h", Severity.S1, Exposure.E1, Controllability.C1
+                          ).is_security_induced
+
+    def test_default_hazards_have_valid_threats(self):
+        catalog = default_catalog()
+        for hazard in DEFAULT_HAZARDS:
+            if hazard.induced_by_threat:
+                assert catalog.get(hazard.induced_by_threat) is not None
+
+
+class TestThreatCatalog:
+    def test_default_catalog_nonempty(self):
+        catalog = default_catalog()
+        assert len(catalog) >= 15
+
+    def test_all_cia_models_represented(self):
+        catalog = default_catalog()
+        for model in AttackModel:
+            assert catalog.by_model(model)
+
+    def test_all_modes_represented(self):
+        catalog = default_catalog()
+        for mode in AttackMode:
+            assert catalog.by_mode(mode), f"no threats with mode {mode}"
+
+    def test_every_layer_mitigates_something(self):
+        catalog = default_catalog()
+        for layer in SecurityLayer:
+            assert catalog.mitigated_by(layer), f"{layer} mitigates nothing"
+
+    def test_attack_classes_resolve(self):
+        """Every catalog entry must point at a real class in this repo."""
+        import importlib
+
+        for entry in default_catalog():
+            module_name, _, class_name = entry.attack_class.rpartition(".")
+            module = importlib.import_module(module_name)
+            assert hasattr(module, class_name), entry.attack_class
+
+    def test_coverage_full_deployment(self):
+        catalog = default_catalog()
+        assert catalog.uncovered(set(SecurityLayer)) == []
+
+    def test_coverage_no_deployment(self):
+        catalog = default_catalog()
+        assert len(catalog.uncovered(set())) == len(catalog)
+
+    def test_coverage_partial(self):
+        catalog = default_catalog()
+        only_gateway = {SecurityLayer.SECURE_GATEWAY}
+        uncovered = catalog.uncovered(only_gateway)
+        assert "side-channel-key-extraction" in uncovered
+        assert "can-injection" not in uncovered
+
+    def test_duplicate_rejected(self):
+        catalog = default_catalog()
+        entry = next(iter(catalog))
+        with pytest.raises(ValueError):
+            catalog.add(entry)
+
+    def test_get(self):
+        catalog = default_catalog()
+        assert catalog.get("bus-off") is not None
+        assert catalog.get("nonexistent") is None

@@ -1,0 +1,182 @@
+"""Tests for ECDSA over P-256 and the HMAC-DRBG."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    EcdsaKeyPair,
+    EcdsaSignature,
+    HmacDrbg,
+    P256,
+    ecdsa_sign,
+    ecdsa_verify,
+)
+from repro.crypto.ecdsa import point_add, scalar_mult
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return EcdsaKeyPair.generate(HmacDrbg(b"test-keypair-seed"))
+
+
+class TestCurveArithmetic:
+    def test_generator_on_curve(self):
+        assert P256.is_on_curve(P256.generator)
+
+    def test_infinity_on_curve(self):
+        assert P256.is_on_curve(None)
+
+    def test_order_times_generator_is_infinity(self):
+        assert scalar_mult(P256.n, P256.generator) is None
+
+    def test_scalar_mult_known_value(self):
+        """2G for P-256 (public test vector)."""
+        two_g = scalar_mult(2, P256.generator)
+        assert two_g[0] == int(
+            "7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978", 16
+        )
+        assert two_g[1] == int(
+            "07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1", 16
+        )
+
+    def test_addition_commutes(self):
+        g2 = scalar_mult(2, P256.generator)
+        g3 = scalar_mult(3, P256.generator)
+        assert point_add(g2, g3) == point_add(g3, g2)
+
+    def test_addition_matches_scalar(self):
+        g2 = scalar_mult(2, P256.generator)
+        g3 = scalar_mult(3, P256.generator)
+        assert point_add(g2, g3) == scalar_mult(5, P256.generator)
+
+    def test_add_infinity_identity(self):
+        g = P256.generator
+        assert point_add(g, None) == g
+        assert point_add(None, g) == g
+
+    def test_point_plus_negation_is_infinity(self):
+        g = P256.generator
+        neg = (g[0], (-g[1]) % P256.p)
+        assert point_add(g, neg) is None
+
+    @given(st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_results_on_curve(self, k):
+        assert P256.is_on_curve(scalar_mult(k, P256.generator))
+
+
+class TestEcdsa:
+    def test_sign_verify_roundtrip(self, keypair):
+        sig = ecdsa_sign(keypair.private, b"hello v2x")
+        assert ecdsa_verify(keypair.public, b"hello v2x", sig)
+
+    def test_tampered_message_rejected(self, keypair):
+        sig = ecdsa_sign(keypair.private, b"hello v2x")
+        assert not ecdsa_verify(keypair.public, b"hello v2X", sig)
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = ecdsa_sign(keypair.private, b"msg")
+        bad = EcdsaSignature(sig.r, (sig.s + 1) % P256.n)
+        assert not ecdsa_verify(keypair.public, b"msg", bad)
+
+    def test_wrong_key_rejected(self, keypair):
+        other = EcdsaKeyPair.generate(HmacDrbg(b"other-seed"))
+        sig = ecdsa_sign(keypair.private, b"msg")
+        assert not ecdsa_verify(other.public, b"msg", sig)
+
+    def test_deterministic_signatures(self, keypair):
+        assert ecdsa_sign(keypair.private, b"m") == ecdsa_sign(keypair.private, b"m")
+
+    def test_different_messages_different_nonces(self, keypair):
+        s1 = ecdsa_sign(keypair.private, b"m1")
+        s2 = ecdsa_sign(keypair.private, b"m2")
+        assert s1.r != s2.r  # distinct nonce => distinct r
+
+    def test_out_of_range_components_rejected(self, keypair):
+        assert not ecdsa_verify(keypair.public, b"m", EcdsaSignature(0, 1))
+        assert not ecdsa_verify(keypair.public, b"m", EcdsaSignature(1, 0))
+        assert not ecdsa_verify(keypair.public, b"m", EcdsaSignature(P256.n, 1))
+
+    def test_off_curve_public_key_rejected(self, keypair):
+        sig = ecdsa_sign(keypair.private, b"m")
+        assert not ecdsa_verify((123, 456), b"m", sig)
+
+    def test_invalid_private_key_rejected(self):
+        with pytest.raises(ValueError):
+            ecdsa_sign(0, b"m")
+        with pytest.raises(ValueError):
+            ecdsa_sign(P256.n, b"m")
+
+    def test_signature_serialization(self, keypair):
+        sig = ecdsa_sign(keypair.private, b"serialize me")
+        restored = EcdsaSignature.from_bytes(sig.to_bytes())
+        assert restored == sig
+        assert ecdsa_verify(keypair.public, b"serialize me", restored)
+
+    def test_signature_bytes_length(self, keypair):
+        assert len(ecdsa_sign(keypair.private, b"x").to_bytes()) == 64
+
+    def test_from_bytes_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            EcdsaSignature.from_bytes(b"short")
+
+    def test_public_bytes_format(self, keypair):
+        pb = keypair.public_bytes()
+        assert len(pb) == 65 and pb[0] == 0x04
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=5, deadline=None)
+    def test_property_roundtrip(self, message):
+        kp = EcdsaKeyPair.generate(HmacDrbg(b"prop-seed"))
+        sig = ecdsa_sign(kp.private, message)
+        assert ecdsa_verify(kp.public, message, sig)
+
+
+class TestKeyGeneration:
+    def test_deterministic_from_seed(self):
+        a = EcdsaKeyPair.generate(HmacDrbg(b"seed"))
+        b = EcdsaKeyPair.generate(HmacDrbg(b"seed"))
+        assert a.private == b.private and a.public == b.public
+
+    def test_public_point_on_curve(self):
+        kp = EcdsaKeyPair.generate(HmacDrbg(b"any"))
+        assert P256.is_on_curve(kp.public)
+
+    def test_distinct_seeds_distinct_keys(self):
+        a = EcdsaKeyPair.generate(HmacDrbg(b"seed-a"))
+        b = EcdsaKeyPair.generate(HmacDrbg(b"seed-b"))
+        assert a.private != b.private
+
+
+class TestHmacDrbg:
+    def test_deterministic(self):
+        assert HmacDrbg(b"s").generate(32) == HmacDrbg(b"s").generate(32)
+
+    def test_personalization_changes_output(self):
+        assert HmacDrbg(b"s").generate(16) != HmacDrbg(b"s", b"p").generate(16)
+
+    def test_sequential_outputs_differ(self):
+        d = HmacDrbg(b"s")
+        assert d.generate(32) != d.generate(32)
+
+    def test_reseed_changes_stream(self):
+        d1 = HmacDrbg(b"s")
+        d2 = HmacDrbg(b"s")
+        d2.reseed(b"fresh entropy")
+        assert d1.generate(16) != d2.generate(16)
+
+    def test_zero_bytes(self):
+        assert HmacDrbg(b"s").generate(0) == b""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"s").generate(-1)
+
+    def test_randint_below_in_range(self):
+        d = HmacDrbg(b"s")
+        for _ in range(50):
+            assert 0 <= d.randint_below(100) < 100
+
+    def test_randint_below_invalid_bound(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"s").randint_below(0)

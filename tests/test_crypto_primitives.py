@@ -1,0 +1,321 @@
+"""Tests for the crypto substrate against published vectors."""
+
+import hashlib
+import hmac as std_hmac
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    AES,
+    MaskedAES,
+    aes_cmac,
+    cbc_decrypt,
+    cbc_encrypt,
+    cmac_verify,
+    constant_time_eq,
+    ctr_xcrypt,
+    hkdf,
+    hmac_sha256,
+    she_kdf,
+    sha256,
+    xor_bytes,
+    SHE_KEY_UPDATE_ENC_C,
+    SHE_KEY_UPDATE_MAC_C,
+)
+from repro.crypto.util import pkcs7_pad, pkcs7_unpad
+
+
+class TestAesVectors:
+    """FIPS-197 Appendix C known-answer tests."""
+
+    PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ct = AES(key).encrypt_block(self.PT)
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        ct = AES(key).encrypt_block(self.PT)
+        assert ct.hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        ct = AES(key).encrypt_block(self.PT)
+        assert ct.hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+    def test_decrypt_inverts_encrypt_all_sizes(self):
+        for klen in (16, 24, 32):
+            key = bytes(range(klen))
+            aes = AES(key)
+            assert aes.decrypt_block(aes.encrypt_block(self.PT)) == self.PT
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES(b"short")
+
+    def test_bad_block_length(self):
+        with pytest.raises(ValueError):
+            AES(bytes(16)).encrypt_block(b"tiny")
+        with pytest.raises(ValueError):
+            AES(bytes(16)).decrypt_block(b"tiny")
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip(self, key, block):
+        aes = AES(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_leak_callback_fires_16_times(self):
+        leaks = []
+        AES(bytes(16)).encrypt_block(bytes(16), leak=lambda r, i, v: leaks.append((r, i, v)))
+        assert len(leaks) == 16
+        assert all(r == 1 for r, _, _ in leaks)
+
+    def test_leak_value_matches_sbox_model(self):
+        """The round-1 leak must equal SBOX[pt ^ key] (the CPA hypothesis)."""
+        from repro.crypto.aes import SBOX
+
+        key = bytes(range(16))
+        pt = bytes(range(100, 116))
+        leaks = {}
+        AES(key).encrypt_block(pt, leak=lambda r, i, v: leaks.setdefault(i, v))
+        for i in range(16):
+            assert leaks[i] == SBOX[pt[i] ^ key[i]]
+
+
+class TestMaskedAes:
+    def test_ciphertext_identical_to_plain(self):
+        key = bytes(range(16))
+        pt = bytes(range(16, 32))
+        plain = AES(key).encrypt_block(pt)
+        masked = MaskedAES(key, rng=random.Random(1)).encrypt_block(pt)
+        assert plain == masked
+
+    def test_masked_256(self):
+        key = bytes(range(32))
+        pt = bytes(16)
+        assert MaskedAES(key, rng=random.Random(2)).encrypt_block(pt) == AES(key).encrypt_block(pt)
+
+    def test_leaks_are_randomized(self):
+        """Same (pt, key) must leak different intermediates across runs."""
+        key = bytes(16)
+        pt = bytes(16)
+        aes = MaskedAES(key, rng=random.Random(3))
+        runs = []
+        for _ in range(4):
+            leaks = []
+            aes.encrypt_block(pt, leak=lambda r, i, v: leaks.append(v))
+            runs.append(tuple(leaks[:16]))
+        assert len(set(runs)) > 1
+
+    @given(st.binary(min_size=16, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_property_masked_equals_plain(self, pt):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        assert MaskedAES(key, rng=random.Random(0)).encrypt_block(pt) == AES(key).encrypt_block(pt)
+
+
+class TestSha256:
+    def test_empty(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_two_block_message(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha256(msg).hex() == (
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        )
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_hashlib(self, data):
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+
+class TestHmac:
+    def test_rfc4231_case1(self):
+        key = b"\x0b" * 20
+        assert hmac_sha256(key, b"Hi There").hex() == (
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_long_key_is_hashed(self):
+        key = b"k" * 200
+        assert hmac_sha256(key, b"m") == std_hmac.new(key, b"m", hashlib.sha256).digest()
+
+    @given(st.binary(max_size=100), st.binary(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_stdlib(self, key, msg):
+        assert hmac_sha256(key, msg) == std_hmac.new(key, msg, hashlib.sha256).digest()
+
+
+class TestCmac:
+    """NIST SP 800-38B / RFC 4493 vectors."""
+
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+    def test_empty_message(self):
+        assert aes_cmac(self.KEY, b"").hex() == "bb1d6929e95937287fa37d129b756746"
+
+    def test_one_block(self):
+        msg = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert aes_cmac(self.KEY, msg).hex() == "070a16b46b4d4144f79bdd9dd04a287c"
+
+    def test_forty_bytes(self):
+        msg = bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172a"
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+            "30c81c46a35ce411"
+        )
+        assert aes_cmac(self.KEY, msg).hex() == "dfa66747de9ae63030ca32611497c827"
+
+    def test_four_blocks(self):
+        msg = bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172a"
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+            "30c81c46a35ce411e5fbc1191a0a52ef"
+            "f69f2445df4f9b17ad2b417be66c3710"
+        )
+        assert aes_cmac(self.KEY, msg).hex() == "51f0bebf7e3b9d92fc49741779363cfe"
+
+    def test_truncated_tag_is_prefix(self):
+        msg = b"hello CAN frame"
+        full = aes_cmac(self.KEY, msg)
+        assert aes_cmac(self.KEY, msg, tag_len=4) == full[:4]
+
+    def test_verify_accepts_and_rejects(self):
+        tag = aes_cmac(self.KEY, b"msg", tag_len=8)
+        assert cmac_verify(self.KEY, b"msg", tag)
+        assert not cmac_verify(self.KEY, b"msG", tag)
+        assert not cmac_verify(self.KEY, b"msg", tag[:-1] + bytes([tag[-1] ^ 1]))
+
+    def test_invalid_tag_len(self):
+        with pytest.raises(ValueError):
+            aes_cmac(self.KEY, b"", tag_len=0)
+        with pytest.raises(ValueError):
+            aes_cmac(self.KEY, b"", tag_len=17)
+
+    @given(st.binary(max_size=100), st.binary(max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_property_distinct_messages_distinct_tags(self, m1, m2):
+        if m1 == m2:
+            return
+        assert aes_cmac(self.KEY, m1) != aes_cmac(self.KEY, m2)
+
+
+class TestModes:
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+    def test_cbc_first_block_vector(self):
+        """SP 800-38A F.2.1 first block (padding only affects later blocks)."""
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ct = cbc_encrypt(self.KEY, self.IV, pt)
+        assert ct[:16].hex() == "7649abac8119b246cee98e9b12e9197d"
+
+    def test_cbc_roundtrip(self):
+        pt = b"the quick brown fox" * 3
+        assert cbc_decrypt(self.KEY, self.IV, cbc_encrypt(self.KEY, self.IV, pt)) == pt
+
+    def test_cbc_empty_plaintext(self):
+        assert cbc_decrypt(self.KEY, self.IV, cbc_encrypt(self.KEY, self.IV, b"")) == b""
+
+    def test_cbc_rejects_bad_iv(self):
+        with pytest.raises(ValueError):
+            cbc_encrypt(self.KEY, b"short", b"data")
+
+    def test_cbc_rejects_truncated_ciphertext(self):
+        with pytest.raises(ValueError):
+            cbc_decrypt(self.KEY, self.IV, b"123")
+
+    def test_ctr_vector(self):
+        """SP 800-38A F.5.1 first block."""
+        nonce = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert ctr_xcrypt(self.KEY, nonce, pt).hex() == "874d6191b620e3261bef6864990db6ce"
+
+    def test_ctr_is_involution(self):
+        nonce = b"12-byte-nonc"
+        data = b"arbitrary length payload!"
+        assert ctr_xcrypt(self.KEY, nonce, ctr_xcrypt(self.KEY, nonce, data)) == data
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_cbc_roundtrip(self, pt):
+        assert cbc_decrypt(self.KEY, self.IV, cbc_encrypt(self.KEY, self.IV, pt)) == pt
+
+
+class TestKdf:
+    def test_hkdf_rfc5869_case1(self):
+        ikm = b"\x0b" * 22
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf(ikm, 42, salt=salt, info=info)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_hkdf_no_salt(self):
+        assert len(hkdf(b"ikm", 64)) == 64
+
+    def test_hkdf_invalid_length(self):
+        with pytest.raises(ValueError):
+            hkdf(b"x", 0)
+
+    def test_she_kdf_domain_separation(self):
+        key = bytes(range(16))
+        assert she_kdf(key, SHE_KEY_UPDATE_ENC_C) != she_kdf(key, SHE_KEY_UPDATE_MAC_C)
+
+    def test_she_kdf_known_vector(self):
+        """SHE spec example: K1 derived from the master key 000...f."""
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        k1 = she_kdf(key, SHE_KEY_UPDATE_ENC_C)
+        assert k1.hex() == "118a46447a770d87828a69c222e2d17e"
+
+    def test_she_kdf_requires_16_bytes(self):
+        with pytest.raises(ValueError):
+            she_kdf(b"short", SHE_KEY_UPDATE_ENC_C)
+
+
+class TestUtil:
+    def test_xor_bytes(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"a", b"ab")
+
+    def test_constant_time_eq(self):
+        assert constant_time_eq(b"abc", b"abc")
+        assert not constant_time_eq(b"abc", b"abd")
+        assert not constant_time_eq(b"abc", b"ab")
+
+    def test_pkcs7_roundtrip(self):
+        for n in range(0, 33):
+            data = bytes(n)
+            assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_pkcs7_full_block_when_aligned(self):
+        assert len(pkcs7_pad(bytes(16))) == 32
+
+    def test_pkcs7_bad_padding_rejected(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(bytes(16))  # last byte 0 invalid
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"")
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"\x01" * 15)  # not block aligned

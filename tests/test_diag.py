@@ -1,0 +1,293 @@
+"""Tests for the diagnostics stack: ISO-TP, UDS, seed/key, attack."""
+
+import random
+
+import pytest
+
+from repro.diag import (
+    CmacSeedKey,
+    IsoTpEndpoint,
+    IsoTpError,
+    NegativeResponse,
+    SeedKeyRecoveryAttack,
+    UdsClient,
+    UdsServer,
+    UdsSession,
+    XorSeedKey,
+)
+from repro.diag.uds import NRC_ACCESS_DENIED, NRC_CONDITIONS_NOT_CORRECT
+from repro.ivn import CanBus
+from repro.sim import Simulator
+
+REQ_ID = 0x7E0
+RSP_ID = 0x7E8
+
+
+def make_link(sim=None, bus=None):
+    sim = sim or Simulator()
+    bus = bus or CanBus(sim)
+    tester = IsoTpEndpoint(sim, bus, "tester", tx_id=REQ_ID, rx_id=RSP_ID)
+    ecu = IsoTpEndpoint(sim, bus, "ecu", tx_id=RSP_ID, rx_id=REQ_ID)
+    return sim, bus, tester, ecu
+
+
+class TestIsoTp:
+    def test_single_frame(self):
+        sim, _, tester, ecu = make_link()
+        got = []
+        ecu.on_message = got.append
+        tester.send(b"\x10\x03")
+        sim.run()
+        assert got == [b"\x10\x03"]
+
+    def test_seven_byte_boundary(self):
+        sim, _, tester, ecu = make_link()
+        got = []
+        ecu.on_message = got.append
+        tester.send(bytes(range(7)))
+        sim.run()
+        assert got == [bytes(range(7))]
+
+    def test_multi_frame_roundtrip(self):
+        sim, _, tester, ecu = make_link()
+        got = []
+        ecu.on_message = got.append
+        payload = bytes(range(256)) * 2  # 512 bytes
+        tester.send(payload)
+        sim.run()
+        assert got == [payload]
+
+    def test_eight_bytes_needs_segmentation(self):
+        sim, bus, tester, ecu = make_link()
+        got = []
+        ecu.on_message = got.append
+        tester.send(bytes(8))
+        sim.run()
+        assert got == [bytes(8)]
+        assert bus.frames_on_wire >= 3  # FF + FC + CF
+
+    def test_max_length_enforced(self):
+        _, _, tester, _ = make_link()
+        with pytest.raises(IsoTpError):
+            tester.send(bytes(4096))
+
+    def test_bidirectional(self):
+        sim, _, tester, ecu = make_link()
+        ecu.on_message = lambda req: ecu.send(b"\x50" + req)
+        got = []
+        tester.on_message = got.append
+        tester.send(bytes(20))
+        sim.run()
+        assert got and got[0] == b"\x50" + bytes(20)
+
+    def test_block_size_flow_control(self):
+        sim, bus, tester, ecu = make_link()
+        ecu.block_size = 2  # FC every 2 consecutive frames
+        got = []
+        ecu.on_message = got.append
+        tester.send(bytes(60))  # 6 + 8 CFs
+        sim.run()
+        assert got == [bytes(60)]
+        # FC frames: initial + ceil((8-?)/2)... at least 3 FCs on the wire.
+        fc_frames = [
+            r for r in range(bus.frames_on_wire)
+        ]
+        assert ecu.messages_received == 1
+
+    def test_message_counters(self):
+        sim, _, tester, ecu = make_link()
+        ecu.on_message = lambda m: None
+        tester.send(b"\x01")
+        tester.send(bytes(30))
+        sim.run()
+        assert tester.messages_sent == 2
+        assert ecu.messages_received == 2
+
+
+@pytest.fixture
+def uds():
+    sim, bus, tester_ep, ecu_ep = make_link()
+    algorithm = XorSeedKey(b"\xca\xfe\xba\xbe")
+    server = UdsServer(ecu_ep, algorithm, rng=random.Random(1))
+    server.add_did(0xF190, b"VIN1234567890", protected=False)
+    server.add_did(0xF015, b"\x00\x01", protected=True)  # config word
+    server.add_routine(0x0203, lambda: b"\xAA")
+    client = UdsClient(sim, tester_ep)
+    return sim, bus, server, client, algorithm
+
+
+class TestUdsServer:
+    def test_read_did(self, uds):
+        _, _, _, client, _ = uds
+        assert client.read_did(0xF190) == b"VIN1234567890"
+
+    def test_unknown_did(self, uds):
+        _, _, _, client, _ = uds
+        with pytest.raises(NegativeResponse) as exc:
+            client.read_did(0xDEAD)
+        assert exc.value.nrc == 0x31
+
+    def test_unknown_service(self, uds):
+        _, _, _, client, _ = uds
+        with pytest.raises(NegativeResponse) as exc:
+            client.request(b"\x3E\x00")  # TesterPresent not implemented
+        assert exc.value.nrc == 0x11
+
+    def test_write_requires_extended_session(self, uds):
+        _, _, _, client, _ = uds
+        with pytest.raises(NegativeResponse) as exc:
+            client.write_did(0xF190, b"X")
+        assert exc.value.nrc == NRC_CONDITIONS_NOT_CORRECT
+
+    def test_protected_write_requires_unlock(self, uds):
+        _, _, _, client, _ = uds
+        client.start_session(UdsSession.EXTENDED)
+        with pytest.raises(NegativeResponse) as exc:
+            client.write_did(0xF015, b"\xFF\xFF")
+        assert exc.value.nrc == NRC_ACCESS_DENIED
+
+    def test_legitimate_unlock_and_write(self, uds):
+        _, _, server, client, algorithm = uds
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)
+        assert server.unlocked
+        client.write_did(0xF015, b"\xFF\xFF")
+        assert server.data_identifiers[0xF015] == b"\xFF\xFF"
+
+    def test_unprotected_write_in_extended_session(self, uds):
+        _, _, server, client, _ = uds
+        client.start_session(UdsSession.EXTENDED)
+        client.write_did(0xF190, b"NEWVIN")
+        assert server.data_identifiers[0xF190] == b"NEWVIN"
+
+    def test_security_access_needs_non_default_session(self, uds):
+        _, _, _, client, _ = uds
+        with pytest.raises(NegativeResponse) as exc:
+            client.request_seed()
+        assert exc.value.nrc == NRC_CONDITIONS_NOT_CORRECT
+
+    def test_wrong_key_rejected_then_lockout(self, uds):
+        _, _, server, client, _ = uds
+        client.start_session(UdsSession.EXTENDED)
+        for attempt in range(2):
+            client.request_seed()
+            with pytest.raises(NegativeResponse) as exc:
+                client.send_key(b"\x00\x00\x00\x00")
+            assert exc.value.nrc == 0x35
+        client.request_seed()
+        with pytest.raises(NegativeResponse) as exc:
+            client.send_key(b"\x00\x00\x00\x00")
+        assert exc.value.nrc == 0x36
+        assert server.locked_out
+
+    def test_returning_to_default_drops_unlock(self, uds):
+        _, _, server, client, algorithm = uds
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)
+        client.start_session(UdsSession.DEFAULT)
+        assert not server.unlocked
+
+    def test_reset_clears_state(self, uds):
+        _, _, server, client, algorithm = uds
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)
+        client.ecu_reset()
+        assert server.resets == 1
+        assert not server.unlocked
+        assert server.session == UdsSession.DEFAULT
+
+    def test_routine_gated(self, uds):
+        _, _, _, client, algorithm = uds
+        client.start_session(UdsSession.EXTENDED)
+        with pytest.raises(NegativeResponse):
+            client.routine(0x0203)
+        client.unlock(algorithm)
+        assert client.routine(0x0203) == b"\xAA"
+
+    def test_seed_is_zero_when_already_unlocked(self, uds):
+        _, _, _, client, algorithm = uds
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)
+        assert client.request_seed() == bytes(4)
+
+
+class TestSeedKeyAlgorithms:
+    def test_xor_roundtrip(self):
+        algorithm = XorSeedKey(b"\x12\x34\x56\x78")
+        seed = b"\xA1\xB2\xC3\xD4"
+        key = algorithm.compute_key(seed)
+        assert XorSeedKey.recover_constant(seed, key) == b"\x12\x34\x56\x78"
+
+    def test_xor_validation(self):
+        with pytest.raises(ValueError):
+            XorSeedKey(b"\x01")
+
+    def test_cmac_keys_differ_per_seed(self):
+        algorithm = CmacSeedKey(b"S" * 16)
+        assert algorithm.compute_key(b"\x01\x02\x03\x04") != \
+            algorithm.compute_key(b"\x01\x02\x03\x05")
+
+    def test_cmac_validation(self):
+        with pytest.raises(ValueError):
+            CmacSeedKey(b"short")
+
+    def test_cmac_pair_does_not_reveal_xor_constant(self):
+        """Treating a CMAC exchange as XOR yields a constant that fails
+        on the next exchange -- the recovery cross-check."""
+        algorithm = CmacSeedKey(b"S" * 16)
+        s1, s2 = b"\x01\x02\x03\x04", b"\x05\x06\x07\x08"
+        candidate = XorSeedKey.recover_constant(s1, algorithm.compute_key(s1))
+        assert XorSeedKey(candidate).compute_key(s2) != algorithm.compute_key(s2)
+
+
+class TestSeedKeyRecoveryAttack:
+    def _scenario(self, algorithm):
+        sim, bus, tester_ep, ecu_ep = make_link()
+        server = UdsServer(ecu_ep, algorithm, rng=random.Random(3))
+        server.add_did(0xF015, b"\x00\x01", protected=True)
+        client = UdsClient(sim, tester_ep)
+        attack = SeedKeyRecoveryAttack(bus, REQ_ID, RSP_ID)
+        return sim, bus, server, client, attack
+
+    def test_sniff_and_recover_xor(self):
+        algorithm = XorSeedKey(b"\xde\xad\xbe\xef")
+        sim, bus, server, client, attack = self._scenario(algorithm)
+        # Legitimate workshop session happens under the attacker's nose.
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)
+        assert len(attack.exchanges) == 1
+        assert attack.recover_xor_constant() == b"\xde\xad\xbe\xef"
+
+    def test_exploit_unlocks_and_writes(self):
+        algorithm = XorSeedKey(b"\xde\xad\xbe\xef")
+        sim, bus, server, client, attack = self._scenario(algorithm)
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)
+        constant = attack.recover_xor_constant()
+        # Attacker resets the ECU and unlocks with the recovered constant.
+        client.ecu_reset()
+        assert SeedKeyRecoveryAttack.exploit(client, constant)
+        assert server.unlocked
+        client.write_did(0xF015, b"\x13\x37")
+        assert server.data_identifiers[0xF015] == b"\x13\x37"
+
+    def test_cmac_resists_recovery(self):
+        algorithm = CmacSeedKey(b"S" * 16)
+        sim, bus, server, client, attack = self._scenario(algorithm)
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)
+        client.ecu_reset()
+        client.start_session(UdsSession.EXTENDED)
+        client.unlock(algorithm)  # second exchange for the cross-check
+        assert len(attack.exchanges) >= 2
+        assert attack.recover_xor_constant() is None
+
+    def test_online_bruteforce_hits_lockout(self):
+        algorithm = CmacSeedKey(b"S" * 16)
+        sim, bus, server, client, attack = self._scenario(algorithm)
+        unlocked, attempts = SeedKeyRecoveryAttack.online_bruteforce(
+            client, random.Random(9), attempts=100,
+        )
+        assert not unlocked
+        assert attempts <= server.max_key_attempts
+        assert server.locked_out

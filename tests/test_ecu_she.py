@@ -1,0 +1,228 @@
+"""Tests for the SHE model: slots, key update protocol, secure boot."""
+
+import pytest
+
+from repro.ecu import (
+    She,
+    SheError,
+    SheFlags,
+    SLOT_BOOT_MAC_KEY,
+    SLOT_KEY_1,
+    SLOT_MASTER_ECU_KEY,
+    SLOT_RAM_KEY,
+    make_key_update,
+)
+from repro.ecu.she import SLOT_BOOT_MAC
+
+UID = bytes(range(15))
+MASTER = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+@pytest.fixture
+def she():
+    instance = She(uid=UID)
+    instance.provision(SLOT_MASTER_ECU_KEY, MASTER)
+    return instance
+
+
+class TestSlots:
+    def test_uid_length_enforced(self):
+        with pytest.raises(ValueError):
+            She(uid=bytes(10))
+
+    def test_provision_and_has_key(self, she):
+        assert she.has_key(SLOT_MASTER_ECU_KEY)
+        assert not she.has_key(SLOT_KEY_1)
+
+    def test_provision_rejects_double(self, she):
+        with pytest.raises(SheError):
+            she.provision(SLOT_MASTER_ECU_KEY, bytes(16))
+
+    def test_provision_rejects_bad_length(self, she):
+        with pytest.raises(SheError):
+            she.provision(SLOT_KEY_1, b"short")
+
+    def test_empty_slot_unusable(self, she):
+        with pytest.raises(SheError):
+            she.encrypt_ecb(SLOT_KEY_1, bytes(16))
+
+    def test_key_usage_enforced(self, she):
+        she.provision(SLOT_KEY_1, bytes(16), SheFlags.KEY_USAGE_MAC)
+        with pytest.raises(SheError):
+            she.encrypt_ecb(SLOT_KEY_1, bytes(16))
+        she.generate_mac(SLOT_KEY_1, b"ok")  # allowed
+
+    def test_enc_key_cannot_mac(self, she):
+        she.provision(SLOT_KEY_1, bytes(16))  # ENC usage
+        with pytest.raises(SheError):
+            she.generate_mac(SLOT_KEY_1, b"no")
+
+    def test_ram_key_bypasses_usage_check(self, she):
+        she.load_plain_key(bytes(16))
+        she.generate_mac(SLOT_RAM_KEY, b"m")
+        she.encrypt_ecb(SLOT_RAM_KEY, bytes(16))
+
+    def test_debugger_protection(self, she):
+        she.provision(SLOT_KEY_1, bytes(16), SheFlags.DEBUGGER_PROTECTION)
+        she.debugger_attached = True
+        with pytest.raises(SheError):
+            she.encrypt_ecb(SLOT_KEY_1, bytes(16))
+        she.debugger_attached = False
+        she.encrypt_ecb(SLOT_KEY_1, bytes(16))
+
+
+class TestCryptoCommands:
+    def test_ecb_roundtrip(self, she):
+        she.provision(SLOT_KEY_1, bytes(16))
+        ct = she.encrypt_ecb(SLOT_KEY_1, b"A" * 16)
+        assert she.decrypt_ecb(SLOT_KEY_1, ct) == b"A" * 16
+
+    def test_cbc_roundtrip(self, she):
+        she.provision(SLOT_KEY_1, bytes(16))
+        iv = bytes(16)
+        ct = she.encrypt_cbc(SLOT_KEY_1, iv, b"long message here")
+        assert she.decrypt_cbc(SLOT_KEY_1, iv, ct) == b"long message here"
+
+    def test_mac_generate_verify(self, she):
+        she.provision(SLOT_KEY_1, bytes(16), SheFlags.KEY_USAGE_MAC)
+        tag = she.generate_mac(SLOT_KEY_1, b"payload")
+        assert she.verify_mac(SLOT_KEY_1, b"payload", tag)
+        assert not she.verify_mac(SLOT_KEY_1, b"Payload", tag)
+
+    def test_truncated_mac(self, she):
+        she.provision(SLOT_KEY_1, bytes(16), SheFlags.KEY_USAGE_MAC)
+        tag = she.generate_mac(SLOT_KEY_1, b"m", tag_len=4)
+        assert len(tag) == 4
+        assert she.verify_mac(SLOT_KEY_1, b"m", tag)
+
+    def test_command_counter_increments(self, she):
+        she.provision(SLOT_KEY_1, bytes(16))
+        before = she.command_count
+        she.encrypt_ecb(SLOT_KEY_1, bytes(16))
+        assert she.command_count == before + 1
+
+
+class TestKeyUpdateProtocol:
+    def _update(self, counter=1, target=SLOT_KEY_1, new_key=b"N" * 16,
+                flags=SheFlags.NONE, uid=UID, auth_key=MASTER):
+        return make_key_update(
+            uid, target, SLOT_MASTER_ECU_KEY, auth_key, new_key, counter, flags,
+        )
+
+    def test_load_key_installs(self, she):
+        she.load_key(self._update())
+        assert she.has_key(SLOT_KEY_1)
+        assert she.slot_counter(SLOT_KEY_1) == 1
+
+    def test_loaded_key_is_functional(self, she):
+        she.load_key(self._update(new_key=b"K" * 16))
+        ct = she.encrypt_ecb(SLOT_KEY_1, bytes(16))
+        from repro.crypto.aes import AES
+        assert ct == AES(b"K" * 16).encrypt_block(bytes(16))
+
+    def test_uid_mismatch_rejected(self, she):
+        bad = self._update(uid=bytes(15))
+        with pytest.raises(SheError, match="UID"):
+            she.load_key(bad)
+
+    def test_wrong_auth_key_rejected(self, she):
+        bad = self._update(auth_key=b"X" * 16)
+        with pytest.raises(SheError, match="M3"):
+            she.load_key(bad)
+
+    def test_tampered_m2_rejected(self, she):
+        upd = self._update()
+        tampered = type(upd)(upd.m1, upd.m2[:-1] + bytes([upd.m2[-1] ^ 1]), upd.m3)
+        with pytest.raises(SheError, match="M3"):
+            she.load_key(tampered)
+
+    def test_rollback_rejected(self, she):
+        she.load_key(self._update(counter=5))
+        with pytest.raises(SheError, match="rollback"):
+            she.load_key(self._update(counter=5, new_key=b"O" * 16))
+        with pytest.raises(SheError, match="rollback"):
+            she.load_key(self._update(counter=4, new_key=b"O" * 16))
+
+    def test_monotonic_update_accepted(self, she):
+        she.load_key(self._update(counter=1))
+        she.load_key(self._update(counter=2, new_key=b"Q" * 16))
+        assert she.slot_counter(SLOT_KEY_1) == 2
+
+    def test_write_protected_slot_rejected(self, she):
+        she.load_key(self._update(counter=1, flags=SheFlags.WRITE_PROTECTION))
+        with pytest.raises(SheError, match="write-protected"):
+            she.load_key(self._update(counter=2))
+
+    def test_flags_installed(self, she):
+        she.load_key(self._update(flags=SheFlags.KEY_USAGE_MAC))
+        she.generate_mac(SLOT_KEY_1, b"m")  # usable as MAC key
+
+    def test_replay_of_same_message_rejected(self, she):
+        upd = self._update(counter=3)
+        she.load_key(upd)
+        with pytest.raises(SheError, match="rollback"):
+            she.load_key(upd)
+
+    def test_empty_auth_slot_rejected(self):
+        she = She(uid=UID)  # no master key
+        upd = make_key_update(UID, SLOT_KEY_1, SLOT_MASTER_ECU_KEY, MASTER, b"N" * 16, 1)
+        with pytest.raises(SheError, match="authorising"):
+            she.load_key(upd)
+
+    def test_make_key_update_validation(self):
+        with pytest.raises(ValueError):
+            make_key_update(bytes(3), SLOT_KEY_1, 1, MASTER, b"N" * 16, 1)
+        with pytest.raises(ValueError):
+            make_key_update(UID, SLOT_KEY_1, 1, MASTER, b"short", 1)
+        with pytest.raises(ValueError):
+            make_key_update(UID, SLOT_KEY_1, 1, MASTER, b"N" * 16, 1 << 28)
+
+
+class TestSecureBoot:
+    FIRMWARE = b"application image v1" * 10
+    BOOT_KEY = b"B" * 16
+
+    def test_boot_succeeds_on_authentic_image(self, she):
+        she.set_boot_mac(self.FIRMWARE, self.BOOT_KEY)
+        assert she.secure_boot(self.FIRMWARE)
+        assert not she.boot_failed
+
+    def test_boot_fails_on_tampered_image(self, she):
+        she.set_boot_mac(self.FIRMWARE, self.BOOT_KEY)
+        assert not she.secure_boot(self.FIRMWARE + b"!")
+        assert she.boot_failed
+
+    def test_failed_boot_disables_protected_keys(self, she):
+        she.set_boot_mac(self.FIRMWARE, self.BOOT_KEY)
+        she.provision(SLOT_KEY_1, bytes(16),
+                      SheFlags.BOOT_PROTECTION | SheFlags.KEY_USAGE_MAC)
+        she.secure_boot(b"evil")
+        with pytest.raises(SheError, match="failed secure boot"):
+            she.generate_mac(SLOT_KEY_1, b"m")
+
+    def test_unprotected_keys_survive_failed_boot(self, she):
+        she.set_boot_mac(self.FIRMWARE, self.BOOT_KEY)
+        she.provision(SLOT_KEY_1, bytes(16))
+        she.secure_boot(b"evil")
+        she.encrypt_ecb(SLOT_KEY_1, bytes(16))  # still allowed
+
+    def test_successful_boot_clears_latch(self, she):
+        she.set_boot_mac(self.FIRMWARE, self.BOOT_KEY)
+        she.secure_boot(b"evil")
+        assert she.boot_failed
+        she.secure_boot(self.FIRMWARE)
+        assert not she.boot_failed
+
+    def test_unprovisioned_boot_raises(self, she):
+        with pytest.raises(SheError, match="not provisioned"):
+            she.secure_boot(b"fw")
+
+
+class TestLockdown:
+    def test_locked_she_refuses_everything(self, she):
+        she.provision(SLOT_KEY_1, bytes(16))
+        she.lock()
+        with pytest.raises(SheError, match="locked"):
+            she.encrypt_ecb(SLOT_KEY_1, bytes(16))
+        with pytest.raises(SheError, match="locked"):
+            she.load_plain_key(bytes(16))

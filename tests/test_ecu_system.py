@@ -1,0 +1,316 @@
+"""Tests for firmware store, ECU lifecycle, hypervisor, tamper detection."""
+
+import random
+
+import pytest
+
+from repro.crypto import EcdsaKeyPair, HmacDrbg
+from repro.ecu import (
+    Ecu,
+    EcuState,
+    FirmwareImage,
+    FirmwareStore,
+    Hypervisor,
+    IsolationViolation,
+    She,
+    TamperDetector,
+    sign_firmware_cmac,
+)
+from repro.ecu.firmware import sign_firmware_ecdsa
+from repro.ecu.she import SLOT_BOOT_MAC, KeySlot, SheFlags
+from repro.ivn import CanBus, CanFrame
+from repro.sim import Simulator
+
+UID = bytes(15)
+BOOT_KEY = b"B" * 16
+
+
+def make_image(version=1, payload=b"fw-payload" * 20):
+    return FirmwareImage("engine-fw", version, payload, hardware_id="mcu-a")
+
+
+def make_ecu(sim, image=None, provision_boot=True, **kwargs):
+    image = image or make_image()
+    she = She(uid=UID)
+    if provision_boot:
+        she.set_boot_mac(image.canonical_bytes(), BOOT_KEY)
+    return Ecu(sim, "engine", she, FirmwareStore(image), **kwargs)
+
+
+class TestFirmware:
+    def test_digest_changes_with_payload(self):
+        assert make_image().digest != make_image(payload=b"x" * 10).digest
+
+    def test_digest_changes_with_version(self):
+        assert make_image(1).digest != make_image(2).digest
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FirmwareImage("f", -1, b"x")
+        with pytest.raises(ValueError):
+            FirmwareImage("f", 1, b"")
+
+    def test_tampered_flips_one_byte(self):
+        img = make_image()
+        bad = img.tampered(3)
+        assert bad.payload != img.payload
+        assert len(bad.payload) == len(img.payload)
+
+    def test_cmac_signing_detects_tamper(self):
+        img = make_image()
+        tag = sign_firmware_cmac(img, BOOT_KEY)
+        assert sign_firmware_cmac(img.tampered(), BOOT_KEY) != tag
+
+    def test_ecdsa_signing(self):
+        kp = EcdsaKeyPair.generate(HmacDrbg(b"fw-seed"))
+        signed = sign_firmware_ecdsa(make_image(), kp.private)
+        assert signed.verify(kp.public)
+        tampered = type(signed)(signed.image.tampered(), signed.signature)
+        assert not tampered.verify(kp.public)
+
+    def test_store_stage_activate_rollback(self):
+        store = FirmwareStore(make_image(1))
+        store.stage(make_image(2))
+        assert store.activate().version == 2
+        assert store.rollback().version == 1
+
+    def test_store_rejects_hw_mismatch(self):
+        store = FirmwareStore(make_image())
+        with pytest.raises(ValueError, match="hardware"):
+            store.stage(FirmwareImage("f", 2, b"x", hardware_id="other"))
+
+    def test_store_activate_without_stage(self):
+        with pytest.raises(ValueError):
+            FirmwareStore(make_image()).activate()
+
+    def test_store_single_rollback(self):
+        store = FirmwareStore(make_image(1))
+        store.stage(make_image(2))
+        store.activate()
+        store.rollback()
+        with pytest.raises(ValueError):
+            store.rollback()
+
+    def test_history_records_transitions(self):
+        store = FirmwareStore(make_image(1))
+        store.stage(make_image(2))
+        store.activate()
+        assert [v for _, v in store.history] == [1, 2]
+
+
+class TestEcuLifecycle:
+    def test_boot_to_running(self):
+        sim = Simulator()
+        ecu = make_ecu(sim)
+        ecu.power_on()
+        assert ecu.state == EcuState.BOOTING
+        sim.run()
+        assert ecu.state == EcuState.RUNNING
+
+    def test_tampered_firmware_degrades(self):
+        sim = Simulator()
+        image = make_image()
+        ecu = make_ecu(sim, image=image)
+        ecu.firmware.active = image.tampered()
+        ecu.power_on()
+        sim.run()
+        assert ecu.state == EcuState.DEGRADED
+
+    def test_tampered_firmware_halts_when_policy_says(self):
+        sim = Simulator()
+        image = make_image()
+        ecu = make_ecu(sim, image=image, halt_on_boot_failure=True)
+        ecu.firmware.active = image.tampered()
+        ecu.power_on()
+        sim.run()
+        assert ecu.state == EcuState.LOCKED
+
+    def test_boot_callback_invoked(self):
+        sim = Simulator()
+        ecu = make_ecu(sim)
+        results = []
+        ecu.on_boot_complete(results.append)
+        ecu.power_on()
+        sim.run()
+        assert results == [True]
+
+    def test_double_power_on_rejected(self):
+        sim = Simulator()
+        ecu = make_ecu(sim)
+        ecu.power_on()
+        with pytest.raises(RuntimeError):
+            ecu.power_on()
+
+    def test_reboot_after_update_boots_new_image(self):
+        sim = Simulator()
+        image = make_image(1)
+        ecu = make_ecu(sim, image=image)
+        ecu.power_on()
+        sim.run()
+        # Stage an image whose MAC does not match -> boot degrades.
+        ecu.firmware.stage(make_image(2))
+        ecu.firmware.activate()
+        ecu.reboot()
+        sim.run()
+        assert ecu.state == EcuState.DEGRADED
+        # Roll back and reboot: authentic image boots cleanly again.
+        ecu.firmware.rollback()
+        ecu.reboot()
+        sim.run()
+        assert ecu.state == EcuState.RUNNING
+
+    def test_send_requires_attachment(self):
+        sim = Simulator()
+        ecu = make_ecu(sim)
+        with pytest.raises(RuntimeError):
+            ecu.send(CanFrame(0x100))
+
+    def test_send_ignored_until_operational(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        ecu = make_ecu(sim)
+        ecu.attach_can(bus)
+        ecu.send(CanFrame(0x100))  # OFF: dropped
+        sim.run()
+        assert bus.frames_on_wire == 0
+        ecu.power_on()
+        sim.run()
+        ecu.send(CanFrame(0x100))
+        sim.run()
+        assert bus.frames_on_wire == 1
+
+    def test_compromise_keeps_she_keys_hidden(self):
+        sim = Simulator()
+        ecu = make_ecu(sim)
+        ecu.power_on()
+        sim.run()
+        ecu.compromise()
+        assert ecu.state == EcuState.COMPROMISED
+        assert ecu.compromised
+        # The attacker can still *use* the SHE...
+        ecu.she.load_plain_key(bytes(16))
+        # ...but locked ECUs cannot be compromised.
+        ecu2 = make_ecu(Simulator(), halt_on_boot_failure=True)
+        ecu2.lock()
+        with pytest.raises(RuntimeError):
+            ecu2.compromise()
+
+    def test_lock_locks_she(self):
+        sim = Simulator()
+        ecu = make_ecu(sim)
+        ecu.lock()
+        assert ecu.she.locked
+
+
+class TestHypervisor:
+    def _hv(self):
+        hv = Hypervisor()
+        hv.create_partition("infotainment", services={"media"})
+        hv.create_partition("adas", services={"fusion"})
+        hv.create_partition("gateway", services={"route"})
+        return hv
+
+    def test_same_partition_access_free(self):
+        hv = self._hv()
+        hv.write("adas", "adas", "buf", b"data")
+        assert hv.read("adas", "adas", "buf") == b"data"
+
+    def test_cross_partition_denied_by_default(self):
+        hv = self._hv()
+        hv.write("adas", "adas", "buf", b"secret")
+        with pytest.raises(IsolationViolation):
+            hv.read("infotainment", "adas", "buf")
+
+    def test_grant_allows(self):
+        hv = self._hv()
+        hv.grant("infotainment", "gateway", "call")
+        hv.call("infotainment", "gateway", "route")
+
+    def test_revoke_closes_access(self):
+        hv = self._hv()
+        hv.grant("infotainment", "gateway", "call")
+        hv.revoke("infotainment", "gateway", "call")
+        with pytest.raises(IsolationViolation):
+            hv.call("infotainment", "gateway", "route")
+
+    def test_unknown_service_keyerror(self):
+        hv = self._hv()
+        hv.grant("infotainment", "gateway", "call")
+        with pytest.raises(KeyError):
+            hv.call("infotainment", "gateway", "missing")
+
+    def test_grant_validation(self):
+        hv = self._hv()
+        with pytest.raises(ValueError):
+            hv.grant("infotainment", "gateway", "teleport")
+        with pytest.raises(ValueError):
+            hv.grant("ghost", "gateway", "call")
+
+    def test_blast_radius_transitive(self):
+        hv = self._hv()
+        hv.grant("infotainment", "gateway", "call")
+        hv.grant("gateway", "adas", "write")
+        assert hv.reachable_from("infotainment") == {"infotainment", "gateway", "adas"}
+
+    def test_blast_radius_isolated(self):
+        hv = self._hv()
+        assert hv.reachable_from("infotainment") == {"infotainment"}
+
+    def test_read_grants_do_not_extend_blast_radius(self):
+        hv = self._hv()
+        hv.grant("infotainment", "adas", "read")
+        assert hv.reachable_from("infotainment") == {"infotainment"}
+
+    def test_denied_attempts_audited(self):
+        hv = self._hv()
+        with pytest.raises(IsolationViolation):
+            hv.read("infotainment", "adas", "buf")
+        assert ("infotainment", "adas", "read") in hv.denied_attempts()
+
+    def test_duplicate_partition_rejected(self):
+        hv = self._hv()
+        with pytest.raises(ValueError):
+            hv.create_partition("adas")
+
+
+class TestTamperDetector:
+    def test_nominal_values_pass(self):
+        sim = Simulator()
+        det = TamperDetector(sim)
+        assert not det.sample("voltage", 3.3)
+        assert not det.sample("clock", 100e6)
+        assert det.events == []
+
+    def test_voltage_glitch_detected(self):
+        sim = Simulator()
+        she = She(uid=UID)
+        det = TamperDetector(sim, she=she, detection_probability=1.0)
+        assert det.sample("voltage", 1.8)
+        assert she.locked
+
+    def test_clock_glitch_detected(self):
+        sim = Simulator()
+        det = TamperDetector(sim, detection_probability=1.0)
+        assert det.sample("clock", 200e6)
+        assert det.events[0].kind == "clock"
+
+    def test_detection_probability_misses(self):
+        sim = Simulator()
+        det = TamperDetector(
+            sim, detection_probability=0.0, rng=random.Random(1),
+        )
+        assert not det.sample("voltage", 0.5)
+        assert det.missed == 1
+
+    def test_response_callback(self):
+        sim = Simulator()
+        det = TamperDetector(sim, detection_probability=1.0)
+        seen = []
+        det.on_tamper(seen.append)
+        det.sample("voltage", 5.0)
+        assert len(seen) == 1 and seen[0].kind == "voltage"
+
+    def test_unknown_channel_rejected(self):
+        det = TamperDetector(Simulator())
+        with pytest.raises(ValueError):
+            det.sample("thermal", 100.0)

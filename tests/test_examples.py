@@ -1,0 +1,49 @@
+"""Every example script must run to completion (exit 0) as a subprocess.
+
+Examples are public-facing deliverables; a refactor that silently breaks
+one should fail the test suite, not a user's first contact with the repo.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+# Expected key phrases in each example's output (smoke-level correctness,
+# not golden files).
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["threat coverage : 17/17", "blocked by firewall"],
+    "vehicle_under_attack.py": ["bus_off", "SecOC would reject"],
+    "ota_fleet_campaign.py": ["honest campaign: 100%", "COMPROMISED"],
+    "v2x_intersection.py": ["ice on road", "rejections"],
+    "keyless_entry_relay.py": ["UNLOCKED", "distance bound exceeded",
+                               "cloned transponder starts the engine: YES"],
+    "side_channel_cpa.py": ["FULL KEY RECOVERED", "0/16"],
+    "diagnostic_workshop.py": ["RECOVERED", "locked out: True"],
+    "extensibility_lifecycle.py": ["SHADOWED", "rollback rejected",
+                                   "negotiated protocol version: 3"],
+}
+
+
+def test_every_example_has_expectations():
+    names = {path.name for path in EXAMPLES}
+    assert names == set(EXPECTED_SNIPPETS), (
+        "examples/ and EXPECTED_SNIPPETS out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for snippet in EXPECTED_SNIPPETS[script.name]:
+        assert snippet in result.stdout, (
+            f"{script.name}: expected {snippet!r} in output"
+        )

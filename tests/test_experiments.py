@@ -1,0 +1,100 @@
+"""Smoke tests for the experiment drivers (reduced parameters).
+
+The full-size runs (and their shape assertions) live in ``benchmarks/``;
+here we verify every driver executes, produces well-formed tables, and
+holds its headline invariant at small scale.
+"""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    e01_gateway,
+    e03_realtime,
+    e05_classbreak,
+    e06_v2x_density,
+    e08_access,
+    e09_extensibility,
+    e10_ota,
+    e11_tradeoff,
+    e13_secureboot,
+    e14_verification,
+)
+
+
+class TestRegistry:
+    def test_all_sixteen_registered(self):
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 17)}
+
+    def test_all_callable(self):
+        assert all(callable(fn) for fn in ALL_EXPERIMENTS.values())
+
+
+class TestDrivers:
+    def test_e1_table_shape(self):
+        result = e01_gateway.run()
+        assert isinstance(result, SweepResult)
+        assert len(result.rows) == 5
+        configs = result.column("config")
+        assert "flat-bus" in configs and "gateway-allowlist" in configs
+        by = {r["config"]: r for r in result.rows}
+        assert by["gateway-allowlist"]["forged_delivered"] == 0
+        assert by["flat-bus"]["forged_delivered"] > 0
+
+    def test_e3_baseline_vs_auth(self):
+        result = e03_realtime.run(bitrate=125_000.0, duration=1.0)
+        by = {r["config"]: r for r in result.rows}
+        assert by["none"]["utilization"] < by["inline-4B"]["utilization"]
+
+    def test_e5_blast_radius_ordering(self):
+        result = e05_classbreak.run(fleet_size=4)
+        by = {r["regime"]: r["blast_radius"] for r in result.rows}
+        assert by["naive-shared"] > by["naive-per-device"] > by["uptane"]
+
+    def test_e6_saturation(self):
+        result = e06_v2x_density.run(verify_rate=100.0, duration=1.0)
+        rows = result.rows
+        assert rows[-1]["offered_msgs_per_s"] > rows[0]["offered_msgs_per_s"]
+
+    def test_e8_relay_and_crack(self):
+        relay = e08_access.run_relay()
+        assert any(r["unlocked"] for r in relay.rows)
+        assert any(not r["unlocked"] for r in relay.rows)
+
+    def test_e9_crossover(self):
+        result = e09_extensibility.run(generations=6)
+        assert result.rows[0]["extensible_wins"] is False
+        assert result.rows[-1]["extensible_wins"] is True
+
+    def test_e10_matrix_extremes(self):
+        result = e10_ota.run()
+        by = {r["compromised_keys"]: r for r in result.rows}
+        assert by["none"]["uptane_client"] == "safe"
+        assert by["both-repos-all-online"]["uptane_client"] == "COMPROMISED"
+
+    def test_e11_policies(self):
+        result = e11_tradeoff.run()
+        assert len(result.rows) == 3
+
+    def test_e13_outcomes(self):
+        result = e13_secureboot.run()
+        by = {r["mutation"]: r for r in result.rows}
+        assert by["authentic"]["policy_halt"] == "running"
+        assert by["payload-flip"]["policy_halt"] == "locked"
+
+    def test_e14_space_growth(self):
+        result = e14_verification.run()
+        spaces = result.column("config_space")
+        assert spaces == sorted(spaces)
+
+    def test_e14_reserved(self):
+        result = e14_verification.run_reserved(n_fuzz_frames=500)
+        assert result.rows[0]["fuzz_hits_reserved"] == 0
+
+    def test_tables_render(self):
+        for result in (e09_extensibility.run(generations=3),
+                       e11_tradeoff.run()):
+            table = result.to_table()
+            assert table.startswith("== ")
+            assert len(table.splitlines()) >= 4

@@ -1,0 +1,215 @@
+"""Tests for the firewall and secure gateway."""
+
+import pytest
+
+from repro.gateway import (
+    Firewall,
+    FirewallAction,
+    FirewallRule,
+    RateLimiter,
+    SecureGateway,
+)
+from repro.ivn import CanBus, CanFrame
+from repro.sim import Simulator, TraceRecorder
+
+
+class TestRateLimiter:
+    def test_burst_admitted(self):
+        rl = RateLimiter(rate=10, burst=3)
+        assert [rl.admit(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_over_time(self):
+        rl = RateLimiter(rate=10, burst=1)
+        assert rl.admit(0.0)
+        assert not rl.admit(0.01)
+        assert rl.admit(0.2)  # 0.2s * 10/s = 2 tokens refilled (capped at 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1, burst=0)
+
+
+class TestFirewall:
+    def test_default_deny(self):
+        fw = Firewall(default=FirewallAction.DENY)
+        assert fw.evaluate(CanFrame(0x1), "a", "b", 0.0) is FirewallAction.DENY
+
+    def test_default_allow(self):
+        fw = Firewall(default=FirewallAction.ALLOW)
+        assert fw.evaluate(CanFrame(0x1), "a", "b", 0.0) is FirewallAction.ALLOW
+
+    def test_first_match_wins(self):
+        fw = Firewall(default=FirewallAction.DENY)
+        fw.add_rule(FirewallRule("a", "b", FirewallAction.DENY, id_range=(0x100, 0x1FF)))
+        fw.add_rule(FirewallRule("a", "b", FirewallAction.ALLOW))
+        assert fw.evaluate(CanFrame(0x150), "a", "b", 0.0) is FirewallAction.DENY
+        assert fw.evaluate(CanFrame(0x200), "a", "b", 0.0) is FirewallAction.ALLOW
+
+    def test_wildcard_domains(self):
+        fw = Firewall(default=FirewallAction.DENY)
+        fw.add_rule(FirewallRule("*", "powertrain", FirewallAction.ALLOW,
+                                 id_range=(0x700, 0x7FF)))
+        assert fw.evaluate(CanFrame(0x700), "anything", "powertrain", 0.0) is FirewallAction.ALLOW
+        assert fw.evaluate(CanFrame(0x700), "anything", "body", 0.0) is FirewallAction.DENY
+
+    def test_id_range_boundaries(self):
+        rule = FirewallRule("a", "b", FirewallAction.ALLOW, id_range=(0x100, 0x200))
+        assert rule.matches(CanFrame(0x100), "a", "b")
+        assert rule.matches(CanFrame(0x200), "a", "b")
+        assert not rule.matches(CanFrame(0x0FF), "a", "b")
+        assert not rule.matches(CanFrame(0x201), "a", "b")
+
+    def test_rate_limited_allow_becomes_deny(self):
+        fw = Firewall(default=FirewallAction.DENY)
+        fw.add_rule(FirewallRule(
+            "a", "b", FirewallAction.ALLOW,
+            rate_limit=RateLimiter(rate=1, burst=1),
+        ))
+        assert fw.evaluate(CanFrame(0x1), "a", "b", 0.0) is FirewallAction.ALLOW
+        assert fw.evaluate(CanFrame(0x1), "a", "b", 0.001) is FirewallAction.DENY
+        assert fw.rate_limited == 1
+
+    def test_hit_counters(self):
+        fw = Firewall()
+        rule = FirewallRule("a", "b", FirewallAction.ALLOW)
+        fw.add_rule(rule)
+        fw.evaluate(CanFrame(0x1), "a", "b", 0.0)
+        fw.evaluate(CanFrame(0x1), "x", "y", 0.0)
+        assert rule.hits == 1 and fw.evaluations == 2
+
+
+class TestSecureGateway:
+    def _two_domains(self, firewall=None):
+        sim = Simulator()
+        trace = TraceRecorder()
+        infotainment = CanBus(sim, name="infotainment", trace=trace)
+        powertrain = CanBus(sim, name="powertrain", trace=trace)
+        gw = SecureGateway(sim, firewall=firewall, trace=trace)
+        gw.attach_domain("infotainment", infotainment)
+        gw.attach_domain("powertrain", powertrain)
+        return sim, gw, infotainment, powertrain, trace
+
+    def test_routed_frame_crosses_domains(self):
+        fw = Firewall(default=FirewallAction.ALLOW)
+        sim, gw, info, power, _ = self._two_domains(fw)
+        gw.add_route("infotainment", 0x244, {"powertrain"})
+        src = info.attach("radio")
+        sink = power.attach("engine")
+        got = []
+        sink.on_receive(got.append)
+        src.send(CanFrame(0x244, b"\x01"))
+        sim.run()
+        assert len(got) == 1 and got[0].can_id == 0x244
+        assert gw.stats.forwarded == 1
+
+    def test_unrouted_frame_stays_local(self):
+        fw = Firewall(default=FirewallAction.ALLOW)
+        sim, gw, info, power, _ = self._two_domains(fw)
+        src = info.attach("radio")
+        sink = power.attach("engine")
+        got = []
+        sink.on_receive(got.append)
+        src.send(CanFrame(0x999 & 0x7FF))
+        sim.run()
+        assert got == [] and gw.stats.dropped_no_route == 1
+
+    def test_firewall_blocks_crossing(self):
+        fw = Firewall(default=FirewallAction.DENY)
+        sim, gw, info, power, trace = self._two_domains(fw)
+        gw.add_route("infotainment", 0x0C9, {"powertrain"})
+        src = info.attach("radio")
+        sink = power.attach("engine")
+        got = []
+        sink.on_receive(got.append)
+        src.send(CanFrame(0x0C9, b"\xff" * 8))  # forged engine frame
+        sim.run()
+        assert got == []
+        assert gw.stats.dropped_firewall == 1
+        assert trace.count("gateway.drop") == 1
+
+    def test_quarantine_blocks_all_from_domain(self):
+        fw = Firewall(default=FirewallAction.ALLOW)
+        sim, gw, info, power, _ = self._two_domains(fw)
+        gw.add_route("infotainment", 0x244, {"powertrain"})
+        src = info.attach("radio")
+        sink = power.attach("engine")
+        got = []
+        sink.on_receive(got.append)
+        gw.quarantine("infotainment")
+        src.send(CanFrame(0x244))
+        sim.run()
+        assert got == [] and gw.stats.dropped_quarantine == 1
+
+    def test_release_restores_forwarding(self):
+        fw = Firewall(default=FirewallAction.ALLOW)
+        sim, gw, info, power, _ = self._two_domains(fw)
+        gw.add_route("infotainment", 0x244, {"powertrain"})
+        src = info.attach("radio")
+        sink = power.attach("engine")
+        got = []
+        sink.on_receive(got.append)
+        gw.quarantine("infotainment")
+        gw.release("infotainment")
+        src.send(CanFrame(0x244))
+        sim.run()
+        assert len(got) == 1
+
+    def test_no_routing_loops(self):
+        """Re-injected frames must not bounce back through the gateway."""
+        fw = Firewall(default=FirewallAction.ALLOW)
+        sim, gw, info, power, _ = self._two_domains(fw)
+        gw.add_route("infotainment", 0x244, {"powertrain"})
+        gw.add_route("powertrain", 0x244, {"infotainment"})
+        src = info.attach("radio")
+        src.send(CanFrame(0x244))
+        sim.run(max_events=10_000)
+        assert gw.stats.forwarded == 1  # exactly one crossing
+
+    def test_forwarding_adds_processing_delay(self):
+        fw = Firewall(default=FirewallAction.ALLOW)
+        sim, gw, info, power, trace = self._two_domains(fw)
+        gw.add_route("infotainment", 0x244, {"powertrain"})
+        src = info.attach("radio")
+        power.attach("engine")
+        src.send(CanFrame(0x244))
+        sim.run()
+        tx_times = {
+            r.source: r.time for r in trace.records("can.tx")
+        }
+        assert tx_times["powertrain"] >= tx_times["infotainment"] + gw.processing_delay
+
+    def test_duplicate_domain_rejected(self):
+        sim, gw, info, _, _ = self._two_domains()
+        with pytest.raises(ValueError):
+            gw.attach_domain("infotainment", info)
+
+    def test_route_validation(self):
+        _, gw, _, _, _ = self._two_domains()
+        with pytest.raises(ValueError):
+            gw.add_route("ghost", 0x1, {"powertrain"})
+        with pytest.raises(ValueError):
+            gw.add_route("infotainment", 0x1, {"ghost"})
+
+    def test_quarantine_unknown_domain(self):
+        _, gw, _, _, _ = self._two_domains()
+        with pytest.raises(ValueError):
+            gw.quarantine("ghost")
+
+    def test_multi_destination_route(self):
+        sim = Simulator()
+        fw = Firewall(default=FirewallAction.ALLOW)
+        gw = SecureGateway(sim, firewall=fw)
+        buses = {}
+        for d in ("a", "b", "c"):
+            buses[d] = CanBus(sim, name=d)
+            gw.attach_domain(d, buses[d])
+        gw.add_route("a", 0x100, {"b", "c"})
+        src = buses["a"].attach("src")
+        got_b, got_c = [], []
+        buses["b"].attach("nb").on_receive(got_b.append)
+        buses["c"].attach("nc").on_receive(got_c.append)
+        src.send(CanFrame(0x100))
+        sim.run()
+        assert len(got_b) == 1 and len(got_c) == 1

@@ -1,0 +1,230 @@
+"""Tests for the IDS detectors and ensemble."""
+
+import math
+import random
+
+import pytest
+
+from repro.ids import (
+    Alert,
+    EnsembleIds,
+    EntropyIds,
+    FrequencyIds,
+    SignalSpec,
+    SpecificationIds,
+)
+from repro.ids.entropy import shannon_entropy
+from repro.ivn import CanFrame
+from collections import Counter
+
+
+def benign_stream(n_cycles=100, ids_periods=((0x100, 0.01), (0x200, 0.02), (0x300, 0.05))):
+    """Deterministic periodic benign traffic, time-sorted."""
+    events = []
+    for can_id, period in ids_periods:
+        t = 0.0
+        while t < n_cycles * 0.01:
+            events.append((t, CanFrame(can_id, bytes([can_id & 0xFF] * 4))))
+            t += period
+    events.sort(key=lambda e: e[0])
+    return events
+
+
+class TestFrequencyIds:
+    def test_learns_periods(self):
+        ids = FrequencyIds()
+        ids.train(benign_stream())
+        assert ids.learned_period(0x100) == pytest.approx(0.01, rel=0.01)
+        assert ids.learned_period(0x200) == pytest.approx(0.02, rel=0.01)
+
+    def test_benign_traffic_quiet(self):
+        ids = FrequencyIds()
+        stream = benign_stream()
+        ids.train(stream)
+        for t, f in stream:
+            ids.observe(t, f)
+        assert ids.alerts == []
+
+    def test_injection_detected(self):
+        ids = FrequencyIds()
+        ids.train(benign_stream())
+        # Legit frame at t, injected copy 1 ms later (10% of the period).
+        ids.observe(1.000, CanFrame(0x100))
+        alert = ids.observe(1.001, CanFrame(0x100))
+        assert alert is not None
+        assert alert.can_id == 0x100
+        assert alert.score > 1
+
+    def test_unknown_id_ignored(self):
+        ids = FrequencyIds()
+        ids.train(benign_stream())
+        assert ids.observe(0.0, CanFrame(0x7FF)) is None
+        assert ids.observe(0.0001, CanFrame(0x7FF)) is None
+
+    def test_rare_ids_exempt(self):
+        ids = FrequencyIds(min_training_frames=5)
+        # Only 3 occurrences in training -> aperiodic, exempt.
+        stream = [(0.0, CanFrame(0x50)), (1.0, CanFrame(0x50)), (2.0, CanFrame(0x50))]
+        ids.train(stream)
+        assert ids.learned_period(0x50) is None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyIds(ratio_threshold=0.0)
+        with pytest.raises(ValueError):
+            FrequencyIds(ratio_threshold=1.5)
+
+    def test_alert_rate_property(self):
+        ids = FrequencyIds()
+        ids.train(benign_stream())
+        ids.observe(1.000, CanFrame(0x100))
+        ids.observe(1.0001, CanFrame(0x100))
+        assert ids.alert_rate == 0.5
+
+
+class TestEntropyIds:
+    def test_training_requires_enough_frames(self):
+        ids = EntropyIds(window=64)
+        with pytest.raises(ValueError):
+            ids.train(benign_stream()[:10])
+
+    def test_benign_traffic_quiet(self):
+        ids = EntropyIds(window=32)
+        stream = benign_stream(n_cycles=200)
+        ids.train(stream)
+        for t, f in stream:
+            ids.observe(t, f)
+        assert ids.alert_rate < 0.01
+
+    def test_flood_collapses_entropy(self):
+        ids = EntropyIds(window=32)
+        ids.train(benign_stream(n_cycles=200))
+        alerts = [ids.observe(i * 1e-4, CanFrame(0x000)) for i in range(64)]
+        fired = [a for a in alerts if a]
+        assert fired
+        assert "collapse" in fired[0].reason
+
+    def test_fuzzing_inflates_entropy(self):
+        ids = EntropyIds(window=32, k_sigma=3.0)
+        ids.train(benign_stream(n_cycles=200))
+        rng = random.Random(7)
+        fired = []
+        for i in range(64):
+            a = ids.observe(i * 1e-4, CanFrame(rng.randint(0, 0x7FF)))
+            if a:
+                fired.append(a)
+        assert fired
+        assert "inflation" in fired[0].reason
+
+    def test_band_is_symmetric_around_mean(self):
+        ids = EntropyIds(window=32)
+        ids.train(benign_stream(n_cycles=200))
+        low, high = ids.band
+        assert low < ids.mean < high
+        assert high - ids.mean == pytest.approx(ids.mean - low)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            EntropyIds(window=4)
+
+    def test_shannon_entropy_uniform(self):
+        assert shannon_entropy(Counter({1: 5, 2: 5, 3: 5, 4: 5})) == pytest.approx(2.0)
+
+    def test_shannon_entropy_degenerate(self):
+        assert shannon_entropy(Counter({1: 100})) == 0.0
+        assert shannon_entropy(Counter()) == 0.0
+
+
+class TestSpecificationIds:
+    SPECS = [
+        SignalSpec(0x100, 4, validator=lambda d: d[0] < 0x80, description="speed"),
+        SignalSpec(0x200, 8),
+        SignalSpec(0x7E0, 8, description="reserved diag"),
+    ]
+
+    def test_known_good_frame_passes(self):
+        ids = SpecificationIds(self.SPECS)
+        assert ids.observe(0.0, CanFrame(0x100, b"\x10\x00\x00\x00")) is None
+
+    def test_unknown_id_alerts(self):
+        ids = SpecificationIds(self.SPECS)
+        alert = ids.observe(0.0, CanFrame(0x555))
+        assert alert and "unknown id" in alert.reason
+
+    def test_wrong_dlc_alerts(self):
+        ids = SpecificationIds(self.SPECS)
+        alert = ids.observe(0.0, CanFrame(0x200, b"\x00"))
+        assert alert and "dlc" in alert.reason
+
+    def test_out_of_range_payload_alerts(self):
+        ids = SpecificationIds(self.SPECS)
+        alert = ids.observe(0.0, CanFrame(0x100, b"\xff\x00\x00\x00"))
+        assert alert and "range" in alert.reason
+
+    def test_duplicate_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SpecificationIds([SignalSpec(0x1, 8), SignalSpec(0x1, 4)])
+
+    def test_usable_without_training(self):
+        ids = SpecificationIds(self.SPECS)
+        assert ids.trained
+
+    def test_unused_specs_reported(self):
+        ids = SpecificationIds(self.SPECS)
+        ids.train([(0.0, CanFrame(0x100, bytes(4))), (0.1, CanFrame(0x200, bytes(8)))])
+        assert ids.unused_specs() == {0x7E0}
+
+    def test_replay_within_spec_missed(self):
+        """The documented blind spot: in-spec replays pass."""
+        ids = SpecificationIds(self.SPECS)
+        legit = CanFrame(0x100, b"\x10\x00\x00\x00")
+        assert ids.observe(0.0, legit) is None
+        assert ids.observe(0.0001, legit) is None  # replayed -> still passes
+
+
+class TestEnsemble:
+    def _members(self):
+        freq = FrequencyIds()
+        spec = SpecificationIds([
+            SignalSpec(0x100, 0), SignalSpec(0x200, 0), SignalSpec(0x300, 0),
+        ])
+        return freq, spec
+
+    def test_train_trains_members(self):
+        freq, spec = self._members()
+        ens = EnsembleIds([freq, spec])
+        stream = [(t, CanFrame(f.can_id)) for t, f in benign_stream()]
+        ens.train(stream)
+        assert freq.trained
+
+    def test_any_mode_fires_on_single_vote(self):
+        freq, spec = self._members()
+        ens = EnsembleIds([freq, spec], mode="any")
+        ens.train([(t, CanFrame(f.can_id)) for t, f in benign_stream()])
+        alert = ens.observe(0.0, CanFrame(0x666))  # only spec member fires
+        assert alert is not None
+        assert "1/2" in alert.reason
+
+    def test_majority_mode_needs_quorum(self):
+        freq, spec = self._members()
+        ens = EnsembleIds([freq, spec], mode="majority")
+        ens.train([(t, CanFrame(f.can_id)) for t, f in benign_stream()])
+        # Unknown id: spec alerts, freq does not -> 1/2 < quorum(2).
+        assert ens.observe(0.0, CanFrame(0x666)) is None
+        # Known id injected fast AND with wrong dlc: both alert.
+        ens.observe(1.0, CanFrame(0x100))
+        alert = ens.observe(1.0001, CanFrame(0x100, b"\x01"))
+        assert alert is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleIds([])
+        with pytest.raises(ValueError):
+            EnsembleIds([FrequencyIds()], mode="xor")
+
+    def test_members_keep_own_alert_logs(self):
+        freq, spec = self._members()
+        ens = EnsembleIds([freq, spec], mode="any")
+        ens.train([(t, CanFrame(f.can_id)) for t, f in benign_stream()])
+        ens.observe(0.0, CanFrame(0x666))
+        assert len(spec.alerts) == 1 and len(ens.alerts) == 1

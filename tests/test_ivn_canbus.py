@@ -1,0 +1,251 @@
+"""Tests for the CAN bus: arbitration, errors, bus-off, utilization."""
+
+import random
+
+import pytest
+
+from repro.ivn import BusState, CanBus, CanFrame
+from repro.sim import Simulator, TraceRecorder
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    trace = TraceRecorder()
+    bus = CanBus(sim, bitrate=500_000, trace=trace)
+    return sim, bus, trace
+
+
+class TestTopology:
+    def test_attach(self, setup):
+        sim, bus, _ = setup
+        node = bus.attach("ecu1")
+        assert node.name == "ecu1" and "ecu1" in bus.nodes
+
+    def test_duplicate_name_rejected(self, setup):
+        _, bus, _ = setup
+        bus.attach("ecu1")
+        with pytest.raises(ValueError):
+            bus.attach("ecu1")
+
+
+class TestTransmission:
+    def test_frame_delivered_to_other_nodes(self, setup):
+        sim, bus, _ = setup
+        a, b, c = bus.attach("a"), bus.attach("b"), bus.attach("c")
+        got_b, got_c = [], []
+        b.on_receive(got_b.append)
+        c.on_receive(got_c.append)
+        a.send(CanFrame(0x100, b"\x01"))
+        sim.run()
+        assert len(got_b) == 1 and len(got_c) == 1
+        assert got_b[0].can_id == 0x100 and got_b[0].sender == "a"
+
+    def test_sender_does_not_receive_own_frame(self, setup):
+        sim, bus, _ = setup
+        a = bus.attach("a")
+        bus.attach("b")
+        got = []
+        a.on_receive(got.append)
+        a.send(CanFrame(0x100))
+        sim.run()
+        assert got == []
+
+    def test_transmission_takes_wire_time(self, setup):
+        sim, bus, _ = setup
+        a = bus.attach("a")
+        bus.attach("b")
+        frame = CanFrame(0x100, bytes(8))
+        a.send(frame)
+        sim.run()
+        assert sim.now == pytest.approx(frame.bit_length() / 500_000)
+
+    def test_bus_tap_sees_all_frames(self, setup):
+        sim, bus, _ = setup
+        a = bus.attach("a")
+        seen = []
+        bus.tap(seen.append)
+        a.send(CanFrame(0x1))
+        a.send(CanFrame(0x2))
+        sim.run()
+        assert [f.can_id for f in seen] == [0x1, 0x2]
+
+    def test_trace_records_latency(self, setup):
+        sim, bus, trace = setup
+        a = bus.attach("a")
+        a.send(CanFrame(0x100))
+        sim.run()
+        rec = trace.last("can.tx")
+        assert rec.data["latency"] > 0
+
+
+class TestArbitration:
+    def test_lower_id_wins(self, setup):
+        sim, bus, trace = setup
+        a, b = bus.attach("a"), bus.attach("b")
+        # Both queue at t=0; the lower id must be on the wire first.
+        b.send(CanFrame(0x200))
+        a.send(CanFrame(0x100))
+        sim.run()
+        ids = [r.data["can_id"] for r in trace.records("can.tx")]
+        assert ids == [0x100, 0x200]
+
+    def test_arbitration_loss_counted(self, setup):
+        sim, bus, _ = setup
+        a, b = bus.attach("a"), bus.attach("b")
+        b.send(CanFrame(0x200))
+        a.send(CanFrame(0x100))
+        sim.run()
+        assert b.arbitration_losses >= 1
+        assert a.arbitration_losses == 0
+
+    def test_flood_starves_high_ids(self, setup):
+        """A low-id flood (DoS) delays high-id traffic severely."""
+        sim, bus, trace = setup
+        victim, attacker = bus.attach("victim"), bus.attach("attacker")
+        for _ in range(100):
+            attacker.send(CanFrame(0x000, bytes(8)))
+        victim.send(CanFrame(0x300, bytes(8)))
+        sim.run()
+        victim_tx = [r for r in trace.records("can.tx") if r.data["can_id"] == 0x300]
+        assert len(victim_tx) == 1
+        # Victim frame latency ~ 100 attacker frames' wire time.
+        assert victim_tx[0].data["latency"] > 100 * 100 / 500_000
+
+    def test_same_node_queue_is_priority_ordered(self, setup):
+        sim, bus, trace = setup
+        a = bus.attach("a")
+        a.send(CanFrame(0x300))
+        a.send(CanFrame(0x100))
+        sim.run()
+        ids = [r.data["can_id"] for r in trace.records("can.tx")]
+        assert ids == [0x100, 0x300]
+
+
+class TestErrors:
+    def test_corruption_hook_triggers_retransmit(self, setup):
+        sim, bus, trace = setup
+        a = bus.attach("a")
+        bus.attach("b")
+        corrupt_once = {"done": False}
+
+        def hook(frame):
+            if not corrupt_once["done"]:
+                corrupt_once["done"] = True
+                return True
+            return False
+
+        bus.corruption_hook = hook
+        a.send(CanFrame(0x100, b"\x01"))
+        sim.run()
+        assert trace.count("can.error") == 1
+        assert trace.count("can.tx") == 1  # retransmitted successfully
+        assert a.frames_sent == 1
+
+    def test_tec_accounting(self, setup):
+        sim, bus, _ = setup
+        a = bus.attach("a")
+        bus.attach("b")
+        count = {"n": 0}
+
+        def hook(frame):
+            count["n"] += 1
+            return count["n"] <= 3  # corrupt first three attempts
+
+        bus.corruption_hook = hook
+        a.send(CanFrame(0x100))
+        sim.run()
+        # +8 per error x3, -1 on final success.
+        assert a.tec == 23
+
+    def test_bus_off_after_sustained_errors(self, setup):
+        sim, bus, trace = setup
+        a = bus.attach("a")
+        bus.attach("b")
+        bus.corruption_hook = lambda frame: frame.sender == "a"
+        for _ in range(40):
+            a.send(CanFrame(0x100))
+        sim.run()
+        assert a.state == BusState.BUS_OFF
+        assert trace.count("can.busoff") == 1
+        assert a.tx_queue == []
+
+    def test_bus_off_node_cannot_send(self, setup):
+        sim, bus, _ = setup
+        a = bus.attach("a")
+        bus.attach("b")
+        a.tec = 300
+        a.send(CanFrame(0x100))
+        sim.run()
+        assert a.frames_sent == 0
+
+    def test_recover_restores_node(self, setup):
+        sim, bus, _ = setup
+        a = bus.attach("a")
+        bus.attach("b")
+        a.tec = 300
+        assert a.bus_off
+        a.recover()
+        assert a.state == BusState.ERROR_ACTIVE
+        a.send(CanFrame(0x100))
+        sim.run()
+        assert a.frames_sent == 1
+
+    def test_error_passive_state(self, setup):
+        _, bus, _ = setup
+        a = bus.attach("a")
+        a.tec = 128
+        assert a.state == BusState.ERROR_PASSIVE
+
+    def test_random_bit_errors(self, setup):
+        sim, bus, _ = setup
+        bus.bit_error_rate = 0.01  # very high: ~1 - 0.99^130 per frame
+        bus.rng = random.Random(1)
+        a = bus.attach("a")
+        bus.attach("b")
+        for _ in range(50):
+            a.send(CanFrame(0x100, bytes(8)))
+        sim.run(max_events=100_000)
+        assert bus.error_frames > 0
+
+    def test_other_nodes_rec_increments_on_error(self, setup):
+        sim, bus, _ = setup
+        a, b = bus.attach("a"), bus.attach("b")
+        first = {"done": False}
+
+        def hook(frame):
+            if not first["done"]:
+                first["done"] = True
+                return True
+            return False
+
+        bus.corruption_hook = hook
+        a.send(CanFrame(0x100))
+        sim.run()
+        # b saw one error (+1) then one good frame (-1).
+        assert b.rec == 0
+        assert b.frames_received == 1
+
+
+class TestUtilization:
+    def test_idle_bus_zero(self, setup):
+        sim, bus, _ = setup
+        sim.run_until(1.0)
+        assert bus.utilization() == 0.0
+
+    def test_utilization_fraction(self, setup):
+        sim, bus, _ = setup
+        a = bus.attach("a")
+        frame = CanFrame(0x100, bytes(8))
+        a.send(frame)
+        sim.run()
+        sim.run_until(2 * frame.wire_time(500_000))
+        assert bus.utilization() == pytest.approx(0.5, rel=1e-6)
+
+    def test_saturated_bus_near_one(self, setup):
+        sim, bus, _ = setup
+        a = bus.attach("a")
+        for _ in range(200):
+            a.send(CanFrame(0x100, bytes(8)))
+        sim.run()
+        assert bus.utilization() == pytest.approx(1.0, rel=1e-6)

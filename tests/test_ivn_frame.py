@@ -1,0 +1,140 @@
+"""Tests for CAN frame encoding: CRC-15, stuffing, wire time."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ivn import CanFrame, can_crc15, can_frame_bit_length, count_stuff_bits
+
+
+class TestCanFrame:
+    def test_basic_construction(self):
+        f = CanFrame(0x123, b"\x01\x02")
+        assert f.can_id == 0x123 and f.dlc == 2
+
+    def test_standard_id_range(self):
+        CanFrame(0x7FF)  # ok
+        with pytest.raises(ValueError):
+            CanFrame(0x800)
+        with pytest.raises(ValueError):
+            CanFrame(-1)
+
+    def test_extended_id_range(self):
+        CanFrame(0x1FFFFFFF, extended=True)  # ok
+        with pytest.raises(ValueError):
+            CanFrame(0x20000000, extended=True)
+
+    def test_payload_limit(self):
+        with pytest.raises(ValueError):
+            CanFrame(0x100, bytes(9))
+
+    def test_remote_frame_no_data(self):
+        with pytest.raises(ValueError):
+            CanFrame(0x100, b"\x01", remote=True)
+        assert CanFrame(0x100, remote=True).dlc == 0
+
+    def test_with_data_preserves_identity(self):
+        f = CanFrame(0x100, b"\x01", sender="ecu1", timestamp=2.0)
+        g = f.with_data(b"\xff\xff")
+        assert g.can_id == 0x100 and g.sender == "ecu1"
+        assert g.timestamp == 2.0 and g.data == b"\xff\xff"
+
+    def test_frames_are_hashable_and_frozen(self):
+        f = CanFrame(0x1, b"\x00")
+        assert hash(f) == hash(CanFrame(0x1, b"\x00"))
+        with pytest.raises(AttributeError):
+            f.can_id = 2
+
+
+class TestBitLength:
+    def test_stuffed_region_size_standard(self):
+        # SOF 1 + ID 11 + RTR 1 + IDE 1 + r0 1 + DLC 4 + 8*n + CRC 15
+        f = CanFrame(0x123, bytes(8))
+        assert len(f.stuffed_region_bits()) == 34 + 64
+
+    def test_stuffed_region_size_extended(self):
+        f = CanFrame(0x123, bytes(8), extended=True)
+        assert len(f.stuffed_region_bits()) == 54 + 64
+
+    def test_bit_length_within_bounds(self):
+        for dlc in range(9):
+            f = CanFrame(0x2AA, bytes(range(dlc)))  # alternating id avoids stuffing
+            lo = can_frame_bit_length(dlc)
+            hi = can_frame_bit_length(dlc, worst_case=True)
+            assert lo <= f.bit_length() <= hi
+
+    def test_extended_longer_than_standard(self):
+        std = CanFrame(0x123, bytes(8)).bit_length()
+        ext = CanFrame(0x123, bytes(8), extended=True).bit_length()
+        assert ext > std
+
+    def test_payload_content_affects_length(self):
+        """All-zero payloads stuff heavily; alternating payloads don't."""
+        zeros = CanFrame(0x2AA, bytes(8)).bit_length()
+        alt = CanFrame(0x2AA, b"\xaa" * 8).bit_length()
+        assert zeros > alt
+
+    def test_wire_time_scales_with_bitrate(self):
+        f = CanFrame(0x100, bytes(8))
+        assert f.wire_time(500_000) == pytest.approx(2 * f.wire_time(1_000_000))
+
+    def test_wire_time_rejects_bad_bitrate(self):
+        with pytest.raises(ValueError):
+            CanFrame(0x100).wire_time(0)
+
+    def test_formula_rejects_bad_dlc(self):
+        with pytest.raises(ValueError):
+            can_frame_bit_length(9)
+
+    @given(
+        st.integers(min_value=0, max_value=0x7FF),
+        st.binary(max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_length_bounds(self, can_id, data):
+        f = CanFrame(can_id, data)
+        assert (
+            can_frame_bit_length(len(data))
+            <= f.bit_length()
+            <= can_frame_bit_length(len(data), worst_case=True)
+        )
+
+
+class TestCrc15:
+    def test_empty(self):
+        assert can_crc15([]) == 0
+
+    def test_known_nonzero(self):
+        assert can_crc15([1]) == 0x4599
+
+    def test_crc_differs_on_single_bit_flip(self):
+        bits = [0, 1, 0, 1, 1, 1, 0, 0] * 4
+        flipped = list(bits)
+        flipped[5] ^= 1
+        assert can_crc15(bits) != can_crc15(flipped)
+
+    def test_crc_in_range(self):
+        assert 0 <= can_crc15([1, 0] * 30) < (1 << 15)
+
+
+class TestStuffBits:
+    def test_no_stuffing_needed(self):
+        assert count_stuff_bits([0, 1] * 10) == 0
+
+    def test_five_equal_bits_one_stuff(self):
+        assert count_stuff_bits([0] * 5) == 1
+
+    def test_stuff_bit_participates_in_next_run(self):
+        # 000001111: after 5 zeros a 1 is stuffed; then the four real 1s
+        # extend the stuffed 1 to a run of 5 -> a second stuff bit.
+        assert count_stuff_bits([0, 0, 0, 0, 0, 1, 1, 1, 1]) == 2
+
+    def test_long_constant_run(self):
+        # The complementary stuff bit restarts the run, so after the first
+        # stuff every further 5 identical bits trigger one more.
+        assert count_stuff_bits([1] * 13) == 2
+        assert count_stuff_bits([1] * 15) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded_by_quarter(self, bits):
+        assert count_stuff_bits(bits) <= max(0, len(bits) - 1) // 4 + 1

@@ -1,0 +1,302 @@
+"""Tests for LIN, FlexRay, Ethernet, and traffic scheduling."""
+
+import pytest
+
+from repro.ivn import (
+    CanBus,
+    CanFrame,
+    DeadlineMonitor,
+    EthernetFrame,
+    EthernetSwitch,
+    FlexRayBus,
+    FlexRayConfig,
+    LinBus,
+    LinFrameSlot,
+    PeriodicSender,
+    TrafficMatrix,
+    typical_body_matrix,
+    typical_powertrain_matrix,
+)
+from repro.sim import Simulator, TraceRecorder
+
+
+class TestLin:
+    def _cluster(self):
+        sim = Simulator()
+        bus = LinBus(sim)
+        sensor = bus.attach_slave("sensor")
+        actuator = bus.attach_slave("actuator")
+        sensor.publish(0x10, lambda: b"\x42\x00")
+        bus.set_schedule([LinFrameSlot(0x10, "sensor", length=2)])
+        return sim, bus, sensor, actuator
+
+    def test_schedule_polls_publisher(self):
+        sim, bus, _, actuator = self._cluster()
+        got = []
+        actuator.on_frame(lambda fid, data, pub: got.append((fid, data, pub)))
+        bus.start()
+        sim.run_until(0.1)
+        assert got and got[0] == (0x10, b"\x42\x00", "sensor")
+
+    def test_master_receives_slave_data(self):
+        sim, bus, _, _ = self._cluster()
+        got = []
+        bus.master.on_frame(lambda fid, data, pub: got.append(fid))
+        bus.start()
+        sim.run_until(0.05)
+        assert 0x10 in got
+
+    def test_no_response_traced(self):
+        sim = Simulator()
+        bus = LinBus(sim)
+        bus.attach_slave("mute")
+        bus.set_schedule([LinFrameSlot(0x11, "mute")])
+        bus.start()
+        sim.run_until(0.05)
+        assert bus.trace.count("lin.no_response") > 0
+
+    def test_impostor_overrides_response(self):
+        sim, bus, _, actuator = self._cluster()
+        bus.impostor = lambda fid: b"\xff\xff" if fid == 0x10 else None
+        got = []
+        actuator.on_frame(lambda fid, data, pub: got.append((data, pub)))
+        bus.start()
+        sim.run_until(0.05)
+        assert got[0] == (b"\xff\xff", "<impostor>")
+        assert bus.collisions > 0
+
+    def test_schedule_validation(self):
+        sim = Simulator()
+        bus = LinBus(sim)
+        with pytest.raises(ValueError):
+            bus.set_schedule([LinFrameSlot(0x10, "ghost")])
+        with pytest.raises(ValueError):
+            bus.start()  # empty schedule
+
+    def test_slot_id_range(self):
+        with pytest.raises(ValueError):
+            LinFrameSlot(0x40, "master")
+        with pytest.raises(ValueError):
+            LinFrameSlot(0x10, "master", length=0)
+
+    def test_duplicate_slave_rejected(self):
+        bus = LinBus(Simulator())
+        bus.attach_slave("s")
+        with pytest.raises(ValueError):
+            bus.attach_slave("s")
+
+    def test_stop_halts_schedule(self):
+        sim, bus, _, _ = self._cluster()
+        bus.start()
+        sim.run_until(0.02)
+        count = bus.trace.count("lin.tx")
+        bus.stop()
+        sim.run_until(0.1)
+        assert bus.trace.count("lin.tx") == count
+
+
+class TestFlexRay:
+    def _cluster(self):
+        sim = Simulator()
+        bus = FlexRayBus(sim, FlexRayConfig(static_slots=4, dynamic_minislots=10))
+        a, b = bus.attach("chassis"), bus.attach("brake")
+        return sim, bus, a, b
+
+    def test_static_slot_transmission(self):
+        sim, bus, a, b = self._cluster()
+        a.assign_static(1, lambda: b"\x01" * 4)
+        got = []
+        b.on_frame(lambda slot, data, sender: got.append((slot, sender)))
+        bus.start()
+        sim.run_until(bus.config.cycle_duration * 1.5)
+        assert (1, "chassis") in got
+
+    def test_slot_ownership_enforced(self):
+        _, bus, a, b = self._cluster()
+        a.assign_static(1, lambda: b"")
+        with pytest.raises(ValueError):
+            b.assign_static(1, lambda: b"")
+
+    def test_slot_range_validated(self):
+        _, bus, a, _ = self._cluster()
+        with pytest.raises(ValueError):
+            a.assign_static(99, lambda: b"")
+
+    def test_dynamic_priority_order(self):
+        sim, bus, a, b = self._cluster()
+        b.send_dynamic(20, b"\x02")
+        a.send_dynamic(10, b"\x01")
+        bus.start()
+        sim.run_until(bus.config.cycle_duration)
+        dyn = bus.trace.records("flexray.dynamic")
+        assert [r.data["frame_id"] for r in dyn] == [10, 20]
+
+    def test_minislot_exhaustion_defers(self):
+        sim = Simulator()
+        bus = FlexRayBus(sim, FlexRayConfig(static_slots=2, dynamic_minislots=5))
+        a = bus.attach("a")
+        # Each 32-byte frame needs 5 minislots; only one fits per cycle.
+        a.send_dynamic(1, bytes(32))
+        a.send_dynamic(2, bytes(32))
+        bus.start()
+        sim.run_until(bus.config.cycle_duration * 0.99)
+        assert bus.trace.count("flexray.dynamic") == 1
+        sim.run_until(bus.config.cycle_duration * 1.99)
+        assert bus.trace.count("flexray.dynamic") == 2
+
+    def test_payload_size_enforced(self):
+        _, bus, a, _ = self._cluster()
+        with pytest.raises(ValueError):
+            a.send_dynamic(1, bytes(33))
+
+    def test_cycles_advance(self):
+        sim, bus, _, _ = self._cluster()
+        bus.start()
+        sim.run_until(bus.config.cycle_duration * 3.5)
+        assert bus.cycle_count == 4  # cycles at t=0, T, 2T, 3T
+
+
+class TestEthernet:
+    def _network(self):
+        sim = Simulator()
+        sw = EthernetSwitch(sim)
+        h1 = sw.attach("aa:00:00:00:00:01", 1, vlans={1, 10})
+        h2 = sw.attach("aa:00:00:00:00:02", 2, vlans={1})
+        h3 = sw.attach("aa:00:00:00:00:03", 3, vlans={10})
+        return sim, sw, h1, h2, h3
+
+    def test_unknown_dst_floods_vlan(self):
+        sim, sw, h1, h2, h3 = self._network()
+        got2, got3 = [], []
+        h2.on_receive(got2.append)
+        h3.on_receive(got3.append)
+        h1.send(EthernetFrame(h1.mac, h2.mac, 100, vlan=1))
+        sim.run()
+        assert len(got2) == 1
+        assert len(got3) == 0  # not in vlan 1
+
+    def test_learning_unicast(self):
+        sim, sw, h1, h2, _ = self._network()
+        # h2 sends first so the switch learns its port.
+        h2.send(EthernetFrame(h2.mac, h1.mac, 100, vlan=1))
+        sim.run()
+        got2 = []
+        h2.on_receive(got2.append)
+        h1.send(EthernetFrame(h1.mac, h2.mac, 100, vlan=1))
+        sim.run()
+        assert len(got2) == 1
+        assert sw.mac_table[h1.mac] == 1
+
+    def test_vlan_isolation_on_ingress(self):
+        sim, sw, h1, h2, h3 = self._network()
+        got3 = []
+        h3.on_receive(got3.append)
+        # h2 is not a member of vlan 10: ingress drop.
+        h2.send(EthernetFrame(h2.mac, h3.mac, 100, vlan=10))
+        sim.run()
+        assert got3 == [] and sw.dropped == 1
+
+    def test_filter_hook_drops(self):
+        sim, sw, h1, h2, _ = self._network()
+        sw.filter_hook = lambda frame, port: frame.payload_len < 500
+        got2 = []
+        h2.on_receive(got2.append)
+        h1.send(EthernetFrame(h1.mac, h2.mac, 1000, vlan=1))
+        h1.send(EthernetFrame(h1.mac, h2.mac, 100, vlan=1))
+        sim.run()
+        assert len(got2) == 1 and sw.dropped == 1
+
+    def test_broadcast(self):
+        sim, sw, h1, h2, h3 = self._network()
+        got2, got3 = [], []
+        h2.on_receive(got2.append)
+        h3.on_receive(got3.append)
+        h1.send(EthernetFrame(h1.mac, "ff:ff:ff:ff:ff:ff", 100, vlan=10))
+        sim.run()
+        assert got3 and not got2  # vlan 10 only reaches h3
+
+    def test_src_spoofing_rejected_at_nic(self):
+        _, sw, h1, h2, _ = self._network()
+        with pytest.raises(ValueError):
+            h1.send(EthernetFrame(h2.mac, h1.mac, 100))
+
+    def test_frame_validation(self):
+        with pytest.raises(ValueError):
+            EthernetFrame("a", "b", 10)  # too small
+        with pytest.raises(ValueError):
+            EthernetFrame("a", "b", 100, vlan=0)
+
+    def test_port_conflict(self):
+        _, sw, _, _, _ = self._network()
+        with pytest.raises(ValueError):
+            sw.attach("aa:00:00:00:00:09", 1)
+
+
+class TestScheduling:
+    def test_periodic_sender_rate(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        node = bus.attach("ecu")
+        PeriodicSender(sim, node, 0x100, period=0.010, start_offset=0.0)
+        sim.run_until(0.095)
+        assert node.frames_sent == 10  # t = 0, 10ms, ..., 90ms
+
+    def test_periodic_sender_stop(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        node = bus.attach("ecu")
+        sender = PeriodicSender(sim, node, 0x100, period=0.010, start_offset=0.0)
+        sim.run_until(0.055)  # off a tick boundary so nothing is in flight
+        sent = node.frames_sent
+        sender.stop()
+        sim.run_until(0.2)
+        assert node.frames_sent == sent
+
+    def test_invalid_period(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        with pytest.raises(ValueError):
+            PeriodicSender(sim, bus.attach("e"), 0x1, period=0)
+
+    def test_matrix_install_creates_nodes(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        matrix = typical_powertrain_matrix()
+        nodes = matrix.install(sim, bus)
+        assert set(nodes) == set(matrix.sources)
+        sim.run_until(0.1)
+        assert bus.frames_on_wire > 0
+
+    def test_matrix_nominal_busload_sane(self):
+        load = typical_powertrain_matrix().nominal_busload(500_000)
+        assert 0.05 < load < 0.5
+
+    def test_body_matrix_lighter_than_powertrain(self):
+        pt = typical_powertrain_matrix().nominal_busload(500_000)
+        body = typical_body_matrix().nominal_busload(500_000)
+        assert body < pt
+
+    def test_deadline_monitor_counts_misses(self):
+        sim = Simulator()
+        trace = TraceRecorder()
+        bus = CanBus(sim, trace=trace)
+        victim = bus.attach("victim")
+        attacker = bus.attach("attacker")
+        monitor = DeadlineMonitor(trace, {0x300: 0.001})
+        for _ in range(50):
+            attacker.send(CanFrame(0x000, bytes(8)))
+        victim.send(CanFrame(0x300))
+        sim.run()
+        assert monitor.miss_rate(0x300) == 1.0
+        assert monitor.worst_latency(0x300) > 0.001
+
+    def test_deadline_monitor_no_misses_idle_bus(self):
+        sim = Simulator()
+        trace = TraceRecorder()
+        bus = CanBus(sim, trace=trace)
+        node = bus.attach("ecu")
+        monitor = DeadlineMonitor(trace, {0x100: 0.010})
+        node.send(CanFrame(0x100))
+        sim.run()
+        assert monitor.miss_rate() == 0.0
+        assert monitor.mean_latency(0x100) > 0

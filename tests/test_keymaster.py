@@ -1,0 +1,124 @@
+"""Tests for in-vehicle key distribution (diversified SHE provisioning)."""
+
+import pytest
+
+from repro.ecu import She, SheError, SheFlags, SLOT_KEY_1, SLOT_MASTER_ECU_KEY
+from repro.ecu.keymaster import (
+    DistributionReport,
+    KeyBackend,
+    KeyDistributionService,
+    derive_master_key,
+)
+
+FLEET_SECRET = b"fleet-secret-material-0001"
+
+
+def uid(n: int) -> bytes:
+    return bytes([n]) * 15
+
+
+class TestKeyDerivation:
+    def test_deterministic(self):
+        assert derive_master_key(FLEET_SECRET, uid(1)) == \
+            derive_master_key(FLEET_SECRET, uid(1))
+
+    def test_diversified_per_device(self):
+        assert derive_master_key(FLEET_SECRET, uid(1)) != \
+            derive_master_key(FLEET_SECRET, uid(2))
+
+    def test_secret_matters(self):
+        assert derive_master_key(FLEET_SECRET, uid(1)) != \
+            derive_master_key(b"other-secret-material-123", uid(1))
+
+    def test_uid_validation(self):
+        with pytest.raises(ValueError):
+            derive_master_key(FLEET_SECRET, b"short")
+
+
+class TestKeyBackend:
+    def test_factory_provisioning(self):
+        backend = KeyBackend(FLEET_SECRET)
+        she = She(uid=uid(3))
+        backend.provision_factory(she)
+        assert she.has_key(SLOT_MASTER_ECU_KEY)
+
+    def test_update_installs_on_target_device(self):
+        backend = KeyBackend(FLEET_SECRET)
+        she = She(uid=uid(3))
+        backend.provision_factory(she)
+        update = backend.build_update(she.uid, SLOT_KEY_1, b"N" * 16)
+        she.load_key(update)
+        assert she.has_key(SLOT_KEY_1)
+
+    def test_update_for_one_uid_useless_on_another(self):
+        """The class-break fix: bundles are device-bound."""
+        backend = KeyBackend(FLEET_SECRET)
+        victim, other = She(uid=uid(1)), She(uid=uid(2))
+        backend.provision_factory(victim)
+        backend.provision_factory(other)
+        update = backend.build_update(victim.uid, SLOT_KEY_1, b"N" * 16)
+        with pytest.raises(SheError, match="UID"):
+            other.load_key(update)
+
+    def test_counters_monotonic_per_device_and_slot(self):
+        backend = KeyBackend(FLEET_SECRET)
+        she = She(uid=uid(4))
+        backend.provision_factory(she)
+        she.load_key(backend.build_update(she.uid, SLOT_KEY_1, b"A" * 16))
+        she.load_key(backend.build_update(she.uid, SLOT_KEY_1, b"B" * 16))
+        assert she.slot_counter(SLOT_KEY_1) == 2
+
+    def test_replayed_bundle_rejected(self):
+        backend = KeyBackend(FLEET_SECRET)
+        she = She(uid=uid(5))
+        backend.provision_factory(she)
+        update = backend.build_update(she.uid, SLOT_KEY_1, b"A" * 16)
+        she.load_key(update)
+        with pytest.raises(SheError, match="rollback"):
+            she.load_key(update)
+
+    def test_secret_length_validated(self):
+        with pytest.raises(ValueError):
+            KeyBackend(b"short")
+
+
+class TestDistributionService:
+    def _vehicle(self, n_ecus=3):
+        backend = KeyBackend(FLEET_SECRET)
+        shes = {}
+        for i in range(n_ecus):
+            she = She(uid=uid(10 + i))
+            backend.provision_factory(she)
+            shes[f"ecu-{i}"] = she
+        return backend, shes, KeyDistributionService(shes)
+
+    def test_full_rollout(self):
+        backend, shes, service = self._vehicle()
+        keys = {name: bytes([i]) * 16 for i, name in enumerate(shes)}
+        report = service.distribute(backend, SLOT_KEY_1, keys,
+                                    flags=SheFlags.KEY_USAGE_MAC)
+        assert report.complete
+        assert sorted(report.installed) == sorted(shes)
+        for she in shes.values():
+            she.generate_mac(SLOT_KEY_1, b"works")
+
+    def test_unknown_ecu_reported(self):
+        backend, _, service = self._vehicle()
+        report = service.distribute(backend, SLOT_KEY_1, {"ghost": b"K" * 16})
+        assert not report.complete
+        assert report.failed == [("ghost", "unknown ECU")]
+
+    def test_locked_she_failure_surfaces(self):
+        backend, shes, service = self._vehicle(n_ecus=1)
+        next(iter(shes.values())).lock()
+        report = service.distribute(backend, SLOT_KEY_1, {"ecu-0": b"K" * 16})
+        assert not report.complete
+        assert "locked" in report.failed[0][1]
+
+    def test_per_ecu_keys_are_distinct_capability(self):
+        """After diversified rollout, one ECU's key cannot MAC for another."""
+        backend, shes, service = self._vehicle(n_ecus=2)
+        keys = {"ecu-0": b"\x01" * 16, "ecu-1": b"\x02" * 16}
+        service.distribute(backend, SLOT_KEY_1, keys, flags=SheFlags.KEY_USAGE_MAC)
+        tag0 = shes["ecu-0"].generate_mac(SLOT_KEY_1, b"m")
+        assert not shes["ecu-1"].verify_mac(SLOT_KEY_1, b"m", tag0)

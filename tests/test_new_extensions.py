@@ -1,0 +1,237 @@
+"""Tests for CAN FD, the payload-range IDS, and V2X misbehavior detection."""
+
+import pytest
+
+from repro.ids import PayloadRangeIds
+from repro.ivn import CanFdBus, CanFdFrame, CanFrame, fd_dlc_for
+from repro.sim import Simulator
+from repro.v2x import BasicSafetyMessage
+from repro.v2x.misbehavior import (
+    BsmPlausibilityChecker,
+    MisbehaviorAuthority,
+    MisbehaviorReport,
+)
+from repro.v2x.pki import PkiHierarchy
+
+
+class TestCanFdFrame:
+    def test_dlc_padding_table(self):
+        assert fd_dlc_for(0) == 0
+        assert fd_dlc_for(8) == 8
+        assert fd_dlc_for(9) == 12
+        assert fd_dlc_for(13) == 16
+        assert fd_dlc_for(33) == 48
+        assert fd_dlc_for(64) == 64
+
+    def test_dlc_overflow(self):
+        with pytest.raises(ValueError):
+            fd_dlc_for(65)
+
+    def test_frame_validation(self):
+        with pytest.raises(ValueError):
+            CanFdFrame(0x800)
+        with pytest.raises(ValueError):
+            CanFdFrame(0x100, bytes(65))
+
+    def test_wire_time_dual_rate(self):
+        frame = CanFdFrame(0x100, bytes(64))
+        slow = frame.wire_time(500_000, 500_000)
+        fast = frame.wire_time(500_000, 4_000_000)
+        assert fast < slow
+        # The arbitration portion is rate-invariant, so speedup < 8x.
+        assert slow / fast < 8.0
+
+    def test_wire_time_validation(self):
+        with pytest.raises(ValueError):
+            CanFdFrame(0x1).wire_time(0, 1)
+
+    def test_stamped_preserves_type(self):
+        stamped = CanFdFrame(0x100, bytes(16)).stamped("ecu", 1.5)
+        assert isinstance(stamped, CanFdFrame)
+        assert stamped.sender == "ecu" and stamped.timestamp == 1.5
+
+
+class TestCanFdBus:
+    def test_large_payload_single_frame(self):
+        sim = Simulator()
+        bus = CanFdBus(sim)
+        tx, rx = bus.attach("tx"), bus.attach("rx")
+        got = []
+        rx.on_receive(got.append)
+        tx.send(CanFdFrame(0x100, bytes(48)))
+        sim.run()
+        assert len(got) == 1 and len(got[0].data) == 48
+
+    def test_mixed_classic_and_fd_traffic(self):
+        sim = Simulator()
+        bus = CanFdBus(sim)
+        a, b = bus.attach("a"), bus.attach("b")
+        got = []
+        b.on_receive(got.append)
+        a.send(CanFrame(0x200, bytes(8)))
+        a.send(CanFdFrame(0x100, bytes(32)))
+        sim.run()
+        # Arbitration still by id: the FD frame (0x100) wins.
+        assert [f.can_id for f in got] == [0x100, 0x200]
+
+    def test_fd_moves_data_faster_than_classic(self):
+        """64 authenticated bytes: one FD frame beats 9 classic frames."""
+        fd_time = CanFdFrame(0x100, bytes(64)).wire_time(500_000, 2_000_000)
+        classic_time = 9 * CanFrame(0x100, bytes(8)).wire_time(500_000)
+        assert fd_time < classic_time / 2
+
+    def test_full_mac_fits_one_fd_frame(self):
+        """E3's dilemma dissolves: payload + 16B CMAC + counter in one frame."""
+        payload = bytes(8) + bytes(16) + bytes([1])  # data + tag + counter
+        frame = CanFdFrame(0x100, payload)
+        assert frame.dlc == 32  # padded, still one frame
+
+
+class TestPayloadRangeIds:
+    def _trained(self):
+        ids = PayloadRangeIds(margin=4, min_training_frames=5)
+        frames = [
+            (t * 0.01, CanFrame(0x100, bytes([100 + (t % 10), 50])))
+            for t in range(50)
+        ]
+        ids.train(frames)
+        return ids
+
+    def test_learns_envelope(self):
+        ids = self._trained()
+        envelope = ids.learned_envelope(0x100)
+        assert envelope[0] == (100, 109)
+        assert envelope[1] == (50, 50)
+
+    def test_in_range_quiet(self):
+        ids = self._trained()
+        assert ids.observe(1.0, CanFrame(0x100, bytes([105, 50]))) is None
+
+    def test_margin_absorbs_drift(self):
+        ids = self._trained()
+        assert ids.observe(1.0, CanFrame(0x100, bytes([113, 50]))) is None  # 109+4
+
+    def test_out_of_range_alerts(self):
+        ids = self._trained()
+        alert = ids.observe(1.0, CanFrame(0x100, bytes([200, 50])))
+        assert alert is not None and "byte 0" in alert.reason
+
+    def test_second_byte_checked(self):
+        ids = self._trained()
+        alert = ids.observe(1.0, CanFrame(0x100, bytes([105, 99])))
+        assert alert is not None and "byte 1" in alert.reason
+
+    def test_dlc_change_alerts(self):
+        ids = self._trained()
+        alert = ids.observe(1.0, CanFrame(0x100, bytes(5)))
+        assert alert is not None and "dlc" in alert.reason
+
+    def test_unknown_id_ignored(self):
+        ids = self._trained()
+        assert ids.observe(1.0, CanFrame(0x7FF, bytes([255] * 8))) is None
+
+    def test_undertrained_id_dropped(self):
+        ids = PayloadRangeIds(min_training_frames=10)
+        ids.train([(0.0, CanFrame(0x200, b"\x01"))] * 3)
+        assert ids.learned_envelope(0x200) is None
+
+    def test_plausible_forgery_passes(self):
+        """Documented blind spot: in-envelope forgeries are invisible."""
+        ids = self._trained()
+        assert ids.observe(1.0, CanFrame(0x100, bytes([104, 50]))) is None
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            PayloadRangeIds(margin=-1)
+
+
+def bsm(x, y, speed=20.0, count=0):
+    return BasicSafetyMessage(count, x, y, speed, 0.0)
+
+
+class TestBsmPlausibility:
+    def test_plausible_track_quiet(self):
+        checker = BsmPlausibilityChecker()
+        assert checker.check(0.0, "p1", bsm(100, 0), (0, 0)) is None
+        assert checker.check(1.0, "p1", bsm(120, 0), (0, 0)) is None
+        assert checker.flagged == 0
+
+    def test_beyond_radio_range_flagged(self):
+        checker = BsmPlausibilityChecker(max_range=300)
+        reason = checker.check(0.0, "p1", bsm(5000, 0), (0, 0))
+        assert reason and "radio range" in reason
+
+    def test_impossible_speed_flagged(self):
+        checker = BsmPlausibilityChecker(max_speed=70)
+        reason = checker.check(0.0, "p1", bsm(0, 0, speed=150), (0, 0))
+        assert reason and "ceiling" in reason
+
+    def test_teleport_flagged(self):
+        checker = BsmPlausibilityChecker(max_speed=70)
+        checker.check(0.0, "p1", bsm(0, 0), (0, 0))
+        reason = checker.check(1.0, "p1", bsm(500, 0), (0, 0))
+        assert reason and "teleport" in reason
+
+    def test_speed_inconsistency_flagged(self):
+        checker = BsmPlausibilityChecker(speed_tolerance=10)
+        checker.check(0.0, "p1", bsm(0, 0, speed=0.0), (0, 0))
+        # Claims stationary but moved 40 m in 1 s.
+        reason = checker.check(1.0, "p1", bsm(40, 0, speed=0.0), (0, 0))
+        assert reason and "inconsistent" in reason
+
+    def test_independent_tracks_per_subject(self):
+        checker = BsmPlausibilityChecker()
+        checker.check(0.0, "p1", bsm(0, 0), (0, 0))
+        # A different pseudonym far away is a new track, not a teleport.
+        assert checker.check(0.1, "p2", bsm(400, 0), (0, 0)) is None
+
+
+class TestMisbehaviorAuthority:
+    def _setup(self, threshold=3):
+        pki = PkiHierarchy(seed=b"mba")
+        cert, _ = pki.enroll_vehicle("liar")
+        batch = pki.issue_pseudonyms("liar", cert, count=2, validity_start=0.0)
+        accused_cert = batch.entries[0][0]
+        authority = MisbehaviorAuthority(pki, report_threshold=threshold)
+        return pki, authority, accused_cert
+
+    def _report(self, reporter, cert, t=0.0):
+        return MisbehaviorReport(t, reporter, cert.subject, cert.digest,
+                                 "teleport")
+
+    def test_single_report_insufficient(self):
+        _, authority, cert = self._setup(threshold=3)
+        assert authority.submit(self._report("honest-1", cert)) is None
+        assert authority.accusation_count(cert.subject) == 1
+
+    def test_duplicate_reporter_not_counted_twice(self):
+        _, authority, cert = self._setup(threshold=2)
+        authority.submit(self._report("honest-1", cert))
+        assert authority.submit(self._report("honest-1", cert)) is None
+
+    def test_threshold_triggers_revocation(self):
+        pki, authority, cert = self._setup(threshold=3)
+        authority.submit(self._report("honest-1", cert))
+        authority.submit(self._report("honest-2", cert))
+        revoked = authority.submit(self._report("honest-3", cert))
+        assert revoked == "liar"
+        assert "liar" in authority.revoked_vehicles
+
+    def test_revocation_covers_all_pseudonyms(self):
+        pki, authority, cert = self._setup(threshold=1)
+        authority.submit(self._report("honest-1", cert))
+        from repro.v2x.certificates import CertificateError, verify_chain
+        # Both of the liar's pseudonyms are now on the CRL.
+        for digest, vid in pki.linkage_map.items():
+            if vid == "liar":
+                assert digest in pki.pseudonym_ca.crl._revoked
+
+    def test_no_double_revocation(self):
+        pki, authority, cert = self._setup(threshold=1)
+        assert authority.submit(self._report("honest-1", cert)) == "liar"
+        assert authority.submit(self._report("honest-2", cert)) is None
+
+    def test_threshold_validation(self):
+        pki = PkiHierarchy(seed=b"x")
+        with pytest.raises(ValueError):
+            MisbehaviorAuthority(pki, report_threshold=0)

@@ -1,0 +1,262 @@
+"""Tests for the OTA framework: metadata, repositories, clients, attacks."""
+
+import pytest
+
+from repro.crypto import EcdsaKeyPair, HmacDrbg
+from repro.ecu.firmware import FirmwareImage, FirmwareStore
+from repro.ota import (
+    CompromiseScenario,
+    DirectorRepository,
+    FleetCampaign,
+    ImageRepository,
+    Metadata,
+    MetadataError,
+    NaiveClient,
+    RoleKeySet,
+    UptaneClient,
+    key_id_of,
+    sign_metadata,
+    verify_metadata,
+)
+from repro.ota.metadata import role_keys_from_root
+
+
+def make_image(version=2, payload=b"new firmware payload" * 8):
+    return FirmwareImage("engine-fw", version, payload, hardware_id="mcu-a")
+
+
+def make_fleet(n=3, seed=b"fleet"):
+    image_repo = ImageRepository(seed=seed + b"/img")
+    director = DirectorRepository(seed=seed + b"/dir")
+    clients = []
+    for i in range(n):
+        store = FirmwareStore(FirmwareImage("engine-fw", 1, b"base" * 10,
+                                            hardware_id="mcu-a"))
+        clients.append(UptaneClient(
+            f"veh-{i}", store,
+            image_root=image_repo.metadata["root"],
+            director_root=director.metadata["root"],
+        ))
+    return image_repo, director, clients
+
+
+class TestMetadata:
+    def _keyset(self, n=2, threshold=1, role="targets"):
+        pairs = [EcdsaKeyPair.generate(HmacDrbg(f"k{i}".encode())) for i in range(n)]
+        return RoleKeySet(role, pairs, threshold)
+
+    def test_sign_and_verify(self):
+        ks = self._keyset()
+        meta = sign_metadata(
+            Metadata("targets", 1, 100.0, {"targets": {}}), ks.keypairs,
+        )
+        verify_metadata(meta, ks.public_keys, ks.threshold, now=1.0,
+                        expected_role="targets")
+
+    def test_expired_rejected(self):
+        ks = self._keyset()
+        meta = sign_metadata(Metadata("targets", 1, 10.0, {}), ks.keypairs)
+        with pytest.raises(MetadataError, match="expired"):
+            verify_metadata(meta, ks.public_keys, 1, now=20.0,
+                            expected_role="targets")
+
+    def test_threshold_enforced(self):
+        ks = self._keyset(n=3, threshold=2)
+        meta = sign_metadata(Metadata("targets", 1, 100.0, {}), ks.keypairs[:1])
+        with pytest.raises(MetadataError, match="threshold"):
+            verify_metadata(meta, ks.public_keys, 2, now=1.0,
+                            expected_role="targets")
+
+    def test_unauthorized_signatures_ignored(self):
+        ks = self._keyset(n=1)
+        rogue = EcdsaKeyPair.generate(HmacDrbg(b"rogue"))
+        meta = sign_metadata(Metadata("targets", 1, 100.0, {}), [rogue])
+        with pytest.raises(MetadataError, match="threshold"):
+            verify_metadata(meta, ks.public_keys, 1, now=1.0,
+                            expected_role="targets")
+
+    def test_role_mismatch(self):
+        ks = self._keyset()
+        meta = sign_metadata(Metadata("targets", 1, 100.0, {}), ks.keypairs)
+        with pytest.raises(MetadataError, match="role"):
+            verify_metadata(meta, ks.public_keys, 1, now=1.0,
+                            expected_role="snapshot")
+
+    def test_tampered_payload_rejected(self):
+        ks = self._keyset()
+        meta = sign_metadata(Metadata("targets", 1, 100.0, {"a": 1}), ks.keypairs)
+        tampered = Metadata("targets", 1, 100.0, {"a": 2}, meta.signatures)
+        with pytest.raises(MetadataError):
+            verify_metadata(tampered, ks.public_keys, 1, now=1.0,
+                            expected_role="targets")
+
+    def test_keyset_validation(self):
+        with pytest.raises(ValueError):
+            RoleKeySet("nonsense", [], 1)
+        pairs = [EcdsaKeyPair.generate(HmacDrbg(b"k"))]
+        with pytest.raises(ValueError):
+            RoleKeySet("root", pairs, 2)
+
+    def test_root_payload_roundtrip(self):
+        repo = ImageRepository(seed=b"rt")
+        keys, threshold = role_keys_from_root(
+            repo.metadata["root"].payload, "targets",
+        )
+        assert threshold == repo.keysets["targets"].threshold
+        assert set(keys) == set(repo.keysets["targets"].public_keys)
+
+    def test_key_id_stable(self):
+        kp = EcdsaKeyPair.generate(HmacDrbg(b"kid"))
+        assert key_id_of(kp.public) == key_id_of(kp.public)
+        assert len(key_id_of(kp.public)) == 16
+
+
+class TestHonestUpdate:
+    def test_fleet_rollout_succeeds(self):
+        image_repo, director, clients = make_fleet()
+        campaign = FleetCampaign(director, image_repo, clients)
+        results = campaign.rollout(make_image(version=2), now=100.0)
+        assert campaign.success_rate(results) == 1.0
+        for client in clients:
+            assert client.store.active.version == 2
+
+    def test_same_version_not_reinstalled(self):
+        image_repo, director, clients = make_fleet(n=1)
+        campaign = FleetCampaign(director, image_repo, clients)
+        campaign.rollout(make_image(version=2), now=100.0)
+        results = campaign.rollout(make_image(version=2), now=200.0)
+        assert not results["veh-0"].installed
+        assert "not newer" in results["veh-0"].reason
+
+    def test_downgrade_rejected(self):
+        image_repo, director, clients = make_fleet(n=1)
+        campaign = FleetCampaign(director, image_repo, clients)
+        campaign.rollout(make_image(version=3), now=100.0)
+        results = campaign.rollout(make_image(version=2, payload=b"old" * 20),
+                                   now=200.0)
+        assert not results["veh-0"].installed
+
+    def test_expired_timestamp_rejected(self):
+        image_repo, director, clients = make_fleet(n=1)
+        campaign = FleetCampaign(director, image_repo, clients)
+        # Timestamp expiry is 1 day; run the update far in the future.
+        results = campaign.rollout(make_image(version=2), now=0.0)
+        assert results["veh-0"].installed
+        image_repo.add_image(make_image(version=3, payload=b"v3" * 30), now=0.0)
+        director.assign("veh-0", make_image(version=3, payload=b"v3" * 30), now=0.0)
+        # Client checks at now >> expiry: the director refresh re-signs, so
+        # force staleness by not refreshing image repo (its timestamp ages).
+        result = clients[0].update(director, image_repo, now=10 * 86400.0)
+        assert not result.installed
+
+    def test_no_assignment(self):
+        image_repo, director, clients = make_fleet(n=1)
+        result = clients[0].update(director, image_repo, now=1.0)
+        assert not result.installed and result.reason == "no assignment"
+
+
+class TestCompromiseScenarios:
+    MALICIOUS = FirmwareImage("engine-fw", 99, b"evil payload" * 8,
+                              hardware_id="mcu-a")
+
+    def _scenario(self, compromised):
+        image_repo, director, clients = make_fleet(n=1, seed=b"attack")
+        # Prime an honest update so chains exist.
+        FleetCampaign(director, image_repo, clients).rollout(
+            make_image(version=2), now=10.0,
+        )
+        return CompromiseScenario(director, image_repo, compromised), clients[0]
+
+    def test_no_keys_fails(self):
+        scenario, client = self._scenario({})
+        result = scenario.attack_uptane(client, self.MALICIOUS, now=20.0)
+        assert not result.installed
+
+    def test_director_targets_only_fails(self):
+        """Director-only compromise cannot forge the image repo side."""
+        scenario, client = self._scenario(
+            {"director": ["targets", "snapshot", "timestamp"]},
+        )
+        result = scenario.attack_uptane(client, self.MALICIOUS, now=20.0)
+        assert not result.installed
+        assert "not in image repo" in result.reason or "metadata" in result.reason
+
+    def test_image_targets_only_fails(self):
+        """Image-repo-only compromise cannot forge the director assignment."""
+        scenario, client = self._scenario(
+            {"image": ["targets", "snapshot", "timestamp"]},
+        )
+        result = scenario.attack_uptane(client, self.MALICIOUS, now=20.0)
+        assert not result.installed
+
+    def test_timestamp_only_fails(self):
+        scenario, client = self._scenario(
+            {"image": ["timestamp"], "director": ["timestamp"]},
+        )
+        result = scenario.attack_uptane(client, self.MALICIOUS, now=20.0)
+        assert not result.installed
+
+    def test_full_both_repo_compromise_succeeds(self):
+        """The attack floor: all online roles in both repos."""
+        scenario, client = self._scenario({
+            "director": ["targets", "snapshot", "timestamp"],
+            "image": ["targets", "snapshot", "timestamp"],
+        })
+        result = scenario.attack_uptane(client, self.MALICIOUS, now=20.0)
+        assert result.installed
+        assert client.store.active.version == 99
+
+    def test_targets_without_chain_fails(self):
+        """Targets keys alone can't re-sign snapshot/timestamp."""
+        scenario, client = self._scenario({
+            "director": ["targets"], "image": ["targets"],
+        })
+        result = scenario.attack_uptane(client, self.MALICIOUS, now=20.0)
+        assert not result.installed
+
+
+class TestNaiveClient:
+    def _naive(self):
+        oem = EcdsaKeyPair.generate(HmacDrbg(b"shared-oem-key"))
+        store = FirmwareStore(FirmwareImage("engine-fw", 1, b"base" * 10,
+                                            hardware_id="mcu-a"))
+        return NaiveClient("veh-0", store, oem.public), oem
+
+    def test_honest_update(self):
+        client, oem = self._naive()
+        from repro.crypto import ecdsa_sign
+        image = make_image(version=2)
+        result = client.update(image, ecdsa_sign(oem.private, image.digest))
+        assert result.installed
+
+    def test_rogue_signature_rejected(self):
+        client, _ = self._naive()
+        result = CompromiseScenario.attack_naive(
+            client, make_image(version=99), oem_keypair=None,
+        )
+        assert not result.installed
+
+    def test_shared_key_compromise_breaks_class(self):
+        """One extracted key signs malicious firmware for every vehicle."""
+        oem = EcdsaKeyPair.generate(HmacDrbg(b"class-key"))
+        fleet = []
+        for i in range(5):
+            store = FirmwareStore(FirmwareImage("engine-fw", 1, b"base" * 10,
+                                                hardware_id="mcu-a"))
+            fleet.append(NaiveClient(f"veh-{i}", store, oem.public))
+        malicious = make_image(version=99, payload=b"pwned" * 10)
+        outcomes = [
+            CompromiseScenario.attack_naive(c, malicious, oem_keypair=oem).installed
+            for c in fleet
+        ]
+        assert all(outcomes)  # 100% blast radius
+
+    def test_naive_accepts_downgrade(self):
+        """Documented weakness: no rollback protection."""
+        client, oem = self._naive()
+        from repro.crypto import ecdsa_sign
+        up = make_image(version=5)
+        client.update(up, ecdsa_sign(oem.private, up.digest))
+        down = make_image(version=2, payload=b"older" * 10)
+        result = client.update(down, ecdsa_sign(oem.private, down.digest))
+        assert result.installed  # downgrade accepted

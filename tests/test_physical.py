@@ -1,0 +1,262 @@
+"""Tests for the cyber-physical substrate."""
+
+import math
+import random
+
+import pytest
+
+from repro.physical import (
+    Accelerometer,
+    BatterySensor,
+    GpsSensor,
+    LidarSensor,
+    PowerTraceModel,
+    SensorFusion,
+    TpmsSensor,
+    Vehicle,
+    VehicleState,
+    hamming_weight,
+)
+from repro.crypto.aes import AES, MaskedAES
+
+
+class TestVehicle:
+    def test_straight_line(self):
+        v = Vehicle(VehicleState(speed=20.0))
+        v.step(2.0)
+        assert v.state.x == pytest.approx(40.0)
+        assert v.state.y == pytest.approx(0.0)
+
+    def test_acceleration(self):
+        v = Vehicle(VehicleState(speed=0.0))
+        v.set_controls(accel=2.0, yaw_rate=0.0)
+        v.step(5.0)
+        assert v.state.speed == pytest.approx(10.0)
+        assert v.state.x == pytest.approx(25.0)  # average speed 5 m/s * 5 s
+
+    def test_speed_never_negative(self):
+        v = Vehicle(VehicleState(speed=1.0))
+        v.set_controls(accel=-10.0, yaw_rate=0.0)
+        v.step(1.0)
+        assert v.state.speed == 0.0
+
+    def test_turning(self):
+        v = Vehicle(VehicleState(speed=10.0))
+        v.set_controls(accel=0.0, yaw_rate=math.pi / 2)
+        v.step(1.0)
+        assert v.state.heading == pytest.approx(math.pi / 2)
+
+    def test_odometer_accumulates(self):
+        v = Vehicle(VehicleState(speed=10.0))
+        v.step(1.0)
+        v.step(1.0)
+        assert v.odometer == pytest.approx(20.0)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            Vehicle().step(-1.0)
+
+    def test_distance_to(self):
+        a = VehicleState(x=0, y=0)
+        b = VehicleState(x=3, y=4)
+        assert a.distance_to(b) == 5.0
+
+
+class TestSensors:
+    def test_gps_tracks_vehicle(self):
+        v = Vehicle(VehicleState(x=100, y=50))
+        gps = GpsSensor(v, noise_std=0.0, rng=random.Random(0))
+        assert gps.read() == (100, 50)
+
+    def test_gps_spoof_overrides(self):
+        v = Vehicle()
+        gps = GpsSensor(v, noise_std=0.0, rng=random.Random(0))
+        gps.spoof((999.0, 999.0))
+        assert gps.read() == (999.0, 999.0)
+        assert gps.spoofed
+        gps.spoof(None)
+        assert not gps.spoofed
+
+    def test_gps_noise(self):
+        v = Vehicle()
+        gps = GpsSensor(v, noise_std=2.0, rng=random.Random(1))
+        fixes = [gps.read() for _ in range(100)]
+        xs = [f[0] for f in fixes]
+        assert max(xs) != min(xs)
+        assert abs(sum(xs) / len(xs)) < 1.0  # centred on truth
+
+    def test_tpms_nominal(self):
+        tpms = TpmsSensor(rng=random.Random(0))
+        for sid, p in tpms.read_all().items():
+            assert 210 < p < 230
+
+    def test_tpms_spoof_and_clear(self):
+        tpms = TpmsSensor(rng=random.Random(0))
+        sid = tpms.sensor_ids[0]
+        tpms.spoof(sid, 0.0)
+        assert tpms.read(sid) == 0.0
+        tpms.spoof(sid, None)
+        assert tpms.read(sid) > 100
+
+    def test_tpms_unknown_sensor(self):
+        tpms = TpmsSensor()
+        with pytest.raises(ValueError):
+            tpms.spoof(0xDEAD, 0.0)
+
+    def test_tpms_needs_four_sensors(self):
+        with pytest.raises(ValueError):
+            TpmsSensor(sensor_ids=[1, 2])
+
+    def test_lidar_sees_objects_in_range(self):
+        v = Vehicle()
+        lidar = LidarSensor(v, max_range=100, rng=random.Random(0))
+        lidar.add_object(50, 0)
+        lidar.add_object(500, 0)  # out of range
+        targets = lidar.scan()
+        assert len(targets) == 1
+        assert targets[0].range_m == pytest.approx(50, abs=1)
+
+    def test_lidar_phantoms_appear_in_scan(self):
+        v = Vehicle()
+        lidar = LidarSensor(v, rng=random.Random(0))
+        lidar.spoof_phantom(30.0, 0.0)
+        targets = lidar.scan()
+        assert len(targets) == 1 and targets[0].phantom
+
+    def test_lidar_phantom_range_validated(self):
+        lidar = LidarSensor(Vehicle(), max_range=100)
+        with pytest.raises(ValueError):
+            lidar.spoof_phantom(200.0, 0.0)
+
+    def test_accelerometer_resonance_gain(self):
+        acc = Accelerometer(Vehicle(), rng=random.Random(0))
+        acc.acoustic_inject(1.0, acc.resonant_hz)
+        assert acc.injection_gain() == pytest.approx(1.0)
+        acc.acoustic_inject(1.0, acc.resonant_hz * 2)
+        assert acc.injection_gain() < 0.01
+
+    def test_accelerometer_injection_biases_reading(self):
+        v = Vehicle()
+        acc = Accelerometer(v, noise_std=0.0, rng=random.Random(0))
+        acc.acoustic_inject(5.0, acc.resonant_hz)
+        # Peak of the sine: time where sin(2 pi f t) = 1.
+        t = 1.0 / (4 * acc.resonant_hz)
+        assert acc.read(t) == pytest.approx(5.0, rel=1e-6)
+
+    def test_battery_drain_and_spoof(self):
+        bat = BatterySensor(capacity_kwh=60, soc=0.5, rng=random.Random(0))
+        bat.drain(6.0)
+        assert bat.true_soc == pytest.approx(0.4)
+        bat.spoof_offset(0.3)
+        assert bat.read_soc() > 0.65
+
+    def test_battery_validation(self):
+        with pytest.raises(ValueError):
+            BatterySensor(soc=1.5)
+
+
+class TestSensorFusion:
+    def _setup(self, **kwargs):
+        v = Vehicle(VehicleState(speed=10.0))
+        gps = GpsSensor(v, noise_std=0.5, rng=random.Random(0))
+        tpms = TpmsSensor(rng=random.Random(1))
+        lidar = LidarSensor(v, rng=random.Random(2))
+        fusion = SensorFusion(v, gps, tpms=tpms, lidar=lidar, **kwargs)
+        return v, gps, tpms, lidar, fusion
+
+    def test_benign_cycle_no_anomalies(self):
+        v, _, _, _, fusion = self._setup()
+        for i in range(10):
+            v.step(0.1)
+            est = fusion.step(0.1, now=0.1 * (i + 1))
+        assert not est.attack_suspected
+        assert est.position[0] == pytest.approx(v.state.x, abs=3.0)
+
+    def test_gps_jump_rejected(self):
+        v, gps, _, _, fusion = self._setup()
+        v.step(0.1)
+        fusion.step(0.1, now=0.1)
+        gps.spoof((5000.0, 5000.0))
+        v.step(0.1)
+        est = fusion.step(0.1, now=0.2)
+        assert est.attack_suspected
+        assert fusion.rejected_gps == 1
+        assert est.position[0] < 100  # estimate stays near truth
+
+    def test_gps_slow_drift_evades_gate(self):
+        """The documented weakness: sub-gate drift is accepted."""
+        v, gps, _, _, fusion = self._setup()
+        offset = 0.0
+        for i in range(50):
+            v.step(0.1)
+            offset += 0.5  # 5 m/s drift, well under the 15 m gate
+            true = v.state.position
+            gps.spoof((true[0] + offset, true[1]))
+            fusion.step(0.1, now=0.1 * (i + 1))
+        assert fusion.rejected_gps == 0
+        est = fusion.step(0.1, now=5.1)
+        assert est.position[0] - v.state.x > 10  # estimate got dragged
+
+    def test_tpms_instant_blowout_rejected(self):
+        v, _, tpms, _, fusion = self._setup()
+        v.step(0.1)
+        fusion.step(0.1, now=0.1)
+        tpms.spoof(tpms.sensor_ids[0], 0.0)
+        v.step(0.1)
+        est = fusion.step(0.1, now=0.2)
+        assert fusion.rejected_tpms >= 1
+        assert any("tpms" in a for a in est.anomalies)
+
+    def test_lidar_persistent_real_object_confirmed(self):
+        v, _, _, lidar, fusion = self._setup(lidar_persistence=3)
+        lidar.add_object(80.0, 0.0)
+        confirmed = []
+        for i in range(5):
+            v.step(0.05)
+            est = fusion.step(0.05, now=0.05 * (i + 1))
+            confirmed.append(bool(est.confirmed_targets))
+        assert confirmed[-1]  # eventually confirmed
+
+    def test_lidar_fixed_relative_phantom_never_confirmed(self):
+        v, _, _, lidar, fusion = self._setup(lidar_persistence=3)
+        lidar.spoof_phantom(20.0, 0.0)  # always 20 m ahead of moving ego
+        for i in range(6):
+            v.step(0.5)  # 5 m per step: phantom jumps 5 m in world frame
+            est = fusion.step(0.5, now=0.5 * (i + 1))
+        assert not est.confirmed_targets
+        assert fusion.rejected_lidar > 0
+
+
+class TestPowerTraceModel:
+    def test_hamming_weight(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(0xFF) == 8
+        assert hamming_weight(0b1010) == 2
+
+    def test_trace_has_16_samples(self):
+        model = PowerTraceModel(AES(bytes(16)), noise_std=0.0, rng=random.Random(0))
+        assert len(model.trace(bytes(16))) == 16
+
+    def test_noiseless_trace_equals_hw_of_sbox(self):
+        from repro.crypto.aes import SBOX
+        key = bytes(range(16))
+        pt = bytes(range(16, 32))
+        model = PowerTraceModel(AES(key), noise_std=0.0, rng=random.Random(0))
+        trace = model.trace(pt)
+        for i in range(16):
+            assert trace[i] == hamming_weight(SBOX[pt[i] ^ key[i]])
+
+    def test_collect_shapes(self):
+        model = PowerTraceModel(AES(bytes(16)), rng=random.Random(0))
+        pts, traces = model.collect(10)
+        assert len(pts) == 10 and len(traces) == 10
+        assert all(len(p) == 16 for p in pts)
+
+    def test_masked_engine_traces_decorrelated(self):
+        """Same plaintext twice gives different traces under masking."""
+        key = bytes(16)
+        engine = MaskedAES(key, rng=random.Random(5))
+        model = PowerTraceModel(engine, noise_std=0.0, rng=random.Random(0))
+        t1 = model.trace(bytes(16))
+        t2 = model.trace(bytes(16))
+        assert t1 != t2

@@ -1,0 +1,200 @@
+"""Tests for policy static analysis, exporters, and calibration."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.calibration import calibration_report
+from repro.analysis.export import sweep_to_csv, trace_to_csv, trace_to_jsonl
+from repro.analysis.sweep import SweepResult
+from repro.core.policy import PolicyDecision, PolicyRule, SecurityPolicy
+from repro.core.policy_analysis import (
+    audit,
+    explicit_coverage,
+    find_conflicts,
+    find_shadowed_rules,
+    rule_covers,
+    rules_overlap,
+)
+from repro.sim import TraceRecorder
+
+
+def rule(subjects, objects, actions, decision, contexts=(), name=""):
+    return PolicyRule(frozenset(subjects), frozenset(objects),
+                      frozenset(actions), decision, frozenset(contexts), name)
+
+ALLOW, DENY = PolicyDecision.ALLOW, PolicyDecision.DENY
+
+
+class TestRuleRelations:
+    def test_overlap_on_shared_member(self):
+        a = rule({"x"}, {"o"}, {"r"}, ALLOW)
+        b = rule({"x", "y"}, {"o"}, {"r"}, DENY)
+        assert rules_overlap(a, b)
+
+    def test_no_overlap_disjoint_subjects(self):
+        a = rule({"x"}, {"o"}, {"r"}, ALLOW)
+        b = rule({"y"}, {"o"}, {"r"}, DENY)
+        assert not rules_overlap(a, b)
+
+    def test_wildcard_overlaps_everything(self):
+        a = rule({"*"}, {"o"}, {"r"}, ALLOW)
+        b = rule({"anything"}, {"o"}, {"r"}, DENY)
+        assert rules_overlap(a, b)
+
+    def test_context_disjoint_no_overlap(self):
+        a = rule({"x"}, {"o"}, {"r"}, ALLOW, contexts={"workshop"})
+        b = rule({"x"}, {"o"}, {"r"}, DENY, contexts={"normal"})
+        assert not rules_overlap(a, b)
+
+    def test_empty_contexts_overlap_any(self):
+        a = rule({"x"}, {"o"}, {"r"}, ALLOW)
+        b = rule({"x"}, {"o"}, {"r"}, DENY, contexts={"workshop"})
+        assert rules_overlap(a, b)
+
+    def test_covers_subset(self):
+        outer = rule({"x", "y"}, {"o"}, {"r", "w"}, ALLOW)
+        inner = rule({"x"}, {"o"}, {"r"}, DENY)
+        assert rule_covers(outer, inner)
+        assert not rule_covers(inner, outer)
+
+    def test_wildcard_covers_concrete_not_vice_versa(self):
+        outer = rule({"*"}, {"*"}, {"*"}, ALLOW)
+        inner = rule({"x"}, {"o"}, {"r"}, DENY)
+        assert rule_covers(outer, inner)
+        assert not rule_covers(inner, outer)
+
+    def test_any_context_covers_specific(self):
+        outer = rule({"x"}, {"o"}, {"r"}, ALLOW)  # any context
+        inner = rule({"x"}, {"o"}, {"r"}, DENY, contexts={"workshop"})
+        assert rule_covers(outer, inner)
+        assert not rule_covers(inner, outer)
+
+
+class TestShadowing:
+    def test_shadowed_deny_detected(self):
+        """The dangerous case: a DENY someone added is dead code."""
+        policy = SecurityPolicy(version=1, rules=[
+            rule({"*"}, {"fw"}, {"w"}, ALLOW, name="broad-allow"),
+            rule({"ota"}, {"fw"}, {"w"}, DENY, name="intended-block"),
+        ])
+        findings = find_shadowed_rules(policy)
+        assert len(findings) == 1
+        assert findings[0].rule_index == 1
+        assert "unreachable" in findings[0].detail
+
+    def test_no_false_positive_for_disjoint_rules(self):
+        policy = SecurityPolicy(version=1, rules=[
+            rule({"a"}, {"x"}, {"r"}, ALLOW),
+            rule({"b"}, {"y"}, {"w"}, DENY),
+        ])
+        assert find_shadowed_rules(policy) == []
+
+    def test_partial_overlap_is_not_shadowing(self):
+        policy = SecurityPolicy(version=1, rules=[
+            rule({"a"}, {"x"}, {"r"}, ALLOW),
+            rule({"a", "b"}, {"x"}, {"r"}, DENY),  # b-traffic still reachable
+        ])
+        assert find_shadowed_rules(policy) == []
+
+
+class TestConflicts:
+    def test_opposite_decisions_on_overlap(self):
+        policy = SecurityPolicy(version=1, rules=[
+            rule({"a", "b"}, {"x"}, {"r"}, ALLOW),
+            rule({"b", "c"}, {"x"}, {"r"}, DENY),
+        ])
+        findings = find_conflicts(policy)
+        assert len(findings) == 1
+        assert "ordering" in findings[0].detail
+
+    def test_same_decision_no_conflict(self):
+        policy = SecurityPolicy(version=1, rules=[
+            rule({"a"}, {"x"}, {"r"}, ALLOW),
+            rule({"a"}, {"x"}, {"r", "w"}, ALLOW),
+        ])
+        assert find_conflicts(policy) == []
+
+    def test_audit_bundles_both(self):
+        policy = SecurityPolicy(version=1, rules=[
+            rule({"*"}, {"x"}, {"r"}, ALLOW),
+            rule({"a"}, {"x"}, {"r"}, DENY),
+        ])
+        results = audit(policy)
+        assert results["shadowed"] and results["conflicts"]
+
+
+class TestCoverage:
+    def test_full_wildcard_coverage(self):
+        policy = SecurityPolicy(version=1, rules=[rule({"*"}, {"*"}, {"*"}, DENY)])
+        assert explicit_coverage(policy, ["a", "b"], ["x"], ["r", "w"]) == 1.0
+
+    def test_partial_coverage(self):
+        policy = SecurityPolicy(version=1, rules=[rule({"a"}, {"x"}, {"r"}, ALLOW)])
+        coverage = explicit_coverage(policy, ["a", "b"], ["x"], ["r", "w"])
+        assert coverage == 0.25  # 1 of 4 combinations
+
+    def test_empty_space(self):
+        policy = SecurityPolicy(version=1)
+        assert explicit_coverage(policy, [], [], []) == 1.0
+
+
+class TestExport:
+    def _trace(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "can0", "can.tx", can_id=0x100, latency=0.001)
+        tr.emit(0.5, "gw", "gateway.drop", reason="firewall")
+        return tr
+
+    def test_jsonl_roundtrip(self):
+        text = trace_to_jsonl(self._trace())
+        lines = [json.loads(l) for l in text.strip().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["kind"] == "can.tx"
+        assert lines[0]["data_can_id"] == 0x100
+        assert lines[1]["data_reason"] == "firewall"
+
+    def test_csv_unified_columns(self):
+        text = trace_to_csv(self._trace())
+        rows = list(csv.reader(io.StringIO(text)))
+        header = rows[0]
+        assert header[:3] == ["time", "source", "kind"]
+        assert "data_can_id" not in header  # raw keys, not prefixed
+        assert "can_id" in header and "reason" in header
+        assert len(rows) == 3
+
+    def test_csv_into_stream(self):
+        buffer = io.StringIO()
+        trace_to_csv(self._trace(), stream=buffer)
+        assert "can.tx" in buffer.getvalue()
+
+    def test_sweep_csv(self):
+        result = SweepResult("t", ["a", "b"])
+        result.add(a=1, b="x")
+        result.add(a=2, b=b"\xff")
+        rows = list(csv.reader(io.StringIO(sweep_to_csv(result))))
+        assert rows[0] == ["a", "b"]
+        assert rows[2] == ["2", "ff"]  # bytes hex-encoded
+
+    def test_bytes_in_jsonl(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "x", "k", blob=b"\x01\x02")
+        line = json.loads(trace_to_jsonl(tr).strip())
+        assert line["data_blob"] == "0102"
+
+
+class TestCalibration:
+    def test_report_keys_and_positive(self):
+        report = calibration_report(quick=True)
+        assert set(report) == {
+            "ecdsa_verify_per_s", "ecdsa_sign_per_s",
+            "cmac64_per_s", "aes_block_per_s",
+        }
+        assert all(v > 0 for v in report.values())
+
+    def test_relative_ordering(self):
+        """AES blocks are orders of magnitude cheaper than ECDSA ops."""
+        report = calibration_report(quick=True)
+        assert report["aes_block_per_s"] > report["ecdsa_verify_per_s"] * 10

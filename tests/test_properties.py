@@ -1,0 +1,202 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy import (
+    PolicyDecision,
+    PolicyEngine,
+    PolicyRule,
+    SecurityPolicy,
+)
+from repro.diag import IsoTpEndpoint
+from repro.ivn import CanBus, CanFdFrame, CanFrame, fd_dlc_for
+from repro.ivn.secure_can import SecOcReceiver, SecOcSender
+from repro.sim import Simulator
+from repro.v2x import BasicSafetyMessage
+
+KEY = b"P" * 16
+
+
+class TestCanArbitrationProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=0x7FF),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_same_instant_queue_drains_priority_ordered(self, ids):
+        """Frames queued while the bus is busy transmit in id order."""
+        sim = Simulator()
+        bus = CanBus(sim)
+        node = bus.attach("n")
+        order = []
+        bus.tap(lambda f: order.append(f.can_id))
+        for can_id in ids:
+            node.send(CanFrame(can_id))
+        sim.run()
+        # First frame starts immediately (whatever was queued first wins
+        # only among frames present at arbitration); everything queued at
+        # t=0 contends at once, so the whole sequence is sorted.
+        assert order == sorted(ids)
+        assert bus.frames_on_wire == len(ids)
+
+    @given(st.lists(st.binary(max_size=8), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_all_frames_delivered_exactly_once(self, payloads):
+        sim = Simulator()
+        bus = CanBus(sim)
+        tx = bus.attach("tx")
+        rx = bus.attach("rx")
+        got = []
+        rx.on_receive(got.append)
+        for i, payload in enumerate(payloads):
+            tx.send(CanFrame(0x100 + (i % 0x400), payload))
+        sim.run()
+        assert len(got) == len(payloads)
+        assert sorted(f.data for f in got) == sorted(payloads)
+
+
+class TestSecOcProperties:
+    @given(st.integers(min_value=0, max_value=0x7FF), st.binary(min_size=0, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_inline_roundtrip(self, can_id, payload):
+        sim = Simulator()
+        bus = CanBus(sim)
+        tx = bus.attach("tx")
+        rx_node = bus.attach("rx")
+        accepted = []
+        receiver = SecOcReceiver(KEY, tag_len=4,
+                                 on_accept=lambda cid, d: accepted.append((cid, d)))
+        rx_node.on_receive(receiver.receive_inline)
+        SecOcSender(tx, KEY, tag_len=4).send(can_id, payload)
+        sim.run()
+        assert accepted == [(can_id, payload)]
+
+    @given(st.binary(min_size=6, max_size=8), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=25, deadline=None)
+    def test_any_single_byte_flip_rejected(self, payload_seed, flip_index):
+        sim = Simulator()
+        bus = CanBus(sim)
+        tx = bus.attach("tx")
+        captured = []
+        bus.tap(lambda f: captured.append(f))
+        SecOcSender(tx, KEY, tag_len=4).send(0x100, payload_seed[:3])
+        sim.run()
+        frame = captured[0]
+        mutated = bytearray(frame.data)
+        if flip_index >= len(mutated):
+            flip_index = len(mutated) - 1
+        mutated[flip_index] ^= 0x01
+        receiver = SecOcReceiver(KEY, tag_len=4)
+        assert not receiver.receive_inline(CanFrame(0x100, bytes(mutated)))
+
+
+class TestIsoTpProperties:
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_any_length(self, payload):
+        sim = Simulator()
+        bus = CanBus(sim)
+        tx = IsoTpEndpoint(sim, bus, "tx", tx_id=0x700, rx_id=0x708)
+        rx = IsoTpEndpoint(sim, bus, "rx", tx_id=0x708, rx_id=0x700)
+        got = []
+        rx.on_message = got.append
+        tx.send(payload)
+        sim.run()
+        assert got == [payload]
+
+    @given(st.lists(st.binary(min_size=1, max_size=40), min_size=1, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_sequential_messages_in_order(self, payloads):
+        sim = Simulator()
+        bus = CanBus(sim)
+        tx = IsoTpEndpoint(sim, bus, "tx", tx_id=0x700, rx_id=0x708)
+        rx = IsoTpEndpoint(sim, bus, "rx", tx_id=0x708, rx_id=0x700)
+        got = []
+        rx.on_message = got.append
+
+        def send_next(remaining):
+            if remaining:
+                tx.send(remaining[0])
+                # Wait for delivery before the next message (half-duplex
+                # diagnostic discipline).
+                def wait():
+                    if len(got) == len(payloads) - len(remaining) + 1:
+                        send_next(remaining[1:])
+                    else:
+                        sim.schedule(0.01, wait)
+                sim.schedule(0.01, wait)
+
+        send_next(payloads)
+        sim.run(max_events=200_000)
+        assert got == payloads
+
+
+class TestBsmProperties:
+    @given(
+        st.integers(min_value=0, max_value=127),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=-7, max_value=7, allow_nan=False),
+        st.text(alphabet=st.characters(codec="ascii", categories=("L", "N")), max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_roundtrip(self, count, x, y, speed, heading, event):
+        bsm = BasicSafetyMessage(count, x, y, speed, heading, event)
+        assert BasicSafetyMessage.decode(bsm.encode()) == bsm
+
+
+class TestCanFdProperties:
+    @given(st.integers(min_value=0, max_value=64))
+    @settings(max_examples=65, deadline=None)
+    def test_dlc_is_smallest_valid(self, length):
+        from repro.ivn.canfd import FD_PAYLOAD_SIZES
+        dlc = fd_dlc_for(length)
+        assert dlc >= length
+        assert dlc in FD_PAYLOAD_SIZES
+        smaller = [s for s in FD_PAYLOAD_SIZES if s < dlc]
+        assert all(s < length for s in smaller)
+
+    @given(st.binary(max_size=64),
+           st.floats(min_value=1e5, max_value=1e6),
+           st.floats(min_value=1e6, max_value=8e6))
+    @settings(max_examples=30, deadline=None)
+    def test_faster_data_phase_never_slower(self, data, nominal, fast):
+        frame = CanFdFrame(0x100, data)
+        assert frame.wire_time(nominal, fast) <= frame.wire_time(nominal, 1e6) \
+            or fast >= 1e6
+
+
+class TestPolicyProperties:
+    @st.composite
+    def rules(draw):
+        names = ["a", "b", "c", "*"]
+        return PolicyRule(
+            frozenset(draw(st.sets(st.sampled_from(names), min_size=1, max_size=2))),
+            frozenset(draw(st.sets(st.sampled_from(names), min_size=1, max_size=2))),
+            frozenset(draw(st.sets(st.sampled_from(["r", "w", "*"]), min_size=1))),
+            draw(st.sampled_from(list(PolicyDecision))),
+        )
+
+    @given(st.lists(rules(), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_roundtrip_preserves_decisions(self, rule_list):
+        policy = SecurityPolicy(version=1, rules=rule_list)
+        restored = SecurityPolicy.deserialize(policy.serialize())
+        engine_a = PolicyEngine(policy)
+        engine_b = PolicyEngine(restored)
+        for subject in ("a", "b", "z"):
+            for obj in ("a", "c", "z"):
+                for action in ("r", "w"):
+                    assert engine_a.check(subject, obj, action) == \
+                        engine_b.check(subject, obj, action)
+
+    @given(st.lists(rules(), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_default_deny_is_fail_closed(self, rule_list):
+        """With no wildcard rules, an unknown subject is always denied."""
+        concrete = [r for r in rule_list if "*" not in r.subjects]
+        engine = PolicyEngine(SecurityPolicy(version=1, rules=concrete))
+        decision = engine.check("never-mentioned", "nor-this", "x")
+        assert decision is PolicyDecision.DENY

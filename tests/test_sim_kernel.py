@@ -1,0 +1,285 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Process, RngStreams, SimulationError, Simulator, TraceRecorder
+
+
+class TestSimulator:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "late")
+        sim.schedule(1.0, log.append, "early")
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_equal_time_fifo_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(1.0, log.append, i)
+        sim.run()
+        assert log == list(range(10))
+
+    def test_priority_overrides_fifo(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "low", priority=5)
+        sim.schedule(1.0, log.append, "high", priority=1)
+        sim.run()
+        assert log == ["high", "low"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(3.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [3.5]
+        assert sim.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        log = []
+        ev = sim.schedule(1.0, log.append, "x")
+        ev.cancel()
+        sim.run()
+        assert log == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.run() == 0
+
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(3.0, log.append, "c")
+        executed = sim.run_until(2.0)
+        assert executed == 2
+        assert log == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run_until(7.0)
+        assert sim.now == 7.0
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert log == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending == 6
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 5
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_property_fires_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestProcess:
+    def test_sequential_delays(self):
+        sim = Simulator()
+        out = []
+
+        def proc():
+            out.append(sim.now)
+            yield 1.0
+            out.append(sim.now)
+            yield 2.5
+            out.append(sim.now)
+
+        Process(sim, proc())
+        sim.run()
+        assert out == [0.0, 1.0, 3.5]
+
+    def test_finished_flag(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        p = Process(sim, proc())
+        assert not p.finished
+        sim.run()
+        assert p.finished
+
+    def test_cancel_stops_process(self):
+        sim = Simulator()
+        out = []
+
+        def proc():
+            yield 1.0
+            out.append("should not happen")
+
+        p = Process(sim, proc())
+        sim.run_until(0.5)
+        p.cancel()
+        sim.run()
+        assert out == []
+        assert p.finished
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        Process(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).get("x").random()
+        b = RngStreams(7).get("x").random()
+        assert a == b
+
+    def test_different_names_independent(self):
+        streams = RngStreams(7)
+        assert streams.get("x").random() != streams.get("y").random()
+
+    def test_stream_cached(self):
+        streams = RngStreams(7)
+        assert streams.get("x") is streams.get("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        s1 = RngStreams(3)
+        first = s1.get("bus").random()
+        s2 = RngStreams(3)
+        s2.get("new_component")  # extra stream created first
+        assert s2.get("bus").random() == first
+
+    def test_fork_is_deterministic(self):
+        a = RngStreams(1).fork("child").get("s").random()
+        b = RngStreams(1).fork("child").get("s").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RngStreams(1)
+        child = parent.fork("child")
+        assert parent.get("s").random() != child.get("s").random()
+
+    def test_randbytes(self):
+        data = RngStreams(5).randbytes("k", 32)
+        assert len(data) == 32
+
+    def test_contains(self):
+        streams = RngStreams(0)
+        assert "x" not in streams
+        streams.get("x")
+        assert "x" in streams
+
+
+class TestTraceRecorder:
+    def test_emit_and_len(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "bus0", "can.tx", frame_id=0x100)
+        assert len(tr) == 1
+
+    def test_filter_by_kind_prefix(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "a", "can.tx")
+        tr.emit(0.1, "a", "can.rx")
+        tr.emit(0.2, "b", "ids.alert")
+        assert tr.count("can") == 2
+        assert tr.count("can.tx") == 1
+        assert tr.count("ids.alert") == 1
+
+    def test_kind_prefix_does_not_match_substring(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "a", "can.tx")
+        tr.emit(0.0, "a", "canister")
+        assert tr.count("can") == 1
+
+    def test_filter_by_source(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "a", "x")
+        tr.emit(0.0, "b", "x")
+        assert tr.count(source="a") == 1
+
+    def test_last(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "a", "x", v=1)
+        tr.emit(1.0, "a", "x", v=2)
+        assert tr.last("x").data["v"] == 2
+        assert tr.last("nope") is None
+
+    def test_capacity_drops_and_counts(self):
+        tr = TraceRecorder(capacity=2)
+        for i in range(5):
+            tr.emit(float(i), "a", "x")
+        assert len(tr) == 2
+        assert tr.dropped == 3
+
+    def test_listener_sees_all_records(self):
+        tr = TraceRecorder(capacity=1)
+        seen = []
+        tr.subscribe(seen.append)
+        tr.emit(0.0, "a", "x")
+        tr.emit(1.0, "a", "y")  # over capacity but listener still notified
+        assert [r.kind for r in seen] == ["x", "y"]
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "a", "x")
+        tr.clear()
+        assert len(tr) == 0

@@ -1,0 +1,419 @@
+"""Tests for the V2X layer: certificates, 1609.2 messages, PKI, privacy."""
+
+import random
+
+import pytest
+
+from repro.crypto import EcdsaKeyPair, HmacDrbg
+from repro.physical import Vehicle, VehicleState
+from repro.sim import Simulator
+from repro.v2x import (
+    BasicSafetyMessage,
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    MessageVerifier,
+    ObuStation,
+    PkiHierarchy,
+    PseudonymManager,
+    RoadsideUnit,
+    SignedMessage,
+    TrackingAdversary,
+    WirelessChannel,
+    sign_payload,
+)
+from repro.v2x.certificates import verify_chain
+
+
+@pytest.fixture(scope="module")
+def pki():
+    return PkiHierarchy(seed=b"test-pki")
+
+
+@pytest.fixture(scope="module")
+def enrolled(pki):
+    cert, key = pki.enroll_vehicle("veh-001")
+    return cert, key
+
+
+class TestCertificates:
+    def test_root_self_signed_valid(self, pki):
+        assert pki.root.verify_issued(pki.root.certificate)
+
+    def test_subordinate_chains_to_root(self, pki):
+        verify_chain(pki.enrollment_ca.certificate, pki.trust_store(), 1.0)
+
+    def test_issue_and_verify(self, pki):
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"subject"))
+        cert = pki.root.issue("node", keys.public, 0.0, 100.0)
+        assert pki.root.verify_issued(cert)
+
+    def test_forged_cert_rejected(self, pki):
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"subject"))
+        cert = pki.root.issue("node", keys.public, 0.0, 100.0)
+        forged = Certificate(
+            subject="node", public_key=keys.public,
+            valid_from=0.0, valid_to=1e9,  # extended validity
+            issuer="root-ca", psids=cert.psids, signature=cert.signature,
+        )
+        assert not pki.root.verify_issued(forged)
+
+    def test_expired_cert_fails_chain(self, pki):
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"s2"))
+        cert = pki.root.issue("node", keys.public, 0.0, 10.0)
+        with pytest.raises(CertificateError, match="expired"):
+            verify_chain(cert, pki.trust_store(), 100.0)
+
+    def test_unknown_issuer_fails_chain(self):
+        rogue = CertificateAuthority("rogue-ca", b"rogue")
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"s3"))
+        cert = rogue.issue("node", keys.public, 0.0, 100.0)
+        with pytest.raises(CertificateError, match="unknown issuer"):
+            verify_chain(cert, {"root-ca": PkiHierarchy(b"x").root}, 1.0)
+
+    def test_revocation(self, pki):
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"s4"))
+        cert = pki.root.issue("node", keys.public, 0.0, 100.0)
+        pki.root.crl.revoke(cert)
+        with pytest.raises(CertificateError, match="revoked"):
+            verify_chain(cert, pki.trust_store(), 1.0, crls=[pki.root.crl])
+
+    def test_empty_validity_rejected(self, pki):
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"s5"))
+        with pytest.raises(CertificateError):
+            pki.root.issue("node", keys.public, 10.0, 10.0)
+
+    def test_digest_is_8_bytes_and_stable(self, pki):
+        cert = pki.root.certificate
+        assert len(cert.digest) == 8
+        assert cert.digest == pki.root.certificate.digest
+
+
+class TestPkiPseudonyms:
+    def test_enrollment(self, pki, enrolled):
+        cert, key = enrolled
+        assert cert.subject == "veh-001"
+        verify_chain(cert, pki.trust_store(), 1.0)
+
+    def test_double_enrollment_rejected(self, pki):
+        pki2 = PkiHierarchy(b"other")
+        pki2.enroll_vehicle("veh-x")
+        with pytest.raises(CertificateError):
+            pki2.enroll_vehicle("veh-x")
+
+    def test_pseudonym_batch(self, pki, enrolled):
+        cert, _ = enrolled
+        batch = pki.issue_pseudonyms("veh-001", cert, count=5, validity_start=0.0)
+        assert len(batch) == 5
+        subjects = {c.subject for c, _ in batch.entries}
+        assert len(subjects) == 5  # all distinct
+        assert all(c.is_pseudonym for c, _ in batch.entries)
+        assert all("veh-001" not in c.subject for c, _ in batch.entries)
+
+    def test_pseudonyms_chain_to_root(self, pki, enrolled):
+        cert, _ = enrolled
+        batch = pki.issue_pseudonyms("veh-001", cert, count=2, validity_start=0.0)
+        for c, _ in batch.entries:
+            verify_chain(c, pki.trust_store(), 1.0)
+
+    def test_unenrolled_vehicle_rejected(self, pki):
+        fake = pki.root.certificate
+        with pytest.raises(CertificateError):
+            pki.issue_pseudonyms("ghost", fake, count=1, validity_start=0.0)
+
+    def test_linkage_map_populated(self, pki, enrolled):
+        cert, _ = enrolled
+        batch = pki.issue_pseudonyms("veh-001", cert, count=3, validity_start=0.0)
+        for c, _ in batch.entries:
+            assert pki.linkage_map[c.digest] == "veh-001"
+
+    def test_revoke_vehicle_revokes_pseudonyms(self):
+        pki = PkiHierarchy(b"revoke-test")
+        cert, _ = pki.enroll_vehicle("bad-actor")
+        batch = pki.issue_pseudonyms("bad-actor", cert, count=3, validity_start=0.0)
+        revoked = pki.revoke_vehicle("bad-actor")
+        assert revoked == 3
+        for c, _ in batch.entries:
+            with pytest.raises(CertificateError, match="revoked"):
+                verify_chain(c, pki.trust_store(), 1.0, crls=[pki.pseudonym_ca.crl])
+
+
+class TestSignedMessages:
+    def _message(self, pki, enrolled, time=1.0):
+        cert, _ = enrolled
+        batch = pki.issue_pseudonyms("veh-001", cert, count=1, validity_start=0.0)
+        pcert, pkey = batch.entries[0]
+        return sign_payload(b"hazard ahead", "bsm", time, pcert, pkey)
+
+    def test_valid_message_accepted(self, pki, enrolled):
+        msg = self._message(pki, enrolled)
+        verifier = MessageVerifier(pki.trust_store())
+        assert verifier.verify(msg, now=1.1) is None
+        assert verifier.verified == 1
+
+    def test_tampered_payload_rejected(self, pki, enrolled):
+        msg = self._message(pki, enrolled)
+        bad = SignedMessage(b"HAZARD ahead", msg.psid, msg.generation_time,
+                            msg.certificate, msg.signature)
+        verifier = MessageVerifier(pki.trust_store())
+        assert verifier.verify(bad, now=1.1) == "signature"
+
+    def test_stale_message_rejected(self, pki, enrolled):
+        msg = self._message(pki, enrolled, time=1.0)
+        verifier = MessageVerifier(pki.trust_store(), freshness_window=0.5)
+        assert verifier.verify(msg, now=5.0) == "stale"
+
+    def test_future_message_rejected(self, pki, enrolled):
+        msg = self._message(pki, enrolled, time=100.0)
+        verifier = MessageVerifier(pki.trust_store(), freshness_window=0.5)
+        assert verifier.verify(msg, now=1.0) == "stale"
+
+    def test_replay_rejected(self, pki, enrolled):
+        msg = self._message(pki, enrolled)
+        verifier = MessageVerifier(pki.trust_store())
+        assert verifier.verify(msg, now=1.1) is None
+        assert verifier.verify(msg, now=1.2) == "replay"
+        assert verifier.rejected["replay"] == 1
+
+    def test_wrong_psid_rejected(self, pki, enrolled):
+        msg = self._message(pki, enrolled)
+        verifier = MessageVerifier(pki.trust_store())
+        assert verifier.verify(msg, now=1.1, required_psid="spat") == "psid"
+
+    def test_permission_enforced(self, pki):
+        """A cert without the 'bsm' PSID cannot sign BSMs."""
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"noperm"))
+        cert = pki.root.issue("x", keys.public, 0.0, 1e9,
+                              psids=frozenset({"other"}))
+        msg = sign_payload(b"p", "bsm", 1.0, cert, keys.private)
+        verifier = MessageVerifier(pki.trust_store())
+        assert verifier.verify(msg, now=1.1) == "permission"
+
+    def test_self_signed_attacker_cert_rejected(self, pki, enrolled):
+        rogue = CertificateAuthority("pseudonym-ca", b"evil-twin")  # name collision!
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"evil"))
+        cert = rogue.issue("evil", keys.public, 0.0, 1e9)
+        msg = sign_payload(b"brake now!", "bsm", 1.0, cert, keys.private)
+        verifier = MessageVerifier(pki.trust_store())
+        # The receiver's trust store holds the *real* pseudonym CA key.
+        assert verifier.verify(msg, now=1.1) == "certificate"
+
+
+class TestBsm:
+    def test_roundtrip(self):
+        bsm = BasicSafetyMessage(5, 1.5, -2.5, 13.0, 0.7, event="hazard")
+        assert BasicSafetyMessage.decode(bsm.encode()) == bsm
+
+    def test_roundtrip_no_event(self):
+        bsm = BasicSafetyMessage(0, 0.0, 0.0, 0.0, 0.0)
+        assert BasicSafetyMessage.decode(bsm.encode()) == bsm
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BasicSafetyMessage(128, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            BasicSafetyMessage(0, 0, 0, -1.0, 0)
+
+    def test_truncated_decode(self):
+        with pytest.raises(ValueError):
+            BasicSafetyMessage.decode(b"short")
+
+
+class TestChannel:
+    def test_range_limits_delivery(self):
+        sim = Simulator()
+        ch = WirelessChannel(sim, comm_range=100.0)
+        a = ch.attach("a", lambda: (0.0, 0.0))
+        b = ch.attach("b", lambda: (50.0, 0.0))
+        c = ch.attach("c", lambda: (500.0, 0.0))
+        got_b, got_c = [], []
+        b.on_receive(lambda m, s: got_b.append(m))
+        c.on_receive(lambda m, s: got_c.append(m))
+        a.broadcast("hello")
+        sim.run()
+        assert got_b == ["hello"] and got_c == []
+
+    def test_loss_probability(self):
+        sim = Simulator()
+        ch = WirelessChannel(sim, loss_probability=0.5, rng=random.Random(0))
+        a = ch.attach("a", lambda: (0.0, 0.0))
+        b = ch.attach("b", lambda: (10.0, 0.0))
+        got = []
+        b.on_receive(lambda m, s: got.append(m))
+        for _ in range(100):
+            a.broadcast("x")
+        sim.run()
+        assert 25 < len(got) < 75
+        assert ch.losses == 100 - len(got)
+
+    def test_latency(self):
+        sim = Simulator()
+        ch = WirelessChannel(sim, latency=5e-3)
+        a = ch.attach("a", lambda: (0.0, 0.0))
+        b = ch.attach("b", lambda: (1.0, 0.0))
+        times = []
+        b.on_receive(lambda m, s: times.append(sim.now))
+        a.broadcast("x")
+        sim.run()
+        assert times == [pytest.approx(5e-3)]
+
+    def test_duplicate_radio_rejected(self):
+        ch = WirelessChannel(Simulator())
+        ch.attach("a", lambda: (0, 0))
+        with pytest.raises(ValueError):
+            ch.attach("a", lambda: (0, 0))
+
+    def test_loss_validation(self):
+        with pytest.raises(ValueError):
+            WirelessChannel(Simulator(), loss_probability=1.0)
+
+
+class TestObuAndRsu:
+    def _scene(self, n_vehicles=2, verify_rate=400.0):
+        sim = Simulator()
+        pki = PkiHierarchy(b"scene")
+        channel = WirelessChannel(sim)
+        stations = []
+        truth = {}
+        for i in range(n_vehicles):
+            vid = f"veh-{i}"
+            ecert, _ = pki.enroll_vehicle(vid)
+            batch = pki.issue_pseudonyms(vid, ecert, count=4, validity_start=0.0)
+            for c, _ in batch.entries:
+                truth[c.subject] = vid
+            vehicle = Vehicle(VehicleState(x=float(10 * i), speed=10.0), name=vid)
+            station = ObuStation(
+                sim, vid, vehicle, channel,
+                PseudonymManager(batch, rotation_period=60.0),
+                MessageVerifier(pki.trust_store()),
+                verify_rate=verify_rate,
+            )
+            stations.append(station)
+        return sim, pki, channel, stations, truth
+
+    def test_bsm_exchange(self):
+        sim, _, _, stations, _ = self._scene()
+        for s in stations:
+            s.start_broadcasting()
+        sim.run_until(1.0)
+        assert stations[0].signed >= 10
+        assert stations[1].verified_ok >= 9
+        assert stations[1].rejects == {}
+
+    def test_verification_overload_drops(self):
+        sim, _, _, stations, _ = self._scene(n_vehicles=6, verify_rate=20.0)
+        for s in stations:
+            s.start_broadcasting()
+        sim.run_until(2.0)
+        target = stations[0]
+        # 5 peers x 10 Hz = 50 msg/s against a 20/s budget.
+        assert target.dropped_overload > 0
+
+    def test_rsu_traffic_picture(self):
+        sim, pki, channel, stations, _ = self._scene()
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"rsu-key"))
+        cert = pki.root.issue("rsu-1", keys.public, 0.0, 1e9)
+        rsu = RoadsideUnit(
+            sim, "rsu-1", (0.0, 5.0), channel,
+            MessageVerifier(pki.trust_store()), cert, keys.private,
+        )
+        for s in stations:
+            s.start_broadcasting()
+        sim.run_until(1.0)
+        assert rsu.accepted > 0
+        assert rsu.vehicles_in_picture() == 2
+
+    def test_rsu_warning_reaches_obu(self):
+        sim, pki, channel, stations, _ = self._scene()
+        keys = EcdsaKeyPair.generate(HmacDrbg(b"rsu-key"))
+        cert = pki.root.issue("rsu-1", keys.public, 0.0, 1e9)
+        rsu = RoadsideUnit(
+            sim, "rsu-1", (0.0, 5.0), channel,
+            MessageVerifier(pki.trust_store()), cert, keys.private,
+        )
+        rsu.broadcast_warning("ice")
+        sim.run_until(1.0)
+        events = [b for _, b, _ in stations[0].accepted if b.event]
+        assert events and events[0].event == "ice"
+
+
+class TestPseudonymManager:
+    def _manager(self, period=10.0, count=4):
+        pki = PkiHierarchy(b"pm")
+        cert, _ = pki.enroll_vehicle("v")
+        batch = pki.issue_pseudonyms("v", cert, count=count, validity_start=0.0)
+        return PseudonymManager(batch, rotation_period=period)
+
+    def test_rotation_on_schedule(self):
+        pm = self._manager(period=10.0)
+        c0, _ = pm.current(0.0)
+        c1, _ = pm.current(5.0)
+        assert c0.subject == c1.subject
+        c2, _ = pm.current(11.0)
+        assert c2.subject != c0.subject
+        assert pm.rotations == 1
+
+    def test_multiple_periods_skip(self):
+        pm = self._manager(period=10.0, count=8)
+        pm.current(0.0)
+        pm.current(35.0)
+        assert pm.rotations == 3
+
+    def test_wraps_around_batch(self):
+        pm = self._manager(period=1.0, count=2)
+        c0, _ = pm.current(0.0)
+        pm.current(1.5)
+        c2, _ = pm.current(2.5)
+        assert c2.subject == c0.subject  # wrapped
+
+    def test_force_rotate(self):
+        pm = self._manager()
+        c0, _ = pm.current(0.0)
+        pm.force_rotate(0.1)
+        c1, _ = pm.current(0.2)
+        assert c1.subject != c0.subject
+
+    def test_validation(self):
+        pki = PkiHierarchy(b"pm2")
+        cert, _ = pki.enroll_vehicle("v")
+        batch = pki.issue_pseudonyms("v", cert, count=1, validity_start=0.0)
+        with pytest.raises(ValueError):
+            PseudonymManager(batch, rotation_period=0)
+
+
+class TestTrackingAdversary:
+    def test_links_continuous_trajectory(self):
+        adv = TrackingAdversary()
+        truth = {"p1": "v", "p2": "v"}
+        # Vehicle moves right at 10 m/s, rotates pseudonym at t=5.
+        for i in range(5):
+            adv.observe(i * 1.0, "p1", (10.0 * i, 0.0))
+        for i in range(5, 10):
+            adv.observe(i * 1.0, "p2", (10.0 * i, 0.0))
+        assert adv.predicted_links == [("p1", "p2")]
+        assert adv.link_accuracy(truth) == 1.0
+        assert adv.recall(truth) == 1.0
+
+    def test_does_not_link_distant_appearance(self):
+        adv = TrackingAdversary(max_speed=50.0)
+        adv.observe(0.0, "p1", (0.0, 0.0))
+        adv.observe(1.0, "p2", (5000.0, 0.0))  # impossible jump
+        assert adv.predicted_links == []
+
+    def test_confuses_crossing_vehicles(self):
+        """Two vehicles rotating simultaneously at the same spot can be
+        mislinked -- the anonymity-set effect."""
+        adv = TrackingAdversary(gate_slack=20.0)
+        truth = {"a1": "va", "a2": "va", "b1": "vb", "b2": "vb"}
+        adv.observe(0.0, "a1", (0.0, 0.0))
+        adv.observe(0.0, "b1", (5.0, 0.0))
+        # Both silent, both reappear close together with swapped positions.
+        adv.observe(2.0, "b2", (0.5, 0.0))
+        adv.observe(2.0, "a2", (5.5, 0.0))
+        assert len(adv.predicted_links) == 2
+        assert adv.link_accuracy(truth) < 1.0
+
+    def test_empty_accuracy(self):
+        adv = TrackingAdversary()
+        assert adv.link_accuracy({}) == 0.0
+        assert adv.recall({}) == 0.0
