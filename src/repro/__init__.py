@@ -34,8 +34,11 @@ Subpackages (importable a la carte; nothing heavy at top level):
 - :mod:`repro.physical` -- vehicle, sensors, fusion, emissions.
 - :mod:`repro.core` -- the 4+1-layer architecture, policy engine,
   extensibility, safety model, trade-off controller.
+- :mod:`repro.diag` -- ISO-TP transport, UDS services, SecurityAccess.
+- :mod:`repro.soc` -- fleet-scale VSOC: telemetry ingestion, cross-vehicle
+  correlation, incident lifecycle, closed-loop remediation.
 - :mod:`repro.analysis` -- metrics, sweeps, statistics.
-- :mod:`repro.experiments` -- drivers for experiments E1..E14.
+- :mod:`repro.experiments` -- drivers for experiments E1..E17.
 """
 
 __version__ = "1.0.0"
@@ -53,6 +56,8 @@ __all__ = [
     "attacks",
     "physical",
     "core",
+    "diag",
+    "soc",
     "analysis",
     "experiments",
 ]

@@ -1,4 +1,4 @@
-"""Experiment drivers E1..E14.
+"""Experiment drivers E1..E17.
 
 The paper has no tables or figures (it is an invited survey); DESIGN.md §3
 derives one quantitative experiment from each of its claims.  Every module
@@ -24,6 +24,7 @@ from repro.experiments import (
     e14_verification,
     e15_diagnostics,
     e16_misbehavior,
+    e17_soc,
 )
 
 ALL_EXPERIMENTS = {
@@ -43,6 +44,7 @@ ALL_EXPERIMENTS = {
     "E14": e14_verification.run,
     "E15": e15_diagnostics.run,
     "E16": e16_misbehavior.run,
+    "E17": e17_soc.run,
 }
 
-__all__ = ["ALL_EXPERIMENTS"] + [f"e{i:02d}" for i in range(1, 17)]
+__all__ = ["ALL_EXPERIMENTS"] + [f"e{i:02d}" for i in range(1, 18)]

@@ -19,11 +19,11 @@ from repro.experiments import ALL_EXPERIMENTS
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Run autosec experiments E1..E16 and print their tables.",
+        description="Run autosec experiments E1..E17 and print their tables.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (E1..E16, case-insensitive) or 'all'",
+        help="experiment id (E1..E17, case-insensitive) or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     args = parser.parse_args(argv)

@@ -1,0 +1,88 @@
+"""Fleet-scale Vehicle Security Operations Center (VSOC).
+
+The paper's state-of-practice section ends where the vehicle does:
+centralized security policy and in-field extensibility (§7) presuppose a
+*backend* that watches the fleet, recognizes when one vehicle's incident
+is actually a class-break in progress (§4.2), and pushes the fix back
+out.  This package is that backend:
+
+- :mod:`repro.soc.events` -- the normalized telemetry schema plus
+  adapters from every on-vehicle alert source (IDS, V2X misbehavior,
+  gateway quarantine, UDS SecurityAccess failures).
+- :mod:`repro.soc.ingest` -- bounded-queue ingestion with batching,
+  explicit load-shedding policies, and a backpressure signal.
+- :mod:`repro.soc.correlate` -- sliding-window cross-vehicle
+  correlation: per-vehicle dedup, duplicate/late-event hygiene, and
+  k-vehicles-in-window campaign detection.
+- :mod:`repro.soc.incident` -- the incident lifecycle state machine with
+  ASIL-based severity scoring.
+- :mod:`repro.soc.respond` -- closed-loop remediation: authenticated
+  central-policy pushes (:mod:`repro.core.policy`) and Uptane OTA
+  campaigns (:mod:`repro.ota`), scored by detection-to-remediation
+  latency and blast radius averted.
+- :mod:`repro.soc.fleet` -- O(events) fleet workload generator (benign
+  noise, seeded attack campaigns, re-emissions) for 10^2..10^5 vehicles.
+- :mod:`repro.soc.center` -- the facade wiring it all together.
+
+Experiment E17 (:mod:`repro.experiments.e17_soc`) sweeps fleet size and
+attack prevalence over this stack.
+"""
+
+from repro.soc.events import (
+    DEFAULT_SOURCE_SEVERITY,
+    EventSource,
+    SecurityEvent,
+    from_gateway_record,
+    from_ids_alert,
+    from_misbehavior_report,
+    from_uds_security_failure,
+    make_event,
+    make_event_id,
+)
+from repro.soc.ingest import BoundedQueue, IngestPipeline, ShedPolicy, StageStats
+from repro.soc.correlate import CampaignDetection, CorrelationEngine
+from repro.soc.incident import (
+    Incident,
+    IncidentState,
+    IncidentTracker,
+    InvalidTransition,
+)
+from repro.soc.respond import RemediationOutcome, ResponseOrchestrator
+from repro.soc.fleet import (
+    AttackCampaign,
+    FleetModel,
+    FleetWorkloadGenerator,
+    poisson_draw,
+    seeded_campaigns,
+)
+from repro.soc.center import SecurityOperationsCenter
+
+__all__ = [
+    "DEFAULT_SOURCE_SEVERITY",
+    "EventSource",
+    "SecurityEvent",
+    "from_gateway_record",
+    "from_ids_alert",
+    "from_misbehavior_report",
+    "from_uds_security_failure",
+    "make_event",
+    "make_event_id",
+    "BoundedQueue",
+    "IngestPipeline",
+    "ShedPolicy",
+    "StageStats",
+    "CampaignDetection",
+    "CorrelationEngine",
+    "Incident",
+    "IncidentState",
+    "IncidentTracker",
+    "InvalidTransition",
+    "RemediationOutcome",
+    "ResponseOrchestrator",
+    "AttackCampaign",
+    "FleetModel",
+    "FleetWorkloadGenerator",
+    "poisson_draw",
+    "seeded_campaigns",
+    "SecurityOperationsCenter",
+]

@@ -1,0 +1,116 @@
+"""The VSOC facade: ingestion -> correlation -> incidents -> response.
+
+Wires the four subsystem stages into one
+:class:`SecurityOperationsCenter` running on a shared simulation kernel,
+and aggregates every stage's counters into a single flat ``metrics()``
+dict (the shape E17 publishes and the determinism tests pin).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.safety import Asil
+from repro.sim import Simulator
+from repro.soc.correlate import CorrelationEngine
+from repro.soc.events import DEFAULT_SOURCE_SEVERITY, SecurityEvent
+from repro.soc.fleet import FleetModel
+from repro.soc.incident import IncidentTracker
+from repro.soc.ingest import IngestPipeline, ShedPolicy
+from repro.soc.respond import ResponseOrchestrator
+
+
+class SecurityOperationsCenter:
+    """An OEM fleet SOC over a simulated vehicle population.
+
+    ``respond=False`` gives the observe-only configuration used as the
+    E17 baseline: everything is ingested and correlated, but no incident
+    ever reaches containment -- the fleet burns.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fleet: FleetModel,
+        capacity_eps: float = 250.0,
+        queue_capacity: int = 2048,
+        batch_size: int = 64,
+        shed_policy: ShedPolicy = ShedPolicy.LOWEST_SEVERITY,
+        window_s: float = 8.0,
+        k: int = 3,
+        dedup_window_s: float = 4.0,
+        max_lateness_s: float = 2.0,
+        respond: bool = True,
+        ota_sample: int = 1,
+        pump_tick_s: float = 0.25,
+    ) -> None:
+        self.sim = sim
+        self.fleet = fleet
+        self.pump_tick_s = pump_tick_s
+
+        self.pipeline = IngestPipeline(
+            capacity_eps=capacity_eps,
+            queue_capacity=queue_capacity,
+            batch_size=batch_size,
+            shed_policy=shed_policy,
+        )
+        self.correlator = CorrelationEngine(
+            window_s=window_s, k=k,
+            dedup_window_s=dedup_window_s, max_lateness_s=max_lateness_s,
+        )
+        self.tracker = IncidentTracker()
+        self.responder: Optional[ResponseOrchestrator] = (
+            ResponseOrchestrator(sim, self.tracker, fleet,
+                                 ota_sample=ota_sample)
+            if respond else None
+        )
+        self.pipeline.add_sink(self._on_event)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self.sim.schedule(self.pump_tick_s, self._pump)
+
+    def _pump(self) -> None:
+        self.pipeline.pump(self.sim.now)
+        self.sim.schedule(self.pump_tick_s, self._pump)
+
+    def _on_event(self, now: float, event: SecurityEvent) -> None:
+        detection = self.correlator.observe(event)
+        if detection is not None:
+            base = DEFAULT_SOURCE_SEVERITY.get(event.source, Asil.A)
+            incident = self.tracker.open_from_detection(detection, base)
+            if self.responder is not None:
+                self.responder.on_detection(incident)
+        elif event.signature in self.correlator.flagged_signatures:
+            self.tracker.attach_vehicle(event.signature, event.vehicle_id)
+
+    # ------------------------------------------------------------------
+    def flagged_signatures(self) -> Set[str]:
+        return set(self.correlator.flagged_signatures)
+
+    def precision_recall(self) -> Dict[str, float]:
+        """Score flagged signatures against the fleet's ground truth."""
+        truth = self.fleet.attack_signatures()
+        flagged = self.flagged_signatures()
+        tp = len(flagged & truth)
+        precision = tp / len(flagged) if flagged else 1.0
+        recall = tp / len(truth) if truth else 1.0
+        return {"precision": precision, "recall": recall,
+                "true_positives": float(tp),
+                "false_positives": float(len(flagged) - tp)}
+
+    def metrics(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        out.update(self.pipeline.metrics())
+        out.update(self.correlator.metrics())
+        out.update(self.precision_recall())
+        out["incidents_open"] = float(len(self.tracker.incidents))
+        out["mean_time_to_containment_s"] = self.tracker.mean_time_to_containment_s()
+        if self.responder is not None:
+            out.update(self.responder.metrics())
+        out["fleet_compromised"] = float(self.fleet.total_compromised())
+        out["fleet_targets"] = float(self.fleet.total_targets())
+        return out

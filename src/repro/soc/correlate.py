@@ -1,0 +1,183 @@
+"""Sliding-window cross-vehicle correlation.
+
+The paper's §4.2 class-break argument: because a vehicle class shares
+software, keys, and configurations, one working exploit recurs across
+the fleet with the *same signature*.  Single-vehicle detection cannot
+see that; a backend watching all vehicles can.  The engine here flags a
+**campaign** when at least ``k`` *distinct* vehicles report the same
+signature within a ``window``-second span.
+
+Stream hygiene, in order of application:
+
+1. **duplicate ids** -- at-least-once transports redeliver; an
+   ``event_id`` is only ever counted once;
+2. **lateness bound** -- events older than ``watermark - max_lateness``
+   are dropped (out-of-order arrival *within* the bound is fine and
+   still correlates);
+3. **per-vehicle dedup** -- one noisy vehicle repeating a signature
+   inside ``dedup_window`` seconds collapses to a single observation, so
+   a single chatty ECU can never fake a fleet campaign.
+
+Window semantics are **closed**: two events exactly ``window`` seconds
+apart co-occur; ``window + ε`` apart do not.  (Pinned by the property
+tests in ``tests/test_soc.py``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from collections import deque
+
+from repro.core.safety import Asil
+from repro.soc.events import SecurityEvent
+
+
+@dataclass(frozen=True)
+class CampaignDetection:
+    """The correlator's verdict: one signature active fleet-wide."""
+
+    signature: str
+    detect_time: float          # time of the event that tripped the rule
+    first_time: float           # earliest in-window observation
+    vehicles: Tuple[str, ...]   # distinct vehicles at detection, sorted
+    window_s: float
+    k: int
+
+    @property
+    def spread(self) -> int:
+        return len(self.vehicles)
+
+
+class CorrelationEngine:
+    """Deduplicate per-vehicle noise; detect cross-fleet campaigns."""
+
+    def __init__(
+        self,
+        window_s: float = 8.0,
+        k: int = 3,
+        dedup_window_s: float = 4.0,
+        max_lateness_s: float = 2.0,
+        min_severity: Asil = Asil.B,
+    ) -> None:
+        if k < 2:
+            raise ValueError("a campaign needs k >= 2 vehicles")
+        if window_s <= 0 or dedup_window_s < 0 or max_lateness_s < 0:
+            raise ValueError("windows must be positive")
+        self.window_s = window_s
+        self.k = k
+        self.dedup_window_s = dedup_window_s
+        self.max_lateness_s = max_lateness_s
+        self.min_severity = min_severity
+
+        self._seen_ids: Set[str] = set()
+        self._last_by_key: Dict[Tuple[str, str], float] = {}
+        self._by_signature: Dict[str, Deque[Tuple[float, str]]] = {}
+        self._flagged: Dict[str, CampaignDetection] = {}
+        self._campaign_vehicles: Dict[str, Set[str]] = {}
+
+        self.watermark = float("-inf")
+        self.observed = 0
+        self.duplicate_ids = 0
+        self.late_dropped = 0
+        self.low_severity_ignored = 0
+        self.deduped = 0
+        self.detections: List[CampaignDetection] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, event: SecurityEvent) -> Optional[CampaignDetection]:
+        """Feed one event; returns a detection the first time a signature
+        crosses the k-vehicles-in-window threshold."""
+        self.observed += 1
+
+        if event.event_id in self._seen_ids:
+            self.duplicate_ids += 1
+            return None
+        self._seen_ids.add(event.event_id)
+
+        if event.time < self.watermark - self.max_lateness_s:
+            self.late_dropped += 1
+            return None
+        if event.time > self.watermark:
+            self.watermark = event.time
+
+        # Only actionable telemetry (>= min_severity) can seed a campaign
+        # window -- QM/A observability noise is counted and discarded, so
+        # chatter can never manufacture a fleet incident.
+        if event.severity < self.min_severity:
+            self.low_severity_ignored += 1
+            return None
+
+        key = (event.vehicle_id, event.signature)
+        last = self._last_by_key.get(key)
+        if last is not None and abs(event.time - last) <= self.dedup_window_s:
+            self.deduped += 1
+            self._last_by_key[key] = max(last, event.time)
+            return None
+        self._last_by_key[key] = event.time
+
+        if event.signature in self._flagged:
+            # Campaign already open: track spread, don't re-fire.
+            self._campaign_vehicles[event.signature].add(event.vehicle_id)
+            return None
+
+        entries = self._by_signature.setdefault(event.signature, deque())
+        entries.append((event.time, event.vehicle_id))
+        entries = self._prune(event.signature)
+
+        vehicles = {v for _, v in entries}
+        if len(vehicles) < self.k:
+            return None
+
+        detection = CampaignDetection(
+            signature=event.signature,
+            detect_time=event.time,
+            first_time=min(t for t, _ in entries),
+            vehicles=tuple(sorted(vehicles)),
+            window_s=self.window_s,
+            k=self.k,
+        )
+        self._flagged[event.signature] = detection
+        self._campaign_vehicles[event.signature] = set(vehicles)
+        self._by_signature.pop(event.signature, None)
+        self.detections.append(detection)
+        return detection
+
+    def _prune(self, signature: str) -> Deque[Tuple[float, str]]:
+        """Keep only entries within the closed window of the newest one;
+        returns the surviving deque (callers must not hold the old one)."""
+        entries = self._by_signature[signature]
+        if not entries:
+            return entries
+        newest = max(t for t, _ in entries)
+        cutoff = newest - self.window_s
+        # Arrival order need not be time order (bounded lateness), so
+        # filter rather than pop from the left.
+        if any(t < cutoff for t, _ in entries):
+            entries = deque((t, v) for t, v in entries if t >= cutoff)
+            self._by_signature[signature] = entries
+        return entries
+
+    # ------------------------------------------------------------------
+    @property
+    def flagged_signatures(self) -> Tuple[str, ...]:
+        return tuple(self._flagged)
+
+    def campaign_vehicles(self, signature: str) -> Set[str]:
+        """All vehicles attributed to a flagged campaign so far."""
+        return set(self._campaign_vehicles.get(signature, set()))
+
+    def pending_vehicles(self, signature: str) -> Set[str]:
+        """Distinct vehicles currently in the (un-flagged) window."""
+        return {v for _, v in self._by_signature.get(signature, ())}
+
+    def metrics(self) -> Dict[str, float]:
+        return {
+            "observed": float(self.observed),
+            "duplicate_ids": float(self.duplicate_ids),
+            "late_dropped": float(self.late_dropped),
+            "low_severity_ignored": float(self.low_severity_ignored),
+            "deduped": float(self.deduped),
+            "campaigns_flagged": float(len(self._flagged)),
+        }

@@ -1,0 +1,164 @@
+"""Incident lifecycle: what the SOC *does* with a detection.
+
+A correlator verdict becomes an :class:`Incident` that walks a strict
+state machine::
+
+    OPEN ──► TRIAGED ──► CONTAINED ──► REMEDIATED
+      │         │
+      └─────────┴──────► FALSE_POSITIVE
+
+Severity scoring follows the safety/security interplay of the paper's
+§3: the base level is the worst ASIL among the triggering events (an IDS
+alert on the powertrain bus outranks a V2X content lie), escalated one
+level when the campaign's spread crosses ``escalation_spread`` vehicles
+-- a class-break in progress is a fleet hazard even when each vehicle's
+local hazard is moderate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.safety import Asil
+from repro.soc.correlate import CampaignDetection
+
+
+class IncidentState(Enum):
+    OPEN = "open"
+    TRIAGED = "triaged"
+    CONTAINED = "contained"
+    REMEDIATED = "remediated"
+    FALSE_POSITIVE = "false-positive"
+
+
+_ALLOWED: Dict[IncidentState, Set[IncidentState]] = {
+    IncidentState.OPEN: {IncidentState.TRIAGED, IncidentState.FALSE_POSITIVE},
+    IncidentState.TRIAGED: {IncidentState.CONTAINED, IncidentState.FALSE_POSITIVE},
+    IncidentState.CONTAINED: {IncidentState.REMEDIATED},
+    IncidentState.REMEDIATED: set(),
+    IncidentState.FALSE_POSITIVE: set(),
+}
+
+
+class InvalidTransition(RuntimeError):
+    """Raised on a lifecycle step the state machine forbids."""
+
+
+@dataclass
+class Incident:
+    """One fleet-level security incident."""
+
+    incident_id: str
+    signature: str
+    opened_at: float
+    severity: Asil
+    state: IncidentState = IncidentState.OPEN
+    vehicles: Set[str] = field(default_factory=set)
+    history: List[Tuple[float, IncidentState]] = field(default_factory=list)
+    base_severity: Optional[Asil] = None  # pre-escalation level
+
+    def __post_init__(self) -> None:
+        if self.base_severity is None:
+            self.base_severity = self.severity
+        if not self.history:
+            self.history.append((self.opened_at, IncidentState.OPEN))
+
+    def advance(self, now: float, state: IncidentState) -> None:
+        if state not in _ALLOWED[self.state]:
+            raise InvalidTransition(
+                f"{self.incident_id}: {self.state.value} -> {state.value}"
+            )
+        self.state = state
+        self.history.append((now, state))
+
+    def _entered(self, state: IncidentState) -> Optional[float]:
+        for t, s in self.history:
+            if s is state:
+                return t
+        return None
+
+    @property
+    def time_to_containment_s(self) -> Optional[float]:
+        t = self._entered(IncidentState.CONTAINED)
+        return None if t is None else t - self.opened_at
+
+    @property
+    def time_to_remediation_s(self) -> Optional[float]:
+        t = self._entered(IncidentState.REMEDIATED)
+        return None if t is None else t - self.opened_at
+
+    @property
+    def closed(self) -> bool:
+        return self.state in (IncidentState.REMEDIATED, IncidentState.FALSE_POSITIVE)
+
+
+class IncidentTracker:
+    """Opens incidents from detections; aggregates lifecycle metrics."""
+
+    def __init__(self, escalation_spread: int = 25) -> None:
+        self.escalation_spread = escalation_spread
+        self.incidents: Dict[str, Incident] = {}          # by incident id
+        self._by_signature: Dict[str, Incident] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def score(self, base: Asil, spread: int) -> Asil:
+        """Base ASIL, bumped one level at fleet-scale spread."""
+        level = int(base)
+        if spread >= self.escalation_spread:
+            level += 1
+        return Asil(min(int(Asil.D), max(int(Asil.A), level)))
+
+    def open_from_detection(self, detection: CampaignDetection,
+                            base_severity: Asil = Asil.B) -> Incident:
+        if detection.signature in self._by_signature:
+            return self._by_signature[detection.signature]
+        self._counter += 1
+        incident = Incident(
+            incident_id=f"INC-{self._counter:05d}",
+            signature=detection.signature,
+            opened_at=detection.detect_time,
+            severity=self.score(base_severity, detection.spread),
+            vehicles=set(detection.vehicles),
+            base_severity=base_severity,
+        )
+        self.incidents[incident.incident_id] = incident
+        self._by_signature[detection.signature] = incident
+        return incident
+
+    def incident_for(self, signature: str) -> Optional[Incident]:
+        return self._by_signature.get(signature)
+
+    def attach_vehicle(self, signature: str, vehicle_id: str) -> None:
+        incident = self._by_signature.get(signature)
+        if incident is not None and not incident.closed:
+            incident.vehicles.add(vehicle_id)
+            # Always score from the pre-escalation base so spread growth
+            # bumps exactly one level, never compounds per attachment.
+            bumped = self.score(incident.base_severity or incident.severity,
+                                len(incident.vehicles))
+            if bumped > incident.severity:
+                incident.severity = bumped
+
+    # ------------------------------------------------------------------
+    def count_by_state(self) -> Dict[str, int]:
+        counts = {state.value: 0 for state in IncidentState}
+        for incident in self.incidents.values():
+            counts[incident.state.value] += 1
+        return counts
+
+    def mean_time_to_containment_s(self) -> float:
+        times = [
+            i.time_to_containment_s for i in self.incidents.values()
+            if i.time_to_containment_s is not None
+        ]
+        return sum(times) / len(times) if times else 0.0
+
+    def mean_time_to_remediation_s(self) -> float:
+        times = [
+            i.time_to_remediation_s for i in self.incidents.values()
+            if i.time_to_remediation_s is not None
+        ]
+        return sum(times) / len(times) if times else 0.0
