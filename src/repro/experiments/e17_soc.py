@@ -3,10 +3,15 @@
 The paper's §7 centralized-policy direction implies a backend consuming
 fleet telemetry; §4.2's class-break argument says that backend is where
 an attack on one vehicle becomes *observable* as an attack on the fleet.
-E17 runs the :mod:`repro.soc` stack over fleets of 10^2..10^5 vehicles
+E17 runs the :mod:`repro.soc` stack over fleets of 10^2..10^6 vehicles
 with seeded cross-fleet attack campaigns planted in benign noise, and
 for every cell also runs the identical scenario with response disabled
-(the no-SOC baseline).  Reported per cell:
+(the no-SOC baseline).  Cells at/above :data:`SHARDED_FLEET` run the
+scale-out configuration -- a :class:`~repro.soc.shard.ShardedIngestPipeline`
+worker pool plus the numpy-vectorized workload generator -- and *every*
+cell runs with the :class:`~repro.soc.shard.ConservationAudit` enabled,
+so a single unaccounted event in any pump of any cell fails the
+experiment loudly.  Reported per cell:
 
 - ingest health: offered vs dispatched events, shed rate (explicit, not
   silent), peak queue depth, mean dispatch latency;
@@ -40,11 +45,31 @@ DEFAULT_GRID: Tuple[Tuple[int, float], ...] = (
     (1_000, 0.02),
     (10_000, 0.01),
     (100_000, 0.002),
+    (1_000_000, 0.0005),
 )
 
 DURATION_S = 40.0
 CAPACITY_EPS = 250.0
 K = 3
+
+#: Fleet size at/above which a cell runs the scale-out configuration:
+#: a sharded ingest pipeline (NUM_SHARDS workers sharing a budget of
+#: CAPACITY_EPS per worker) and the numpy-vectorized workload generator.
+#: Cells below it keep the exact single-pipeline configuration (and
+#: random-draw sequences) the pre-shard tables published.
+SHARDED_FLEET = 1_000_000
+NUM_SHARDS = 8
+
+
+def _cell_config(n_vehicles: int, capacity_eps: float) -> Dict[str, object]:
+    """Scale knobs for one cell: sharded + vectorized at/above
+    :data:`SHARDED_FLEET`, the seed-identical scalar setup below it."""
+    if n_vehicles >= SHARDED_FLEET:
+        return {"num_shards": NUM_SHARDS,
+                "capacity_eps": capacity_eps * NUM_SHARDS,
+                "vectorized": True}
+    return {"num_shards": 1, "capacity_eps": capacity_eps,
+            "vectorized": False}
 
 
 def _scene(
@@ -54,6 +79,8 @@ def _scene(
     respond: bool,
     duration_s: float = DURATION_S,
     capacity_eps: float = CAPACITY_EPS,
+    num_shards: int = 1,
+    vectorized: bool = False,
 ) -> Dict[str, float]:
     """One fleet, one SOC configuration; returns the flat metrics dict."""
     sim = Simulator()
@@ -62,13 +89,18 @@ def _scene(
     fleet = FleetModel(n_vehicles, campaigns)
     soc = SecurityOperationsCenter(
         sim, fleet, capacity_eps=capacity_eps, k=K, respond=respond,
+        num_shards=num_shards,
     )
-    generator = FleetWorkloadGenerator(sim, rng, fleet, soc.pipeline)
+    generator = FleetWorkloadGenerator(sim, rng, fleet, soc.pipeline,
+                                       vectorized=vectorized)
     soc.start()
     generator.start()
     sim.run_until(duration_s)
-    # Final drain so in-flight events are accounted before scoring.
+    # Final drain so in-flight events are accounted before scoring --
+    # audited like every scheduled pump.
     soc.pipeline.pump(sim.now)
+    if soc.audit is not None:
+        soc.audit.check(soc.pipeline)
 
     metrics = soc.metrics()
     metrics["suppressed_at_source"] = float(generator.suppressed_at_source)
@@ -93,10 +125,11 @@ def run(
          "compromised_nosoc", "averted"],
     )
     for n_vehicles, prevalence in (grid or DEFAULT_GRID):
+        config = _cell_config(n_vehicles, capacity_eps)
         with_soc = _scene(n_vehicles, prevalence, seed, respond=True,
-                          duration_s=duration_s, capacity_eps=capacity_eps)
+                          duration_s=duration_s, **config)
         baseline = _scene(n_vehicles, prevalence, seed, respond=False,
-                          duration_s=duration_s, capacity_eps=capacity_eps)
+                          duration_s=duration_s, **config)
         result.add(
             fleet=n_vehicles,
             prevalence=prevalence,

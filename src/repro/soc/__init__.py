@@ -11,6 +11,11 @@ out.  This package is that backend:
   gateway quarantine, UDS SecurityAccess failures).
 - :mod:`repro.soc.ingest` -- bounded-queue ingestion with batching,
   explicit load-shedding policies, and a backpressure signal.
+- :mod:`repro.soc.shard` -- scale-out ingest: N partitioned pipelines
+  (pluggable per-signature/per-region shard keys) drained round-robin
+  from a worker pool with a shared capacity budget, plus the
+  :class:`~repro.soc.shard.ConservationAudit` that re-proves the
+  shed/backpressure accounting per shard and globally after every pump.
 - :mod:`repro.soc.correlate` -- sliding-window cross-vehicle
   correlation: per-vehicle dedup, duplicate/late-event hygiene, and
   k-vehicles-in-window campaign detection.
@@ -21,7 +26,8 @@ out.  This package is that backend:
   campaigns (:mod:`repro.ota`), scored by detection-to-remediation
   latency and blast radius averted.
 - :mod:`repro.soc.fleet` -- O(events) fleet workload generator (benign
-  noise, seeded attack campaigns, re-emissions) for 10^2..10^5 vehicles.
+  noise, seeded attack campaigns, re-emissions) for 10^2..10^5 vehicles
+  scalar, 10^6+ via the numpy-vectorized path.
 - :mod:`repro.soc.center` -- the facade wiring it all together.
 
 Experiment E17 (:mod:`repro.experiments.e17_soc`) sweeps fleet size and
@@ -40,6 +46,14 @@ from repro.soc.events import (
     make_event_id,
 )
 from repro.soc.ingest import BoundedQueue, IngestPipeline, ShedPolicy, StageStats
+from repro.soc.shard import (
+    ConservationAudit,
+    ConservationError,
+    ShardedIngestPipeline,
+    ShardKeyFn,
+    region_shard_key,
+    signature_shard_key,
+)
 from repro.soc.correlate import CampaignDetection, CorrelationEngine
 from repro.soc.incident import (
     Incident,
@@ -49,6 +63,7 @@ from repro.soc.incident import (
 )
 from repro.soc.respond import RemediationOutcome, ResponseOrchestrator
 from repro.soc.fleet import (
+    VECTORIZE_THRESHOLD,
     AttackCampaign,
     FleetModel,
     FleetWorkloadGenerator,
@@ -71,6 +86,12 @@ __all__ = [
     "IngestPipeline",
     "ShedPolicy",
     "StageStats",
+    "ConservationAudit",
+    "ConservationError",
+    "ShardedIngestPipeline",
+    "ShardKeyFn",
+    "region_shard_key",
+    "signature_shard_key",
     "CampaignDetection",
     "CorrelationEngine",
     "Incident",
@@ -79,6 +100,7 @@ __all__ = [
     "InvalidTransition",
     "RemediationOutcome",
     "ResponseOrchestrator",
+    "VECTORIZE_THRESHOLD",
     "AttackCampaign",
     "FleetModel",
     "FleetWorkloadGenerator",

@@ -18,6 +18,7 @@ from repro.soc.fleet import FleetModel
 from repro.soc.incident import IncidentTracker
 from repro.soc.ingest import IngestPipeline, ShedPolicy
 from repro.soc.respond import ResponseOrchestrator
+from repro.soc.shard import ConservationAudit, ShardedIngestPipeline, ShardKeyFn
 
 
 class SecurityOperationsCenter:
@@ -43,16 +44,35 @@ class SecurityOperationsCenter:
         respond: bool = True,
         ota_sample: int = 1,
         pump_tick_s: float = 0.25,
+        num_shards: int = 1,
+        shard_key: Optional[ShardKeyFn] = None,
+        audit: bool = True,
     ) -> None:
         self.sim = sim
         self.fleet = fleet
         self.pump_tick_s = pump_tick_s
 
-        self.pipeline = IngestPipeline(
-            capacity_eps=capacity_eps,
-            queue_capacity=queue_capacity,
-            batch_size=batch_size,
-            shed_policy=shed_policy,
+        # num_shards=1 keeps the plain single-queue pipeline (the two are
+        # behaviorally identical -- the differential tests prove it -- but
+        # the plain object is what the pre-shard seed benchmarks pinned).
+        if num_shards > 1:
+            self.pipeline = ShardedIngestPipeline(
+                num_shards=num_shards,
+                shard_key=shard_key,
+                capacity_eps=capacity_eps,
+                queue_capacity=queue_capacity,
+                batch_size=batch_size,
+                shed_policy=shed_policy,
+            )
+        else:
+            self.pipeline = IngestPipeline(
+                capacity_eps=capacity_eps,
+                queue_capacity=queue_capacity,
+                batch_size=batch_size,
+                shed_policy=shed_policy,
+            )
+        self.audit: Optional[ConservationAudit] = (
+            ConservationAudit() if audit else None
         )
         self.correlator = CorrelationEngine(
             window_s=window_s, k=k,
@@ -75,6 +95,8 @@ class SecurityOperationsCenter:
 
     def _pump(self) -> None:
         self.pipeline.pump(self.sim.now)
+        if self.audit is not None:
+            self.audit.check(self.pipeline)
         self.sim.schedule(self.pump_tick_s, self._pump)
 
     def _on_event(self, now: float, event: SecurityEvent) -> None:
@@ -113,4 +135,6 @@ class SecurityOperationsCenter:
             out.update(self.responder.metrics())
         out["fleet_compromised"] = float(self.fleet.total_compromised())
         out["fleet_targets"] = float(self.fleet.total_targets())
+        if self.audit is not None:
+            out["audit_checks"] = float(self.audit.checks)
         return out

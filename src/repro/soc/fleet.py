@@ -4,7 +4,9 @@ Scale discipline: the generator never materializes per-vehicle objects
 or schedules per-vehicle callbacks -- state is O(compromised + events),
 and each simulation tick draws event *counts* from seeded Poisson
 streams and attributes them to vehicle indices on demand.  That is what
-lets E17 sweep fleet sizes to 10^5 in pure Python.
+lets E17 sweep fleet sizes to 10^5 in pure Python; past that, the
+numpy-vectorized path (batch Poisson/index/jitter draws plus bulk
+source suppression under full congestion) carries the 10^6 cell.
 
 Three traffic classes:
 
@@ -19,9 +21,13 @@ Three traffic classes:
 - **re-emissions**: compromised vehicles keep alerting until patched,
   exercising the correlator's per-vehicle dedup.
 
-The generator honors the ingest pipeline's backpressure signal: while
-:attr:`~repro.soc.ingest.IngestPipeline.congested` is set, ASIL-A
-telemetry is suppressed *at the source* (counted, not lost silently).
+The generator honors the ingest pipeline's backpressure signal: while an
+event's own ingestion path reports
+:meth:`~repro.soc.ingest.IngestPipeline.congested_for`, ASIL-A telemetry
+is suppressed *at the source* (counted, not lost silently).  Against a
+:class:`~repro.soc.shard.ShardedIngestPipeline` that signal is per
+shard, so a single hot partition never mutes telemetry bound for cold
+ones.
 """
 
 from __future__ import annotations
@@ -30,9 +36,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+try:  # vectorized workload path; the scalar path needs no numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a test dependency
+    _np = None
+
 from repro.core.safety import Asil
 from repro.ids.base import Alert
 from repro.sim import RngStreams, Simulator
+from repro.sim.rng import derive_seed
 from repro.soc.events import (
     DEFAULT_SOURCE_SEVERITY,
     EventSource,
@@ -179,8 +191,29 @@ class FleetModel:
         return set(self.campaigns)
 
 
+#: Fleet size at/above which the generator auto-switches to the numpy
+#: vectorized benign path (when numpy is importable).  Below it the
+#: scalar path keeps the exact random-draw sequence the pre-vectorized
+#: E17 cells published.
+VECTORIZE_THRESHOLD = 200_000
+
+
 class FleetWorkloadGenerator:
-    """Drives the fleet on the simulation kernel, feeding the pipeline."""
+    """Drives the fleet on the simulation kernel, feeding the pipeline.
+
+    ``vectorized=None`` auto-selects: numpy batch draws for fleets at or
+    above :data:`VECTORIZE_THRESHOLD`, the scalar path otherwise.  The
+    vectorized path draws each tick's benign volume -- Poisson count,
+    vehicle indices, jitters, signature variants -- as whole numpy arrays
+    instead of per-event ``random.Random`` calls (its own deterministic
+    PCG64 stream, so scalar cells are untouched), and adds a bulk
+    suppression fast path: while every ingest shard is congested, an
+    entire tick's ASIL-A noise is counted as source-suppressed without
+    ever constructing the events.  That is what makes the 10^6-vehicle
+    E17 cell affordable: in overload, exactly the traffic that would be
+    thrown away is the traffic never materialized -- and it is still
+    *counted*, never silently lost.
+    """
 
     def __init__(
         self,
@@ -192,6 +225,7 @@ class FleetWorkloadGenerator:
         ambient_rate_eps: float = 0.0001,  # per vehicle per second, ASIL B
         reemit_rate_eps: float = 0.25,    # per compromised, unpatched vehicle
         tick_s: float = 0.5,
+        vectorized: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.fleet = fleet
@@ -209,6 +243,16 @@ class FleetWorkloadGenerator:
         self.ambient_pool = max(32, fleet.n_vehicles // 10)
         self._benign_rng = rng.get("soc.benign")
         self._attack_rng = rng.get("soc.attack")
+        if vectorized is None:
+            vectorized = _np is not None and fleet.n_vehicles >= VECTORIZE_THRESHOLD
+        if vectorized and _np is None:
+            raise RuntimeError("vectorized workload generation requires numpy")
+        self.vectorized = vectorized
+        self._np_rng = (
+            _np.random.Generator(_np.random.PCG64(
+                derive_seed(rng.master_seed, "soc.benign.np")))
+            if vectorized else None
+        )
         self._seq = 0
         self.emitted = 0
         self.suppressed_at_source = 0
@@ -222,7 +266,9 @@ class FleetWorkloadGenerator:
 
     # ------------------------------------------------------------------
     def _offer(self, event: SecurityEvent) -> None:
-        if self.pipeline.congested and event.severity <= Asil.A:
+        # Per-shard backpressure: only throttle telemetry whose own
+        # ingestion path is hot (a plain pipeline has exactly one path).
+        if event.severity <= Asil.A and self.pipeline.congested_for(event):
             self.suppressed_at_source += 1
             return
         self.emitted += 1
@@ -230,9 +276,53 @@ class FleetWorkloadGenerator:
 
     def _tick(self) -> None:
         now = self.sim.now
-        self._benign_traffic(now)
+        if self.vectorized:
+            self._benign_traffic_vectorized(now)
+        else:
+            self._benign_traffic(now)
         self._attack_traffic(now)
         self.sim.schedule(self.tick_s, self._tick)
+
+    def _benign_traffic_vectorized(self, now: float) -> None:
+        """Numpy batch form of :meth:`_benign_traffic`.
+
+        Same traffic model, different RNG stream: counts are exact
+        Poisson draws (no normal approximation), and per-event attributes
+        come from array draws.  While the pipeline is fully congested the
+        ASIL-A block is suppressed in bulk -- counted, not constructed.
+        """
+        rng = self._np_rng
+        n = self.fleet.n_vehicles
+        # Per-vehicle one-off noise (ASIL A): volume, never correlates.
+        k = int(rng.poisson(n * self.benign_rate_eps * self.tick_s))
+        if k and self.pipeline.fully_congested:
+            self.suppressed_at_source += k
+        elif k:
+            vehicles = rng.integers(0, n, size=k)
+            jitters = rng.uniform(-self.tick_s, 0.0, size=k)
+            variants = rng.integers(0, 4, size=k)
+            for index, jitter, variant in zip(vehicles, jitters, variants):
+                vehicle = FleetModel.vehicle_id(int(index))
+                self._offer(make_event(
+                    vehicle, EventSource.V2X,
+                    f"noise.{vehicle}:{int(variant)}",
+                    max(0.0, now + float(jitter)),
+                    self._next_seq(), severity=Asil.A,
+                ))
+        # Shared ambient patterns (ASIL B): actionable-looking, so they
+        # reach the correlator -- never bulk-suppressed.
+        k = int(rng.poisson(n * self.ambient_rate_eps * self.tick_s))
+        if k:
+            vehicles = rng.integers(0, n, size=k)
+            jitters = rng.uniform(-self.tick_s, 0.0, size=k)
+            patterns = rng.integers(0, self.ambient_pool, size=k)
+            for index, jitter, pattern in zip(vehicles, jitters, patterns):
+                self._offer(make_event(
+                    FleetModel.vehicle_id(int(index)), EventSource.GATEWAY,
+                    f"ambient.telemetry:{int(pattern):04d}",
+                    max(0.0, now + float(jitter)),
+                    self._next_seq(), severity=Asil.B,
+                ))
 
     def _benign_traffic(self, now: float) -> None:
         rng = self._benign_rng

@@ -172,8 +172,27 @@ class ResponseOrchestrator:
             self._image_repo = ImageRepository(seed=b"soc/image")
             self._director = DirectorRepository(seed=b"soc/director")
 
+    def _make_vehicle_client(self, vehicle_id: str) -> UptaneClient:
+        """Build one sample vehicle's Uptane client, pinned to the two
+        repositories' root metadata (the factory trust anchors)."""
+        assert self._image_repo is not None and self._director is not None
+        store = FirmwareStore(FirmwareImage(
+            "soc-patch", 1, b"factory", hardware_id="soc-ecu"))
+        return UptaneClient(
+            vehicle_id, store,
+            image_root=self._image_repo.metadata["root"],
+            director_root=self._director.metadata["root"],
+        )
+
     def _run_ota_campaign(self, signature: str, affected: Set[str]) -> int:
-        """Full Uptane verification for a sample; returns installs."""
+        """Full Uptane verification for a sample; returns installs.
+
+        The sample is a canary ring: if any sample vehicle *fails*
+        Uptane verification, the campaign aborts immediately -- the
+        remaining sample is never offered the image (a fleet-wide push
+        of firmware that vehicles reject is worse than a late patch).
+        Failures land in ``ota_results['failed']``, never silently.
+        """
         if self.ota_sample <= 0 or not affected:
             return 0
         self._ensure_ota()
@@ -186,13 +205,7 @@ class ResponseOrchestrator:
         self._image_repo.add_image(image, now)
         installed = 0
         for vehicle_id in sorted(affected)[: self.ota_sample]:
-            store = FirmwareStore(FirmwareImage(
-                "soc-patch", 1, b"factory", hardware_id="soc-ecu"))
-            client = UptaneClient(
-                vehicle_id, store,
-                image_root=self._image_repo.metadata["root"],
-                director_root=self._director.metadata["root"],
-            )
+            client = self._make_vehicle_client(vehicle_id)
             self._director.assign(vehicle_id, image, now)
             result = client.update(self._director, self._image_repo, now)
             if result.installed:
@@ -200,6 +213,7 @@ class ResponseOrchestrator:
                 self.ota_results["installed"] += 1
             else:
                 self.ota_results["failed"] += 1
+                break
         return installed
 
     # ------------------------------------------------------------------

@@ -34,6 +34,9 @@ from repro.soc import (
     make_event,
     poisson_draw,
 )
+from repro.core.policy import SecurityPolicy
+from repro.ecu.firmware import FirmwareImage, FirmwareStore
+from repro.ota import DirectorRepository, UptaneClient
 from repro.v2x.misbehavior import MisbehaviorReport
 from repro.experiments import e17_soc
 
@@ -161,6 +164,19 @@ class TestIngestPipeline:
         assert pipe.queue.shed == 12
         assert pipe.shed_rate == pytest.approx(12 / 20)
         assert pipe.congested
+
+    def test_first_pump_budget_quirk_pinned(self):
+        # Regression pin for the intended first-pump quirk: a cold
+        # backend has no elapsed-time reference, so the first pump always
+        # grants exactly batch_size -- never capacity_eps * now.  The
+        # sharded drain loop replicates this per worker; if either side
+        # changes, the shard=1 differential equivalence silently breaks.
+        pipe = IngestPipeline(capacity_eps=1000.0, batch_size=8)
+        for i in range(50):
+            assert pipe.offer(0.0, ev(f"v{i}", "s", 0.0))
+        assert pipe.pump(5.0) == 8       # one batch, not 5000
+        assert pipe.pump(5.0) == 0       # zero elapsed => zero budget
+        assert pipe.pump(6.0) == 42      # then capacity_eps * dt applies
 
     def test_sink_sees_events_with_latency_accounted(self):
         pipe = IngestPipeline(capacity_eps=100.0)
@@ -377,6 +393,74 @@ class TestResponseLoop:
         assert outcome.detection_to_remediation_s > \
             outcome.detection_to_containment_s > 0
 
+    def test_tampered_policy_push_is_rejected(self):
+        # The §7 centralized-policy path fails closed: a bit-flipped
+        # bundle never reaches the vehicle-side engine's policy.
+        sim = Simulator()
+        fleet = FleetModel(5, [])
+        orchestrator = ResponseOrchestrator(sim, IncidentTracker(), fleet)
+        current = orchestrator.oem_engine.policy
+        candidate = SecurityPolicy(version=current.version + 1,
+                                   rules=list(current.rules),
+                                   default=current.default)
+        blob, tag = orchestrator.oem_engine.export_update(
+            candidate, b"soc-policy-key!!")
+        tampered = bytes([blob[0] ^ 0x01]) + blob[1:]
+        with pytest.raises(PermissionError):
+            orchestrator.vehicle_engine.apply_update(tampered, tag)
+        # A forged tag fails the same way; version never moved.
+        with pytest.raises(PermissionError):
+            orchestrator.vehicle_engine.apply_update(blob, b"\x00" * len(tag))
+        assert orchestrator.vehicle_engine.policy.version == 1
+        assert orchestrator.vehicle_engine.update_history == [1]
+        # The untampered bundle still applies -- the key is fine, the
+        # rejection above was the integrity check.
+        orchestrator.vehicle_engine.apply_update(blob, tag)
+        assert orchestrator.vehicle_engine.policy.version == 2
+
+    def test_ota_campaign_aborts_on_uptane_verification_failure(self):
+        # A sample (canary) vehicle pinned to the wrong director root
+        # fails full Uptane metadata verification; the campaign must
+        # abort -- counting the failure, installing nothing further.
+        class WrongRootOrchestrator(ResponseOrchestrator):
+            def _make_vehicle_client(self, vehicle_id):
+                if vehicle_id == "v000000":     # first canary
+                    rogue = DirectorRepository(seed=b"rogue/director")
+                    store = FirmwareStore(FirmwareImage(
+                        "soc-patch", 1, b"factory", hardware_id="soc-ecu"))
+                    return UptaneClient(
+                        vehicle_id, store,
+                        image_root=self._image_repo.metadata["root"],
+                        director_root=rogue.metadata["root"])
+                return super()._make_vehicle_client(vehicle_id)
+
+        sim = Simulator()
+        campaign = AttackCampaign(
+            "c0", EventSource.IDS, 0.0,
+            tuple(FleetModel.vehicle_id(i) for i in range(10)), 5.0)
+        fleet = FleetModel(10, [campaign])
+        tracker = IncidentTracker()
+        orchestrator = WrongRootOrchestrator(sim, tracker, fleet,
+                                             ota_sample=3)
+        detection = CampaignDetection(campaign.signature, 1.0, 0.5,
+                                      ("v000000", "v000001", "v000002"),
+                                      8.0, 3)
+        incident = tracker.open_from_detection(detection, Asil.D)
+        orchestrator.on_detection(incident)
+        sim.run()
+
+        # Containment still happened (policy push is independent), but
+        # the rollout stopped at the failing canary: 0 installs, 1
+        # counted failure, remaining sample untouched.
+        assert incident.state is IncidentState.REMEDIATED
+        assert campaign.signature in fleet.contained_at
+        assert orchestrator.ota_results == {"installed": 0, "failed": 1}
+        outcome = orchestrator.outcomes[0]
+        assert outcome.ota_verified_sample == 0
+        metrics = orchestrator.metrics()
+        assert metrics["ota_installs"] == 0
+        assert metrics["ota_failures"] == 1
+
     def test_containment_halts_spread(self):
         campaign = AttackCampaign("c0", EventSource.IDS, 0.0,
                                   tuple(FleetModel.vehicle_id(i) for i in range(20)),
@@ -414,6 +498,7 @@ class TestE17:
         assert metrics["recall"] == 1.0
         assert metrics["precision"] >= 0.9
         assert metrics["policy_pushes"] >= 3
+        assert metrics["audit_checks"] > 0   # conservation held every pump
         baseline = e17_soc._scene(300, 0.03, seed=2, respond=False,
                                   duration_s=25.0)
         assert metrics["fleet_compromised"] <= baseline["fleet_compromised"]
