@@ -3,15 +3,17 @@
 The paper's §7 centralized-policy direction implies a backend consuming
 fleet telemetry; §4.2's class-break argument says that backend is where
 an attack on one vehicle becomes *observable* as an attack on the fleet.
-E17 runs the :mod:`repro.soc` stack over fleets of 10^2..10^6 vehicles
+E17 runs the :mod:`repro.soc` stack over fleets of 10^2..10^7 vehicles
 with seeded cross-fleet attack campaigns planted in benign noise, and
 for every cell also runs the identical scenario with response disabled
 (the no-SOC baseline).  Cells at/above :data:`SHARDED_FLEET` run the
 scale-out configuration -- a :class:`~repro.soc.shard.ShardedIngestPipeline`
-worker pool plus the numpy-vectorized workload generator -- and *every*
-cell runs with the :class:`~repro.soc.shard.ConservationAudit` enabled,
-so a single unaccounted event in any pump of any cell fails the
-experiment loudly.  Reported per cell:
+worker pool, **shard-local correlators** stitched by the
+:class:`~repro.soc.correlate.GlobalCampaignMerger`, batched sink
+delivery end-to-end, and the numpy-vectorized workload generator -- and
+*every* cell runs with the :class:`~repro.soc.shard.ConservationAudit`
+enabled, so a single unaccounted event in any pump of any cell fails
+the experiment loudly.  Reported per cell:
 
 - ingest health: offered vs dispatched events, shed rate (explicit, not
   silent), peak queue depth, mean dispatch latency;
@@ -22,21 +24,34 @@ experiment loudly.  Reported per cell:
   response on vs off.
 
 Deterministic for a fixed seed: all stochastic draws go through named
-:class:`~repro.sim.RngStreams`.
+:class:`~repro.sim.RngStreams` (wall-clock timings, when requested, ride
+in a side dict so the published tables stay bit-reproducible).
+
+:func:`correlate_microbench` is the perf-trajectory probe behind
+``BENCH_E17.json``: it times the batched correlate fast path against the
+same-run per-event baseline (:class:`ReferenceCorrelationEngine`, the
+pre-optimization implementation kept as executable spec).
 """
 
 from __future__ import annotations
 
+import json
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.sweep import SweepResult
 from repro.sim import RngStreams, Simulator
 from repro.soc import (
+    CorrelationEngine,
+    EventSource,
     FleetModel,
     FleetWorkloadGenerator,
+    ReferenceCorrelationEngine,
     SecurityOperationsCenter,
+    make_event,
     seeded_campaigns,
 )
+from repro.core.safety import Asil
 
 #: (fleet size, attack prevalence) grid; prevalence shrinks with scale so
 #: planted campaigns stay a minority class against the benign noise.
@@ -46,6 +61,7 @@ DEFAULT_GRID: Tuple[Tuple[int, float], ...] = (
     (10_000, 0.01),
     (100_000, 0.002),
     (1_000_000, 0.0005),
+    (10_000_000, 0.0001),
 )
 
 DURATION_S = 40.0
@@ -54,16 +70,26 @@ K = 3
 
 #: Fleet size at/above which a cell runs the scale-out configuration:
 #: a sharded ingest pipeline (NUM_SHARDS workers sharing a budget of
-#: CAPACITY_EPS per worker) and the numpy-vectorized workload generator.
-#: Cells below it keep the exact single-pipeline configuration (and
-#: random-draw sequences) the pre-shard tables published.
+#: CAPACITY_EPS per worker), shard-local correlators behind the global
+#: campaign merger, batched sink delivery, and the numpy-vectorized
+#: workload generator.  Cells below it keep the single-pipeline,
+#: single-correlator configuration (batched delivery is on everywhere --
+#: it is differential-tested byte-identical to per-event).
 SHARDED_FLEET = 1_000_000
 NUM_SHARDS = 8
+#: The 10^7 cell widens the worker pool again: twice the shards, twice
+#: the shared backend budget.
+MEGA_FLEET = 10_000_000
+MEGA_SHARDS = 16
 
 
 def _cell_config(n_vehicles: int, capacity_eps: float) -> Dict[str, object]:
     """Scale knobs for one cell: sharded + vectorized at/above
     :data:`SHARDED_FLEET`, the seed-identical scalar setup below it."""
+    if n_vehicles >= MEGA_FLEET:
+        return {"num_shards": MEGA_SHARDS,
+                "capacity_eps": capacity_eps * MEGA_SHARDS,
+                "vectorized": True}
     if n_vehicles >= SHARDED_FLEET:
         return {"num_shards": NUM_SHARDS,
                 "capacity_eps": capacity_eps * NUM_SHARDS,
@@ -97,10 +123,8 @@ def _scene(
     generator.start()
     sim.run_until(duration_s)
     # Final drain so in-flight events are accounted before scoring --
-    # audited like every scheduled pump.
-    soc.pipeline.pump(sim.now)
-    if soc.audit is not None:
-        soc.audit.check(soc.pipeline)
+    # audited (and campaign-merged) like every scheduled pump.
+    soc.final_drain()
 
     metrics = soc.metrics()
     metrics["suppressed_at_source"] = float(generator.suppressed_at_source)
@@ -115,8 +139,16 @@ def run(
     grid: Optional[Sequence[Tuple[int, float]]] = None,
     duration_s: float = DURATION_S,
     capacity_eps: float = CAPACITY_EPS,
+    timings: Optional[Dict[int, Dict[str, float]]] = None,
 ) -> SweepResult:
-    """Fleet-size x prevalence sweep, SOC vs no-SOC baseline per cell."""
+    """Fleet-size x prevalence sweep, SOC vs no-SOC baseline per cell.
+
+    ``timings``, when given, is filled per fleet size with wall-clock
+    figures (``wall_s`` for the SOC scene incl. its baseline twin, and
+    the real-time ``ingest_correlate_eps`` the SOC scene sustained) --
+    kept out of the SweepResult so the published tables and the
+    determinism tests stay independent of host speed.
+    """
     result = SweepResult(
         "E17: fleet VSOC -- ingest, correlate, contain vs no-SOC baseline",
         ["fleet", "prevalence", "offered_eps", "shed_rate", "src_suppressed",
@@ -126,10 +158,20 @@ def run(
     )
     for n_vehicles, prevalence in (grid or DEFAULT_GRID):
         config = _cell_config(n_vehicles, capacity_eps)
+        t0 = time.perf_counter()
         with_soc = _scene(n_vehicles, prevalence, seed, respond=True,
                           duration_s=duration_s, **config)
+        t_soc = time.perf_counter() - t0
         baseline = _scene(n_vehicles, prevalence, seed, respond=False,
                           duration_s=duration_s, **config)
+        wall_s = time.perf_counter() - t0
+        if timings is not None:
+            processed = with_soc["dispatched"] + with_soc["emitted"]
+            timings[n_vehicles] = {
+                "wall_s": wall_s,
+                "soc_scene_wall_s": t_soc,
+                "ingest_correlate_eps": processed / t_soc if t_soc > 0 else 0.0,
+            }
         result.add(
             fleet=n_vehicles,
             prevalence=prevalence,
@@ -156,3 +198,97 @@ def summary(seed: int = 0,
     """Plain-dict form of :func:`run` (the determinism tests pin this)."""
     result = run(seed=seed, grid=grid, duration_s=duration_s)
     return {"rows": [dict(row) for row in result.rows]}
+
+
+# ----------------------------------------------------------------------
+# Perf trajectory: correlate-path throughput (BENCH_E17.json)
+# ----------------------------------------------------------------------
+
+def _correlate_stream(n_events: int, n_signatures: int, window_s: float,
+                      per_sig_window: int) -> List:
+    """Synthetic correlate workload: ``n_signatures`` concurrently active
+    signatures, each holding ~``per_sig_window`` live entries -- the
+    regime where the reference engine's per-event window rescan hurts."""
+    dt = window_s / (n_signatures * per_sig_window)
+    return [
+        make_event(f"v{i:07d}", EventSource.IDS,
+                   f"bench.sig:{i % n_signatures:03d}", i * dt, i,
+                   severity=Asil.C)
+        for i in range(n_events)
+    ]
+
+
+def correlate_microbench(
+    n_events: int = 30_000,
+    n_signatures: int = 64,
+    window_s: float = 4.0,
+    per_sig_window: int = 256,
+    batch_size: int = 64,
+) -> Dict[str, float]:
+    """Time the three correlate paths on one identical stream:
+
+    - ``reference_eps``: the pre-optimization per-event engine
+      (:class:`ReferenceCorrelationEngine`, O(window) per event) -- the
+      same-run baseline the speedups are measured against;
+    - ``per_event_eps``: the incremental engine fed one event per call;
+    - ``batched_eps``: the incremental engine fed ``batch_size``-event
+      batches via :meth:`~CorrelationEngine.observe_batch`.
+
+    ``k`` is set unreachably high so no campaign fires and every event
+    pays the full window-maintenance cost; lateness is unbounded and
+    dedup disabled so nothing short-circuits.
+    """
+    events = _correlate_stream(n_events, n_signatures, window_s,
+                               per_sig_window)
+    kwargs = dict(window_s=window_s, k=1_000_000, dedup_window_s=0.0,
+                  max_lateness_s=1e12)
+
+    reference = ReferenceCorrelationEngine(**kwargs)
+    t0 = time.perf_counter()
+    for event in events:
+        reference.observe(event)
+    reference_s = time.perf_counter() - t0
+
+    per_event = CorrelationEngine(**kwargs)
+    t0 = time.perf_counter()
+    for event in events:
+        per_event.observe(event)
+    per_event_s = time.perf_counter() - t0
+
+    batched = CorrelationEngine(**kwargs)
+    t0 = time.perf_counter()
+    for start in range(0, n_events, batch_size):
+        batched.observe_batch(events[start:start + batch_size])
+    batched_s = time.perf_counter() - t0
+
+    # The three paths must have done the same correlation work.
+    assert (reference.metrics() == per_event.metrics() == batched.metrics())
+    assert reference.watermark == per_event.watermark == batched.watermark
+
+    return {
+        "events": float(n_events),
+        "reference_eps": n_events / reference_s,
+        "per_event_eps": n_events / per_event_s,
+        "batched_eps": n_events / batched_s,
+        "speedup_batched_vs_reference": reference_s / batched_s,
+        "speedup_batched_vs_per_event": per_event_s / batched_s,
+        "speedup_per_event_vs_reference": reference_s / per_event_s,
+    }
+
+
+def write_bench_json(
+    path,
+    cells: List[Dict[str, float]],
+    correlate: Dict[str, float],
+) -> Dict[str, object]:
+    """Write the machine-readable E17 perf record (``BENCH_E17.json``)."""
+    payload = {
+        "schema": "bench-e17/v1",
+        "duration_s": DURATION_S,
+        "cells": cells,
+        "correlate": correlate,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload

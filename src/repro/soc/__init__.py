@@ -44,6 +44,7 @@ from repro.soc.events import (
     from_uds_security_failure,
     make_event,
     make_event_id,
+    source_for_signature,
 )
 from repro.soc.ingest import BoundedQueue, IngestPipeline, ShedPolicy, StageStats
 from repro.soc.shard import (
@@ -54,7 +55,12 @@ from repro.soc.shard import (
     region_shard_key,
     signature_shard_key,
 )
-from repro.soc.correlate import CampaignDetection, CorrelationEngine
+from repro.soc.correlate import (
+    CampaignDetection,
+    CorrelationEngine,
+    GlobalCampaignMerger,
+    ReferenceCorrelationEngine,
+)
 from repro.soc.incident import (
     Incident,
     IncidentState,
@@ -82,6 +88,7 @@ __all__ = [
     "from_uds_security_failure",
     "make_event",
     "make_event_id",
+    "source_for_signature",
     "BoundedQueue",
     "IngestPipeline",
     "ShedPolicy",
@@ -94,6 +101,8 @@ __all__ = [
     "signature_shard_key",
     "CampaignDetection",
     "CorrelationEngine",
+    "GlobalCampaignMerger",
+    "ReferenceCorrelationEngine",
     "Incident",
     "IncidentState",
     "IncidentTracker",

@@ -4,16 +4,38 @@ Wires the four subsystem stages into one
 :class:`SecurityOperationsCenter` running on a shared simulation kernel,
 and aggregates every stage's counters into a single flat ``metrics()``
 dict (the shape E17 publishes and the determinism tests pin).
+
+Correlation topology scales with the ingest topology:
+
+- ``num_shards == 1``: one :class:`~repro.soc.correlate.CorrelationEngine`
+  fed straight off the pipeline (batched by default -- one Python call
+  per drained batch via ``add_batch_sink`` / ``observe_batch`` -- with
+  ``batched=False`` keeping the one-call-per-event path the differential
+  tests compare against);
+- ``num_shards > 1``: one **shard-local** engine per ingest shard plus a
+  :class:`~repro.soc.correlate.GlobalCampaignMerger` that stitches the
+  local verdicts (and, under region sharding, sub-threshold cross-shard
+  windows) into fleet-wide campaigns after every pump.  Merged campaigns
+  are adopted back into every engine so spread attribution stays exact
+  and one event is never correlated twice.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.safety import Asil
 from repro.sim import Simulator
-from repro.soc.correlate import CorrelationEngine
-from repro.soc.events import DEFAULT_SOURCE_SEVERITY, SecurityEvent
+from repro.soc.correlate import (
+    CampaignDetection,
+    CorrelationEngine,
+    GlobalCampaignMerger,
+)
+from repro.soc.events import (
+    DEFAULT_SOURCE_SEVERITY,
+    SecurityEvent,
+    source_for_signature,
+)
 from repro.soc.fleet import FleetModel
 from repro.soc.incident import IncidentTracker
 from repro.soc.ingest import IngestPipeline, ShedPolicy
@@ -27,6 +49,12 @@ class SecurityOperationsCenter:
     ``respond=False`` gives the observe-only configuration used as the
     E17 baseline: everything is ingested and correlated, but no incident
     ever reaches containment -- the fleet burns.
+
+    ``batched`` selects batch delivery end-to-end (list-per-drained-batch
+    sinks feeding ``observe_batch``); the per-event path remains only as
+    the differential baseline.  ``shard_local_correlate`` (default: on
+    whenever ``num_shards > 1``) gives every ingest shard its own
+    correlator, stitched by a :class:`GlobalCampaignMerger` each pump.
     """
 
     def __init__(
@@ -47,6 +75,8 @@ class SecurityOperationsCenter:
         num_shards: int = 1,
         shard_key: Optional[ShardKeyFn] = None,
         audit: bool = True,
+        batched: bool = True,
+        shard_local_correlate: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.fleet = fleet
@@ -74,17 +104,43 @@ class SecurityOperationsCenter:
         self.audit: Optional[ConservationAudit] = (
             ConservationAudit() if audit else None
         )
-        self.correlator = CorrelationEngine(
-            window_s=window_s, k=k,
-            dedup_window_s=dedup_window_s, max_lateness_s=max_lateness_s,
-        )
+
+        def _engine() -> CorrelationEngine:
+            return CorrelationEngine(
+                window_s=window_s, k=k,
+                dedup_window_s=dedup_window_s, max_lateness_s=max_lateness_s,
+            )
+
+        if shard_local_correlate is None:
+            shard_local_correlate = num_shards > 1
+        if shard_local_correlate and num_shards > 1:
+            self.correlators: List[CorrelationEngine] = [
+                _engine() for _ in range(num_shards)
+            ]
+            self.correlator: Optional[CorrelationEngine] = None
+            self.merger: Optional[GlobalCampaignMerger] = (
+                GlobalCampaignMerger(window_s=window_s, k=k)
+            )
+            for shard, engine in zip(self.pipeline.shards, self.correlators):
+                if batched:
+                    shard.add_batch_sink(self._shard_batch_handler(engine))
+                else:
+                    shard.add_sink(self._shard_event_handler(engine))
+        else:
+            self.correlator = _engine()
+            self.correlators = [self.correlator]
+            self.merger = None
+            if batched:
+                self.pipeline.add_batch_sink(self._on_batch)
+            else:
+                self.pipeline.add_sink(self._on_event)
+
         self.tracker = IncidentTracker()
         self.responder: Optional[ResponseOrchestrator] = (
             ResponseOrchestrator(sim, self.tracker, fleet,
                                  ota_sample=ota_sample)
             if respond else None
         )
-        self.pipeline.add_sink(self._on_event)
         self._started = False
 
     # ------------------------------------------------------------------
@@ -97,20 +153,84 @@ class SecurityOperationsCenter:
         self.pipeline.pump(self.sim.now)
         if self.audit is not None:
             self.audit.check(self.pipeline)
+        self._merge_campaigns()
         self.sim.schedule(self.pump_tick_s, self._pump)
 
+    def final_drain(self) -> None:
+        """One last audited pump + campaign merge so in-flight events are
+        accounted before scoring (E17 calls this after the sim ends)."""
+        self.pipeline.pump(self.sim.now)
+        if self.audit is not None:
+            self.audit.check(self.pipeline)
+        self._merge_campaigns()
+
+    # ------------------------------------------------------------------
+    # Correlation sinks
+    # ------------------------------------------------------------------
     def _on_event(self, now: float, event: SecurityEvent) -> None:
         detection = self.correlator.observe(event)
         if detection is not None:
-            base = DEFAULT_SOURCE_SEVERITY.get(event.source, Asil.A)
-            incident = self.tracker.open_from_detection(detection, base)
-            if self.responder is not None:
-                self.responder.on_detection(incident)
-        elif event.signature in self.correlator.flagged_signatures:
+            self._open_incident(
+                detection, DEFAULT_SOURCE_SEVERITY.get(event.source, Asil.A))
+        elif self.correlator.is_flagged(event.signature):
             self.tracker.attach_vehicle(event.signature, event.vehicle_id)
+
+    def _on_batch(self, now: float, events: List[SecurityEvent]) -> None:
+        correlator = self.correlator
+        tracker = self.tracker
+        for event, detection in zip(events, correlator.observe_batch(events)):
+            if detection is not None:
+                self._open_incident(
+                    detection,
+                    DEFAULT_SOURCE_SEVERITY.get(event.source, Asil.A))
+            elif correlator.is_flagged(event.signature):
+                tracker.attach_vehicle(event.signature, event.vehicle_id)
+
+    def _shard_batch_handler(self, engine: CorrelationEngine):
+        """Shard-local batched observe; verdicts surface at merge time."""
+        def handle(now: float, events: List[SecurityEvent]) -> None:
+            engine.observe_batch(events)
+        return handle
+
+    def _shard_event_handler(self, engine: CorrelationEngine):
+        def handle(now: float, event: SecurityEvent) -> None:
+            engine.observe(event)
+        return handle
+
+    def _merge_campaigns(self) -> None:
+        if self.merger is None:
+            return
+        new_detections, new_vehicles = self.merger.merge(self.correlators)
+        for detection in new_detections:
+            # Adopt fleet-wide verdicts locally so every engine tracks
+            # spread exactly from here on (and never re-fires).
+            for engine in self.correlators:
+                engine.adopt_campaign(detection)
+            self._open_incident(detection, self._base_severity(detection))
+        for signature in sorted(new_vehicles):
+            for vehicle in sorted(new_vehicles[signature]):
+                self.tracker.attach_vehicle(signature, vehicle)
+
+    def _open_incident(self, detection: CampaignDetection,
+                       base: Asil) -> None:
+        incident = self.tracker.open_from_detection(detection, base)
+        if self.responder is not None:
+            self.responder.on_detection(incident)
+
+    @staticmethod
+    def _base_severity(detection: CampaignDetection) -> Asil:
+        """Merged detections carry no triggering event; recover the
+        source family from the signature namespace (same defaulting as
+        the per-event path)."""
+        source = source_for_signature(detection.signature)
+        if source is None:
+            return Asil.A
+        return DEFAULT_SOURCE_SEVERITY.get(source, Asil.A)
 
     # ------------------------------------------------------------------
     def flagged_signatures(self) -> Set[str]:
+        if self.merger is not None:
+            return set(self.merger.flagged_signatures)
         return set(self.correlator.flagged_signatures)
 
     def precision_recall(self) -> Dict[str, float]:
@@ -124,10 +244,23 @@ class SecurityOperationsCenter:
                 "true_positives": float(tp),
                 "false_positives": float(len(flagged) - tp)}
 
+    def _correlator_metrics(self) -> Dict[str, float]:
+        if self.merger is None:
+            return self.correlator.metrics()
+        merged: Dict[str, float] = {}
+        for engine in self.correlators:
+            for key, value in engine.metrics().items():
+                merged[key] = merged.get(key, 0.0) + value
+        # Campaign count is a fleet-level fact: adopted local flags would
+        # count one campaign once per shard.
+        merged["campaigns_flagged"] = float(
+            len(self.merger.flagged_signatures))
+        return merged
+
     def metrics(self) -> Dict[str, float]:
         out: Dict[str, float] = {}
         out.update(self.pipeline.metrics())
-        out.update(self.correlator.metrics())
+        out.update(self._correlator_metrics())
         out.update(self.precision_recall())
         out["incidents_open"] = float(len(self.tracker.incidents))
         out["mean_time_to_containment_s"] = self.tracker.mean_time_to_containment_s()

@@ -21,12 +21,32 @@ Stream hygiene, in order of application:
 Window semantics are **closed**: two events exactly ``window`` seconds
 apart co-occur; ``window + ε`` apart do not.  (Pinned by the property
 tests in ``tests/test_soc.py``.)
+
+Fleet-scale fast path (the 10^7-vehicle E17 cell):
+
+- per-signature state is **incremental** -- a min-heap of in-window
+  entries, a running distinct-vehicle count, and a monotonically
+  tracked newest timestamp -- so one observe costs O(log w) in the
+  window size instead of the O(w) set-rebuild + max()-rescan the
+  :class:`ReferenceCorrelationEngine` (the original implementation,
+  kept as the executable spec) pays per event;
+- :meth:`CorrelationEngine.observe_batch` consumes a whole dispatched
+  batch with hot state in locals, differential-tested equivalent to
+  per-event :meth:`~CorrelationEngine.observe`;
+- dedup/duplicate bookkeeping is **bounded**: ids and per-vehicle
+  timestamps older than the watermark minus the retention horizon are
+  evicted, so memory is O(events in horizon), not O(events ever);
+- :class:`GlobalCampaignMerger` stitches shard-local engines into
+  fleet-wide campaigns, which makes region-keyed sharding (one
+  signature spread over many shards) detect exactly what a single
+  global engine would.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from heapq import heappop, heappush
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from collections import deque
 
@@ -50,8 +70,348 @@ class CampaignDetection:
         return len(self.vehicles)
 
 
+class _SignatureWindow:
+    """Incremental per-signature window state.
+
+    ``heap`` holds the live (time, vehicle) entries as a min-heap, so
+    expiry is pop-from-the-top and ``first_time`` is ``heap[0]``;
+    ``counts`` tracks live entries per vehicle, so the distinct-vehicle
+    cardinality is ``len(counts)`` with no per-event set rebuild;
+    ``newest`` is tracked monotonically -- pruning can only remove
+    entries strictly older than ``newest - window``, never the maximum
+    itself, so a running max is exact.
+    """
+
+    __slots__ = ("heap", "counts", "newest")
+
+    def __init__(self) -> None:
+        self.heap: List[Tuple[float, str]] = []
+        self.counts: Dict[str, int] = {}
+        self.newest = float("-inf")
+
+
 class CorrelationEngine:
-    """Deduplicate per-vehicle noise; detect cross-fleet campaigns."""
+    """Deduplicate per-vehicle noise; detect cross-fleet campaigns.
+
+    Equivalent to :class:`ReferenceCorrelationEngine` (the property
+    tests machine-check it) but O(log w) per event and bounded-memory:
+
+    - ``_seen_ids`` and ``_last_by_key`` map to the *time* of the entry
+      and are swept once the watermark has advanced past the retention
+      horizon ``max_lateness_s + dedup_window_s``.  Inside that horizon
+      dedup/duplicate semantics are bit-identical to the reference;
+      beyond it a redelivered id can only belong to an event that the
+      lateness bound drops anyway (it is then attributed to
+      ``late_dropped`` instead of ``duplicate_ids`` -- same drop, same
+      hygiene, bounded ledger).
+    - signature windows whose newest entry can never co-occur with any
+      future admissible event (``newest < watermark - max_lateness -
+      window``) are dropped whole.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 8.0,
+        k: int = 3,
+        dedup_window_s: float = 4.0,
+        max_lateness_s: float = 2.0,
+        min_severity: Asil = Asil.B,
+    ) -> None:
+        if k < 2:
+            raise ValueError("a campaign needs k >= 2 vehicles")
+        if window_s <= 0 or dedup_window_s < 0 or max_lateness_s < 0:
+            raise ValueError("windows must be positive")
+        self.window_s = window_s
+        self.k = k
+        self.dedup_window_s = dedup_window_s
+        self.max_lateness_s = max_lateness_s
+        self.min_severity = min_severity
+
+        # Retention horizon for the dedup/duplicate ledgers.  The sum
+        # (not the max) is the tight bound: an admissible event has
+        # time >= watermark - max_lateness, so a per-vehicle timestamp
+        # older than watermark - (max_lateness + dedup_window) can never
+        # again satisfy |t_new - t_old| <= dedup_window.
+        self._retention_s = max_lateness_s + dedup_window_s
+
+        self._seen_ids: Dict[str, float] = {}
+        self._last_by_key: Dict[Tuple[str, str], float] = {}
+        self._by_signature: Dict[str, _SignatureWindow] = {}
+        self._flagged: Dict[str, CampaignDetection] = {}
+        self._campaign_vehicles: Dict[str, Set[str]] = {}
+        self._dirty: Set[str] = set()          # signatures changed since pop_dirty
+        self._last_sweep_wm = float("-inf")
+
+        self.watermark = float("-inf")
+        self.observed = 0
+        self.duplicate_ids = 0
+        self.late_dropped = 0
+        self.low_severity_ignored = 0
+        self.deduped = 0
+        self.ids_evicted = 0
+        self.keys_evicted = 0
+        self.windows_evicted = 0
+        self.detections: List[CampaignDetection] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, event: SecurityEvent) -> Optional[CampaignDetection]:
+        """Feed one event; returns a detection the first time a signature
+        crosses the k-vehicles-in-window threshold."""
+        self.observed += 1
+
+        t = event.time
+        seen = self._seen_ids
+        if event.event_id in seen:
+            self.duplicate_ids += 1
+            return None
+        seen[event.event_id] = t
+
+        if t < self.watermark - self.max_lateness_s:
+            self.late_dropped += 1
+            return None
+        if t > self.watermark:
+            self.watermark = t
+            if t - self._last_sweep_wm >= self._retention_s:
+                self._sweep()
+
+        # Only actionable telemetry (>= min_severity) can seed a campaign
+        # window -- QM/A observability noise is counted and discarded, so
+        # chatter can never manufacture a fleet incident.
+        if event.severity < self.min_severity:
+            self.low_severity_ignored += 1
+            return None
+
+        key = (event.vehicle_id, event.signature)
+        last = self._last_by_key.get(key)
+        if last is not None and abs(t - last) <= self.dedup_window_s:
+            self.deduped += 1
+            if t > last:
+                self._last_by_key[key] = t
+            return None
+        self._last_by_key[key] = t
+
+        sig = event.signature
+        if sig in self._flagged:
+            # Campaign already open: track spread, don't re-fire.
+            self._campaign_vehicles[sig].add(event.vehicle_id)
+            self._dirty.add(sig)
+            return None
+        return self._window_insert(sig, t, event.vehicle_id)
+
+    def observe_batch(
+        self, events: Sequence[SecurityEvent]
+    ) -> List[Optional[CampaignDetection]]:
+        """Feed a dispatched batch; returns per-event verdicts.
+
+        Semantically identical to ``[self.observe(e) for e in events]``
+        (the Hypothesis differential pins detections, every counter, and
+        the watermark), but with the hot state in locals and one Python
+        call per *batch* instead of per event.
+        """
+        out: List[Optional[CampaignDetection]] = []
+        append = out.append
+        seen = self._seen_ids
+        last_by_key = self._last_by_key
+        flagged = self._flagged
+        campaign_vehicles = self._campaign_vehicles
+        dirty = self._dirty
+        max_lateness = self.max_lateness_s
+        dedup_window = self.dedup_window_s
+        retention = self._retention_s
+        min_severity = self.min_severity
+        window_insert = self._window_insert
+
+        observed = duplicates = late = low = deduped = 0
+        for event in events:
+            observed += 1
+            t = event.time
+            eid = event.event_id
+            if eid in seen:
+                duplicates += 1
+                append(None)
+                continue
+            seen[eid] = t
+            if t < self.watermark - max_lateness:
+                late += 1
+                append(None)
+                continue
+            if t > self.watermark:
+                self.watermark = t
+                if t - self._last_sweep_wm >= retention:
+                    self._sweep()
+            if event.severity < min_severity:
+                low += 1
+                append(None)
+                continue
+            key = (event.vehicle_id, event.signature)
+            last = last_by_key.get(key)
+            if last is not None and abs(t - last) <= dedup_window:
+                deduped += 1
+                if t > last:
+                    last_by_key[key] = t
+                append(None)
+                continue
+            last_by_key[key] = t
+            sig = event.signature
+            if sig in flagged:
+                campaign_vehicles[sig].add(event.vehicle_id)
+                dirty.add(sig)
+                append(None)
+                continue
+            append(window_insert(sig, t, event.vehicle_id))
+
+        self.observed += observed
+        self.duplicate_ids += duplicates
+        self.late_dropped += late
+        self.low_severity_ignored += low
+        self.deduped += deduped
+        return out
+
+    # ------------------------------------------------------------------
+    def _window_insert(
+        self, sig: str, t: float, vehicle: str
+    ) -> Optional[CampaignDetection]:
+        """Add one admissible observation to a signature window; prune
+        incrementally; fire when k distinct vehicles co-occur."""
+        w = self._by_signature.get(sig)
+        if w is None:
+            w = self._by_signature[sig] = _SignatureWindow()
+        heap = w.heap
+        counts = w.counts
+        heappush(heap, (t, vehicle))
+        counts[vehicle] = counts.get(vehicle, 0) + 1
+        if t > w.newest:
+            w.newest = t
+        # Closed window: entries exactly window_s old still co-occur;
+        # strictly older ones expire.  The heap's top is always the
+        # oldest live entry, so expiry never rescans the window.
+        cutoff = w.newest - self.window_s
+        while heap[0][0] < cutoff:
+            _, gone = heappop(heap)
+            c = counts[gone] - 1
+            if c:
+                counts[gone] = c
+            else:
+                del counts[gone]
+        self._dirty.add(sig)
+        if len(counts) < self.k:
+            return None
+
+        detection = CampaignDetection(
+            signature=sig,
+            detect_time=t,
+            first_time=heap[0][0],
+            vehicles=tuple(sorted(counts)),
+            window_s=self.window_s,
+            k=self.k,
+        )
+        self._flagged[sig] = detection
+        self._campaign_vehicles[sig] = set(counts)
+        del self._by_signature[sig]
+        self.detections.append(detection)
+        return detection
+
+    def _sweep(self) -> None:
+        """Evict dedup/duplicate ledger entries past the retention
+        horizon and signature windows that can never fire again.
+
+        Amortized O(1) per observe: a sweep runs only once per
+        ``_retention_s`` of watermark advance, and an entry is examined
+        by at most two sweeps before eviction.
+        """
+        wm = self.watermark
+        self._last_sweep_wm = wm
+        horizon = wm - self._retention_s
+        seen = self._seen_ids
+        stale_ids = [eid for eid, t in seen.items() if t < horizon]
+        for eid in stale_ids:
+            del seen[eid]
+        self.ids_evicted += len(stale_ids)
+        last = self._last_by_key
+        stale_keys = [key for key, t in last.items() if t < horizon]
+        for key in stale_keys:
+            del last[key]
+        self.keys_evicted += len(stale_keys)
+        # A window whose newest entry is older than this can never share
+        # a closed window with any future admissible (in-lateness) event,
+        # so dropping it whole is invisible to detection semantics.
+        window_horizon = wm - self.max_lateness_s - self.window_s
+        windows = self._by_signature
+        stale_sigs = [s for s, w in windows.items() if w.newest < window_horizon]
+        for s in stale_sigs:
+            del windows[s]
+        self.windows_evicted += len(stale_sigs)
+
+    # ------------------------------------------------------------------
+    # Shard-local merge support
+    # ------------------------------------------------------------------
+    def is_flagged(self, signature: str) -> bool:
+        return signature in self._flagged
+
+    def pop_dirty(self) -> Set[str]:
+        """Signatures whose window/campaign state changed since the last
+        call -- the merger's incremental work list."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    def pending_entries(self, signature: str) -> List[Tuple[float, str]]:
+        """Live (time, vehicle) entries of an un-flagged window (pruned
+        against this engine's own newest; a merger re-prunes globally)."""
+        w = self._by_signature.get(signature)
+        return list(w.heap) if w is not None else []
+
+    def adopt_campaign(self, detection: CampaignDetection) -> None:
+        """Accept a fleet-wide verdict from a merger: flag the signature
+        locally so subsequent events attribute spread exactly, and fold
+        any pending window into the campaign's vehicle set."""
+        sig = detection.signature
+        if sig in self._flagged:
+            return
+        self._flagged[sig] = detection
+        vehicles = self._campaign_vehicles.setdefault(sig, set())
+        w = self._by_signature.pop(sig, None)
+        if w is not None:
+            vehicles.update(w.counts)
+        self._dirty.add(sig)
+
+    # ------------------------------------------------------------------
+    @property
+    def flagged_signatures(self) -> Tuple[str, ...]:
+        return tuple(self._flagged)
+
+    def campaign_vehicles(self, signature: str) -> Set[str]:
+        """All vehicles attributed to a flagged campaign so far."""
+        return set(self._campaign_vehicles.get(signature, set()))
+
+    def pending_vehicles(self, signature: str) -> Set[str]:
+        """Distinct vehicles currently in the (un-flagged) window."""
+        w = self._by_signature.get(signature)
+        return set(w.counts) if w is not None else set()
+
+    def metrics(self) -> Dict[str, float]:
+        return {
+            "observed": float(self.observed),
+            "duplicate_ids": float(self.duplicate_ids),
+            "late_dropped": float(self.late_dropped),
+            "low_severity_ignored": float(self.low_severity_ignored),
+            "deduped": float(self.deduped),
+            "campaigns_flagged": float(len(self._flagged)),
+        }
+
+
+class ReferenceCorrelationEngine:
+    """The original per-event correlator, kept verbatim as the
+    executable specification.
+
+    Every observe rebuilds the distinct-vehicle set and rescans the
+    window maximum -- O(w) per event -- and its dedup/duplicate ledgers
+    grow without bound.  It exists so that (a) the Hypothesis
+    differential tests can prove :class:`CorrelationEngine` equivalent
+    inside the retention horizon, and (b) the E17 bench can report the
+    batched fast path's speedup against the *same-run* per-event
+    baseline (``BENCH_E17.json``).
+    """
 
     def __init__(
         self,
@@ -87,8 +447,6 @@ class CorrelationEngine:
 
     # ------------------------------------------------------------------
     def observe(self, event: SecurityEvent) -> Optional[CampaignDetection]:
-        """Feed one event; returns a detection the first time a signature
-        crosses the k-vehicles-in-window threshold."""
         self.observed += 1
 
         if event.event_id in self._seen_ids:
@@ -102,9 +460,6 @@ class CorrelationEngine:
         if event.time > self.watermark:
             self.watermark = event.time
 
-        # Only actionable telemetry (>= min_severity) can seed a campaign
-        # window -- QM/A observability noise is counted and discarded, so
-        # chatter can never manufacture a fleet incident.
         if event.severity < self.min_severity:
             self.low_severity_ignored += 1
             return None
@@ -118,7 +473,6 @@ class CorrelationEngine:
         self._last_by_key[key] = event.time
 
         if event.signature in self._flagged:
-            # Campaign already open: track spread, don't re-fire.
             self._campaign_vehicles[event.signature].add(event.vehicle_id)
             return None
 
@@ -145,15 +499,11 @@ class CorrelationEngine:
         return detection
 
     def _prune(self, signature: str) -> Deque[Tuple[float, str]]:
-        """Keep only entries within the closed window of the newest one;
-        returns the surviving deque (callers must not hold the old one)."""
         entries = self._by_signature[signature]
         if not entries:
             return entries
         newest = max(t for t, _ in entries)
         cutoff = newest - self.window_s
-        # Arrival order need not be time order (bounded lateness), so
-        # filter rather than pop from the left.
         if any(t < cutoff for t, _ in entries):
             entries = deque((t, v) for t, v in entries if t >= cutoff)
             self._by_signature[signature] = entries
@@ -165,11 +515,9 @@ class CorrelationEngine:
         return tuple(self._flagged)
 
     def campaign_vehicles(self, signature: str) -> Set[str]:
-        """All vehicles attributed to a flagged campaign so far."""
         return set(self._campaign_vehicles.get(signature, set()))
 
     def pending_vehicles(self, signature: str) -> Set[str]:
-        """Distinct vehicles currently in the (un-flagged) window."""
         return {v for _, v in self._by_signature.get(signature, ())}
 
     def metrics(self) -> Dict[str, float]:
@@ -180,4 +528,164 @@ class CorrelationEngine:
             "low_severity_ignored": float(self.low_severity_ignored),
             "deduped": float(self.deduped),
             "campaigns_flagged": float(len(self._flagged)),
+        }
+
+
+class GlobalCampaignMerger:
+    """Stitches shard-local :class:`CorrelationEngine` state into
+    fleet-wide campaigns.
+
+    With signature-keyed sharding a campaign lives wholly on one shard,
+    so a local detection *is* the fleet verdict and the merger merely
+    forwards it.  With region-keyed sharding one signature's vehicles
+    spread across shards and no single engine may ever reach ``k``; the
+    merger therefore also combines the engines' *pending* window entries
+    -- re-pruned against the global newest, same closed-window semantics
+    -- and fires when the cross-shard distinct-vehicle union reaches
+    ``k``.
+
+    The merge is incremental: engines mark signatures dirty as their
+    state changes (:meth:`CorrelationEngine.pop_dirty`) and expose new
+    local detections through a per-engine cursor, so one merge pass
+    costs O(changed signatures), not O(all signatures ever seen).
+
+    :meth:`merge` returns ``(new_detections, new_vehicles)`` where
+    ``new_vehicles`` maps already-flagged signatures to vehicles newly
+    attributed since the previous merge -- the spread-accounting delta an
+    incident tracker consumes without rescanning whole campaigns.
+    """
+
+    def __init__(self, window_s: float = 8.0, k: int = 3) -> None:
+        if k < 2:
+            raise ValueError("a campaign needs k >= 2 vehicles")
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self.k = k
+        self._flagged: Dict[str, CampaignDetection] = {}
+        self._campaign_vehicles: Dict[str, Set[str]] = {}
+        self._cursors: List[int] = []
+        self.detections: List[CampaignDetection] = []
+        self.merges = 0
+
+    # ------------------------------------------------------------------
+    def merge(
+        self, engines: Sequence[CorrelationEngine]
+    ) -> Tuple[List[CampaignDetection], Dict[str, Set[str]]]:
+        """One incremental stitch over the shard-local engines."""
+        self.merges += 1
+        while len(self._cursors) < len(engines):
+            self._cursors.append(0)
+
+        new_detections: List[CampaignDetection] = []
+        new_vehicles: Dict[str, Set[str]] = {}
+        dirty: Set[str] = set()
+        local_detections: List[CampaignDetection] = []
+        for index, engine in enumerate(engines):
+            fresh = engine.detections[self._cursors[index]:]
+            if fresh:
+                local_detections.extend(fresh)
+                self._cursors[index] = len(engine.detections)
+            dirty |= engine.pop_dirty()
+
+        # 1. Local detections: already-proven campaigns.  Extend the
+        #    verdict with other shards' in-window pending vehicles (only
+        #    relevant under region sharding; empty under signature
+        #    sharding, where the merged detection equals the local one).
+        for local in local_detections:
+            sig = local.signature
+            dirty.discard(sig)
+            if sig in self._flagged:
+                self._attribute(sig, set(local.vehicles), new_vehicles)
+                continue
+            entries = self._pending(engines, sig)
+            cutoff = local.detect_time - self.window_s
+            in_window = [(t, v) for t, v in entries if t >= cutoff]
+            vehicles = set(local.vehicles) | {v for _, v in in_window}
+            merged = CampaignDetection(
+                signature=sig,
+                detect_time=local.detect_time,
+                first_time=min([local.first_time] + [t for t, _ in in_window]),
+                vehicles=tuple(sorted(vehicles)),
+                window_s=self.window_s,
+                k=self.k,
+            )
+            self._fire(merged, vehicles | {v for _, v in entries})
+            new_detections.append(merged)
+
+        # 2. Dirty signatures without a local verdict: the cross-shard
+        #    sub-threshold stitch region sharding needs.
+        for sig in sorted(dirty):
+            if sig in self._flagged:
+                combined: Set[str] = set()
+                for engine in engines:
+                    combined |= engine.campaign_vehicles(sig)
+                    combined |= engine.pending_vehicles(sig)
+                self._attribute(sig, combined, new_vehicles)
+                continue
+            entries = self._pending(engines, sig)
+            if not entries:
+                continue
+            newest = max(t for t, _ in entries)
+            cutoff = newest - self.window_s
+            in_window = [(t, v) for t, v in entries if t >= cutoff]
+            vehicles = {v for _, v in in_window}
+            if len(vehicles) < self.k:
+                continue
+            detection = CampaignDetection(
+                signature=sig,
+                detect_time=newest,
+                first_time=min(t for t, _ in in_window),
+                vehicles=tuple(sorted(vehicles)),
+                window_s=self.window_s,
+                k=self.k,
+            )
+            self._fire(detection, {v for _, v in entries})
+            new_detections.append(detection)
+        return new_detections, new_vehicles
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pending(
+        engines: Sequence[CorrelationEngine], signature: str
+    ) -> List[Tuple[float, str]]:
+        entries: List[Tuple[float, str]] = []
+        for engine in engines:
+            entries.extend(engine.pending_entries(signature))
+        return entries
+
+    def _fire(self, detection: CampaignDetection, vehicles: Set[str]) -> None:
+        self._flagged[detection.signature] = detection
+        self._campaign_vehicles[detection.signature] = set(vehicles)
+        self.detections.append(detection)
+
+    def _attribute(
+        self, signature: str, vehicles: Set[str],
+        new_vehicles: Dict[str, Set[str]],
+    ) -> None:
+        known = self._campaign_vehicles[signature]
+        delta = vehicles - known
+        if delta:
+            known |= delta
+            new_vehicles.setdefault(signature, set()).update(delta)
+
+    # ------------------------------------------------------------------
+    def is_flagged(self, signature: str) -> bool:
+        return signature in self._flagged
+
+    @property
+    def flagged_signatures(self) -> Tuple[str, ...]:
+        return tuple(self._flagged)
+
+    def campaign_vehicles(self, signature: str) -> Set[str]:
+        """Fleet-wide vehicles attributed to a flagged campaign."""
+        return set(self._campaign_vehicles.get(signature, set()))
+
+    def spread(self, signature: str) -> int:
+        return len(self._campaign_vehicles.get(signature, ()))
+
+    def metrics(self) -> Dict[str, float]:
+        return {
+            "campaigns_flagged": float(len(self._flagged)),
+            "campaign_merges": float(self.merges),
         }

@@ -48,6 +48,31 @@ DEFAULT_SOURCE_SEVERITY: Mapping[EventSource, Asil] = {
 }
 
 
+#: Signature namespace -> originating source.  Every adapter below (and
+#: the workload generator's ambient/noise signatures) prefixes its
+#: correlation key with the producing mechanism, so a fleet-wide verdict
+#: that no longer carries a triggering event (e.g. a merged cross-shard
+#: detection) can still recover the source family for severity scoring.
+_SIGNATURE_SOURCE_PREFIXES: Tuple[Tuple[str, "EventSource"], ...] = (
+    ("ids.", EventSource.IDS),
+    ("v2x.", EventSource.V2X),
+    ("diag.", EventSource.DIAG),
+    ("gateway.", EventSource.GATEWAY),
+    ("ambient.", EventSource.GATEWAY),   # shared fleet telemetry patterns
+    ("noise.", EventSource.V2X),         # per-vehicle one-off noise
+)
+
+
+def source_for_signature(signature: str) -> Optional["EventSource"]:
+    """Recover the producing :class:`EventSource` from a signature's
+    namespace prefix; ``None`` for unknown namespaces (callers fall back
+    to the most conservative severity)."""
+    for prefix, source in _SIGNATURE_SOURCE_PREFIXES:
+        if signature.startswith(prefix):
+            return source
+    return None
+
+
 def make_event_id(vehicle_id: str, source: "EventSource", signature: str,
                   time: float, seq: int) -> str:
     """Deterministic 16-hex-char event id."""

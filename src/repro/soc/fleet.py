@@ -393,7 +393,10 @@ def seeded_campaigns(
         (EventSource.IDS, {"can_id": 0x244, "detector": "frequency"}),
     ]
     campaigns: List[AttackCampaign] = []
-    pool = list(range(n_vehicles))
+    # random.sample indexes the population, so a lazy range draws the
+    # exact same vehicles as a materialized list -- and a 10^7-vehicle
+    # fleet never allocates 10^7 int objects just to pick a few hundred.
+    pool = range(n_vehicles)
     for i in range(n_campaigns):
         source, extra = kinds[i % len(kinds)]
         indices = picker.sample(pool, per)

@@ -194,6 +194,7 @@ class IngestPipeline:
         self.queue = BoundedQueue(queue_capacity, shed_policy)
         self._congestion_depth = max(1, int(queue_capacity * congestion_watermark))
         self._sinks: List[Callable[[float, SecurityEvent], None]] = []
+        self._batch_sinks: List[Callable[[float, List[SecurityEvent]], None]] = []
         self._enqueue_time: Dict[str, float] = {}
         self._last_pump: Optional[float] = None
         self._carry = 0.0  # fractional dispatch budget between pumps
@@ -210,6 +211,18 @@ class IngestPipeline:
     # ------------------------------------------------------------------
     def add_sink(self, sink: Callable[[float, SecurityEvent], None]) -> None:
         self._sinks.append(sink)
+
+    def add_batch_sink(
+        self, sink: Callable[[float, List[SecurityEvent]], None]
+    ) -> None:
+        """Register a consumer that takes each drained batch as one list.
+
+        Batch sinks see exactly the events the per-event sinks see, in
+        exactly the same order (severity-major drain order, one call per
+        drained batch instead of one per event) -- the differential tests
+        pin both.  Dispatch accounting is identical either way.
+        """
+        self._batch_sinks.append(sink)
 
     @property
     def congested(self) -> bool:
@@ -310,6 +323,8 @@ class IngestPipeline:
                     sink(now, event)
                 dispatch.exited += 1
                 dispatched += 1
+            for batch_sink in self._batch_sinks:
+                batch_sink(now, batch)
         self.stats["queue"].exited += dispatched
         return dispatched
 

@@ -213,6 +213,17 @@ class ShardedIngestPipeline:
         for shard in self.shards:
             shard.add_sink(sink)
 
+    def add_batch_sink(
+        self, sink: Callable[[float, List[SecurityEvent]], None]
+    ) -> None:
+        """Register a batch consumer on every shard: drained events are
+        delivered per shard as lists (one Python call per batch, not per
+        event), in the same order the per-event sinks would see them.
+        Shard-*local* consumers (e.g. per-shard correlators) register on
+        ``shards[i]`` directly instead."""
+        for shard in self.shards:
+            shard.add_batch_sink(sink)
+
     def shard_of(self, event: SecurityEvent) -> int:
         return self.shard_key(event, self.num_shards)
 
