@@ -2,7 +2,9 @@
 """E17 benchmark smoke: fast perf-regression gate for CI.
 
 Runs the cheap E17 10^4-vehicle cell plus the correlate-path
-microbenchmark, writes a fresh ``BENCH_E17.json``, and (with
+microbenchmark, replays the crash-recovery cell (kill-at-pump + durable
+restore, byte-identity asserted inside the cell), times the durable-log
+append/replay/scan paths, writes a fresh ``BENCH_E17.json``, and (with
 ``--baseline``) fails if batched correlate throughput has regressed more
 than ``--tolerance`` (default 30 %) against the value committed in the
 baseline JSON.  The speedup *ratio* vs the same-run per-event reference
@@ -46,6 +48,11 @@ def main(argv=None) -> int:
         return 1
 
     correlate = e17_soc.correlate_microbench()
+    # Crash-recovery replay: byte-identity between the kill-and-restore
+    # run and its uninterrupted twin is asserted inside the cell -- a
+    # divergence raises and fails the job.
+    recovery = e17_soc.crash_recovery_cell()
+    store = e17_soc.store_microbench()
     cells = [
         {"fleet": float(fleet),
          "offered_eps_sim": rows[fleet]["offered_eps"],
@@ -54,11 +61,18 @@ def main(argv=None) -> int:
          "ingest_correlate_eps": timing["ingest_correlate_eps"]}
         for fleet, timing in sorted(timings.items())
     ]
-    e17_soc.write_bench_json(args.out, cells, correlate)
+    e17_soc.write_bench_json(args.out, cells, correlate,
+                             store=store, recovery=recovery)
     print(f"wrote {args.out}")
     print(f"  batched correlate: {correlate['batched_eps']:,.0f} events/s "
           f"({correlate['speedup_batched_vs_reference']:.1f}x the per-event "
           f"reference baseline)")
+    print(f"  crash recovery: replayed {recovery['replayed_events']:,.0f} "
+          f"events / {recovery['replayed_pumps']:,.0f} pumps in "
+          f"{recovery['recovery_wall_s'] * 1e3:.1f} ms, byte-identical")
+    print(f"  durable log: append {store['append_eps']:,.0f} events/s, "
+          f"replay {store['replay_eps']:,.0f} events/s, scan read "
+          f"{store['scan_read_fraction']:.1%} of records for a 10% window")
 
     failures = []
     if correlate["speedup_batched_vs_reference"] < MIN_SPEEDUP:

@@ -36,19 +36,25 @@ pre-optimization implementation kept as executable spec).
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.sweep import SweepResult
 from repro.sim import RngStreams, Simulator
 from repro.soc import (
     CorrelationEngine,
+    DurableStore,
+    EventLog,
     EventSource,
     FleetModel,
     FleetWorkloadGenerator,
     ReferenceCorrelationEngine,
     SecurityOperationsCenter,
     make_event,
+    recover_soc_state,
     seeded_campaigns,
 )
 from repro.core.safety import Asil
@@ -276,10 +282,187 @@ def correlate_microbench(
     }
 
 
+# ----------------------------------------------------------------------
+# Crash recovery cell: kill the analytics, restore from the durable store
+# ----------------------------------------------------------------------
+
+def _durable_scene(seed: int, n_vehicles: int, prevalence: float,
+                   num_shards: int, capacity_eps: float, root,
+                   snapshot_every_pumps: int):
+    """A store-backed observe-only SOC scene (the responder's transitions
+    live in the simulator, outside the snapshot/replay contract)."""
+    sim = Simulator()
+    rng = RngStreams(seed)
+    campaigns = seeded_campaigns(rng, n_vehicles, prevalence)
+    fleet = FleetModel(n_vehicles, campaigns)
+    store = DurableStore(root)
+    soc = SecurityOperationsCenter(
+        sim, fleet, capacity_eps=capacity_eps, k=K, respond=False,
+        num_shards=num_shards, store=store,
+        snapshot_every_pumps=snapshot_every_pumps,
+    )
+    generator = FleetWorkloadGenerator(sim, rng, fleet, soc.pipeline)
+    soc.start()
+    generator.start()
+    return sim, soc, store
+
+
+def crash_recovery_cell(
+    seed: int = 0,
+    n_vehicles: int = 10_000,
+    prevalence: float = 0.01,
+    duration_s: float = 16.0,
+    kill_pump: int = 27,
+    num_shards: int = 4,
+    capacity_eps: float = CAPACITY_EPS,
+    snapshot_every_pumps: int = 10,
+    root=None,
+) -> Dict[str, float]:
+    """Kill-at-pump + recover, differentially checked against an
+    uninterrupted twin.
+
+    The crashed run's analytic state (correlators, merger, incident
+    tracker) is discarded at pump ``kill_pump`` and rebuilt from the
+    durable store (latest snapshot + log-suffix replay); the rebuilt
+    state must be byte-identical to the live state at the kill point,
+    and the resumed run's final analytics and metrics byte-identical to
+    the uninterrupted run's.  Any divergence raises -- the cell is the
+    check.  Returns recovery-side stats (replayed volume, recovery wall
+    time, log/snapshot footprint).
+    """
+    base = Path(root) if root is not None else Path(tempfile.mkdtemp())
+    made_tmp = root is None
+    try:
+        ref_root = base / "reference"
+        crash_root = base / "crashed"
+
+        sim, soc, _ = _durable_scene(seed, n_vehicles, prevalence,
+                                     num_shards, capacity_eps, ref_root,
+                                     snapshot_every_pumps)
+        sim.run_until(duration_s)
+        soc.final_drain()
+        ref_state = json.dumps(soc.analytics_snapshot(), sort_keys=True)
+        ref_metrics = soc.metrics()
+
+        sim, soc, store = _durable_scene(seed, n_vehicles, prevalence,
+                                         num_shards, capacity_eps,
+                                         crash_root, snapshot_every_pumps)
+        sim.run_until(kill_pump * soc.pump_tick_s)
+        live_mid = json.dumps(soc.analytics_snapshot(), sort_keys=True)
+        t0 = time.perf_counter()
+        recovered = recover_soc_state(store)
+        recovery_wall_s = time.perf_counter() - t0
+        rec_mid = json.dumps(recovered.analytics_snapshot(), sort_keys=True)
+        if rec_mid != live_mid:
+            raise AssertionError(
+                "recovered state diverged from the live state at the "
+                f"kill point (pump {kill_pump})")
+        soc.adopt_analytics(recovered)
+        sim.run_until(duration_s)
+        soc.final_drain()
+        if json.dumps(soc.analytics_snapshot(), sort_keys=True) != ref_state:
+            raise AssertionError(
+                "resumed run's final analytics diverged from the "
+                "uninterrupted run")
+        if soc.metrics() != ref_metrics:
+            raise AssertionError(
+                "resumed run's metrics diverged from the uninterrupted run")
+
+        log_bytes = sum(p.stat().st_size
+                        for p in store.log.root.glob("seg-*.log"))
+        return {
+            "fleet": float(n_vehicles),
+            "num_shards": float(num_shards),
+            "kill_pump": float(kill_pump),
+            "events_logged": ref_metrics["dispatched"],
+            "log_records": float(store.log.last_seq),
+            "log_bytes": float(log_bytes),
+            "replayed_events": float(recovered.replayed_events),
+            "replayed_batches": float(recovered.replayed_batches),
+            "replayed_pumps": float(recovered.replayed_pumps),
+            "recovery_wall_s": recovery_wall_s,
+            "incidents_recovered": float(len(recovered.tracker.incidents)),
+            "campaigns_recovered": float(
+                len(recovered.flagged_signatures())),
+            "byte_identical": 1.0,
+        }
+    finally:
+        if made_tmp:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Durable-log microbench: append / replay / forensics-scan throughput
+# ----------------------------------------------------------------------
+
+def store_microbench(
+    n_events: int = 20_000,
+    batch_size: int = 64,
+    segment_max_records: int = 512,
+    fsync: str = "never",
+    root=None,
+) -> Dict[str, float]:
+    """Time the durable-log hot paths on a synthetic dispatch stream:
+    ``append_eps`` (batched archival appends, the per-pump tap cost),
+    ``replay_eps`` (full-log recovery replay), and ``scan_eps`` plus the
+    sparse-index skip ratio for a narrow forensics window.  ``fsync``
+    defaults to ``never`` so the numbers price the framing/codec, not
+    the host's disk.
+    """
+    events = _correlate_stream(n_events, n_signatures=64, window_s=4.0,
+                               per_sig_window=256)
+    base = Path(root) if root is not None else Path(tempfile.mkdtemp())
+    made_tmp = root is None
+    try:
+        log = EventLog(base / "log",
+                       segment_max_records=segment_max_records,
+                       fsync=fsync)
+        t0 = time.perf_counter()
+        for start in range(0, n_events, batch_size):
+            batch = events[start:start + batch_size]
+            log.append_batch(batch[0].time, 0, batch)
+        append_s = time.perf_counter() - t0
+        log.rotate()  # close the tail so every segment is indexed
+
+        t0 = time.perf_counter()
+        replayed = sum(len(r.events) for r in log.replay())
+        replay_s = time.perf_counter() - t0
+        assert replayed == n_events
+
+        # Forensics: a 10%-of-stream time window; the sparse index should
+        # let the scan touch only a fraction of the records.
+        t_lo = events[int(n_events * 0.45)].time
+        t_hi = events[int(n_events * 0.55)].time
+        t0 = time.perf_counter()
+        hits = sum(1 for _ in log.scan(t0=t_lo, t1=t_hi, max_disorder_s=0.0))
+        scan_s = time.perf_counter() - t0
+        stats = log.last_scan_stats
+        total_records = log.last_seq
+        log.close()
+
+        return {
+            "events": float(n_events),
+            "batch_size": float(batch_size),
+            "append_eps": n_events / append_s,
+            "replay_eps": n_events / replay_s,
+            "scan_eps": hits / scan_s if scan_s > 0 else 0.0,
+            "scan_hits": float(hits),
+            "scan_records_read": float(stats["records_read"]),
+            "scan_read_fraction": (stats["records_read"] / total_records
+                                   if total_records else 0.0),
+            "segments": float(len(log.segment_paths())),
+        }
+    finally:
+        if made_tmp:
+            shutil.rmtree(base, ignore_errors=True)
+
+
 def write_bench_json(
     path,
     cells: List[Dict[str, float]],
     correlate: Dict[str, float],
+    store: Optional[Dict[str, float]] = None,
+    recovery: Optional[Dict[str, float]] = None,
 ) -> Dict[str, object]:
     """Write the machine-readable E17 perf record (``BENCH_E17.json``)."""
     payload = {
@@ -288,6 +471,10 @@ def write_bench_json(
         "cells": cells,
         "correlate": correlate,
     }
+    if store is not None:
+        payload["store"] = store
+    if recovery is not None:
+        payload["recovery"] = recovery
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -28,6 +28,11 @@ out.  This package is that backend:
 - :mod:`repro.soc.fleet` -- O(events) fleet workload generator (benign
   noise, seeded attack campaigns, re-emissions) for 10^2..10^5 vehicles
   scalar, 10^6+ via the numpy-vectorized path.
+- :mod:`repro.soc.store` -- durable substrate: a segmented append-only
+  CRC-framed event log with a sparse time index for forensics scans,
+  plus atomic, CRC-guarded snapshots of the analytic state; recovery is
+  snapshot + log-suffix replay (:func:`~repro.soc.center.recover_soc_state`),
+  differential-tested byte-identical to an uninterrupted run.
 - :mod:`repro.soc.center` -- the facade wiring it all together.
 
 Experiment E17 (:mod:`repro.experiments.e17_soc`) sweeps fleet size and
@@ -76,7 +81,21 @@ from repro.soc.fleet import (
     poisson_draw,
     seeded_campaigns,
 )
-from repro.soc.center import SecurityOperationsCenter
+from repro.soc.store import (
+    CorruptRecord,
+    DurableStore,
+    EventLog,
+    LogRecord,
+    ScanHit,
+    SnapshotStore,
+    decode_event,
+    encode_event,
+)
+from repro.soc.center import (
+    RecoveredAnalytics,
+    SecurityOperationsCenter,
+    recover_soc_state,
+)
 
 __all__ = [
     "DEFAULT_SOURCE_SEVERITY",
@@ -115,5 +134,15 @@ __all__ = [
     "FleetWorkloadGenerator",
     "poisson_draw",
     "seeded_campaigns",
+    "CorruptRecord",
+    "DurableStore",
+    "EventLog",
+    "LogRecord",
+    "ScanHit",
+    "SnapshotStore",
+    "decode_event",
+    "encode_event",
+    "RecoveredAnalytics",
     "SecurityOperationsCenter",
+    "recover_soc_state",
 ]

@@ -22,6 +22,7 @@ Correlation topology scales with the ingest topology:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.core.safety import Asil
@@ -41,6 +42,7 @@ from repro.soc.incident import IncidentTracker
 from repro.soc.ingest import IngestPipeline, ShedPolicy
 from repro.soc.respond import ResponseOrchestrator
 from repro.soc.shard import ConservationAudit, ShardedIngestPipeline, ShardKeyFn
+from repro.soc.store import DurableStore
 
 
 class SecurityOperationsCenter:
@@ -77,10 +79,15 @@ class SecurityOperationsCenter:
         audit: bool = True,
         batched: bool = True,
         shard_local_correlate: Optional[bool] = None,
+        store: Optional[DurableStore] = None,
+        snapshot_every_pumps: int = 0,
     ) -> None:
         self.sim = sim
         self.fleet = fleet
         self.pump_tick_s = pump_tick_s
+        self.store = store
+        self.snapshot_every_pumps = snapshot_every_pumps
+        self._pump_no = 0
 
         # num_shards=1 keeps the plain single-queue pipeline (the two are
         # behaviorally identical -- the differential tests prove it -- but
@@ -105,6 +112,15 @@ class SecurityOperationsCenter:
             ConservationAudit() if audit else None
         )
 
+        # Archival taps go in *before* the correlator sinks (write-ahead:
+        # by the time analytics sees a batch it is already in the log).
+        if store is not None:
+            if isinstance(self.pipeline, ShardedIngestPipeline):
+                for index, shard in enumerate(self.pipeline.shards):
+                    shard.add_batch_sink(self._archive_handler(index))
+            else:
+                self.pipeline.add_batch_sink(self._archive_handler(0))
+
         def _engine() -> CorrelationEngine:
             return CorrelationEngine(
                 window_s=window_s, k=k,
@@ -121,11 +137,11 @@ class SecurityOperationsCenter:
             self.merger: Optional[GlobalCampaignMerger] = (
                 GlobalCampaignMerger(window_s=window_s, k=k)
             )
-            for shard, engine in zip(self.pipeline.shards, self.correlators):
+            for index, shard in enumerate(self.pipeline.shards):
                 if batched:
-                    shard.add_batch_sink(self._shard_batch_handler(engine))
+                    shard.add_batch_sink(self._shard_batch_handler(index))
                 else:
-                    shard.add_sink(self._shard_event_handler(engine))
+                    shard.add_sink(self._shard_event_handler(index))
         else:
             self.correlator = _engine()
             self.correlators = [self.correlator]
@@ -147,22 +163,47 @@ class SecurityOperationsCenter:
     def start(self) -> None:
         if not self._started:
             self._started = True
+            if self.store is not None:
+                # Snapshot 0: recovery always has a base state to restore,
+                # even if the process dies before the first periodic one.
+                self.save_snapshot()
             self.sim.schedule(self.pump_tick_s, self._pump)
 
     def _pump(self) -> None:
         self.pipeline.pump(self.sim.now)
-        if self.audit is not None:
-            self.audit.check(self.pipeline)
-        self._merge_campaigns()
+        self._finish_pump()
         self.sim.schedule(self.pump_tick_s, self._pump)
 
-    def final_drain(self) -> None:
-        """One last audited pump + campaign merge so in-flight events are
-        accounted before scoring (E17 calls this after the sim ends)."""
-        self.pipeline.pump(self.sim.now)
+    def _finish_pump(self) -> None:
+        """Post-dispatch bookkeeping every pump shares: audit, campaign
+        merge, the durable pump marker, and the periodic snapshot."""
         if self.audit is not None:
             self.audit.check(self.pipeline)
         self._merge_campaigns()
+        if self.store is not None:
+            self._pump_no += 1
+            self.store.log.append_mark(self.sim.now, self._pump_no)
+            if (self.snapshot_every_pumps
+                    and self._pump_no % self.snapshot_every_pumps == 0):
+                self.save_snapshot()
+
+    def final_drain(self) -> None:
+        """Audited pump + merge rounds until every queue is empty, so all
+        in-flight events are scored and accounted before the experiment
+        reads its metrics.
+
+        The first round is a normal rate-budgeted pump (the residual
+        capacity since the last tick); at a fixed ``sim.now`` further
+        pumps would grant zero budget, so the remaining backlog drains
+        through :meth:`~repro.soc.ingest.IngestPipeline.drain_all`, which
+        is bounded by the events still queued.  A single pump here used
+        to strand anything deeper than one capacity budget.
+        """
+        self.pipeline.pump(self.sim.now)
+        self._finish_pump()
+        while self.pipeline.queue_depth:
+            self.pipeline.drain_all(self.sim.now)
+            self._finish_pump()
 
     # ------------------------------------------------------------------
     # Correlation sinks
@@ -186,16 +227,26 @@ class SecurityOperationsCenter:
             elif correlator.is_flagged(event.signature):
                 tracker.attach_vehicle(event.signature, event.vehicle_id)
 
-    def _shard_batch_handler(self, engine: CorrelationEngine):
-        """Shard-local batched observe; verdicts surface at merge time."""
+    def _shard_batch_handler(self, index: int):
+        """Shard-local batched observe; verdicts surface at merge time.
+        Binds the shard *index*, not the engine object, so adopting
+        recovered engines (:meth:`adopt_analytics`) rewires the sinks."""
         def handle(now: float, events: List[SecurityEvent]) -> None:
-            engine.observe_batch(events)
+            self.correlators[index].observe_batch(events)
         return handle
 
-    def _shard_event_handler(self, engine: CorrelationEngine):
+    def _shard_event_handler(self, index: int):
         def handle(now: float, event: SecurityEvent) -> None:
-            engine.observe(event)
+            self.correlators[index].observe(event)
         return handle
+
+    def _archive_handler(self, index: int):
+        """Batch-sink tap appending each dispatched batch to the log."""
+        log = self.store.log
+
+        def archive(now: float, events: List[SecurityEvent]) -> None:
+            log.append_batch(now, index, events)
+        return archive
 
     def _merge_campaigns(self) -> None:
         if self.merger is None:
@@ -226,6 +277,48 @@ class SecurityOperationsCenter:
         if source is None:
             return Asil.A
         return DEFAULT_SOURCE_SEVERITY.get(source, Asil.A)
+
+    # ------------------------------------------------------------------
+    # Durable snapshots / recovery
+    # ------------------------------------------------------------------
+    def analytics_snapshot(self) -> Dict[str, object]:
+        """Canonical dump of every piece of recoverable analytic state,
+        taken at a pump boundary (engines, merger, tracker are mutually
+        consistent there).  Two runs in the same state produce the same
+        bytes under ``json.dumps(..., sort_keys=True)`` -- the equality
+        the crash-recovery differential tests compare on.
+        """
+        return {
+            "pump_no": self._pump_no,
+            "log_seq": self.store.log.last_seq if self.store else 0,
+            "sharded": self.merger is not None,
+            "engines": [e.snapshot() for e in self.correlators],
+            "merger": self.merger.snapshot() if self.merger else None,
+            "tracker": self.tracker.snapshot(),
+        }
+
+    def save_snapshot(self):
+        """Persist the analytic state; the log is synced first so a
+        snapshot never references records less durable than itself."""
+        self.store.log.sync()
+        return self.store.snapshots.save(self.analytics_snapshot())
+
+    def adopt_analytics(self, recovered: "RecoveredAnalytics") -> None:
+        """Swap recovered analytic state into this (running) center.
+
+        The correlator sinks resolve engines through ``self.correlators``
+        at call time, so adoption rewires them without touching the
+        pipeline; the ingest tier (queues, counters) is not part of the
+        recovery contract and keeps running as-is.
+        """
+        self.correlators = list(recovered.engines)
+        self.correlator = (
+            None if recovered.merger is not None else self.correlators[0])
+        self.merger = recovered.merger
+        self.tracker = recovered.tracker
+        if self.responder is not None:
+            self.responder.tracker = recovered.tracker
+        self._pump_no = recovered.pump_no
 
     # ------------------------------------------------------------------
     def flagged_signatures(self) -> Set[str]:
@@ -271,3 +364,110 @@ class SecurityOperationsCenter:
         if self.audit is not None:
             out["audit_checks"] = float(self.audit.checks)
         return out
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: snapshot + log-suffix replay
+# ----------------------------------------------------------------------
+
+@dataclass
+class RecoveredAnalytics:
+    """Analytic state rebuilt from a :class:`~repro.soc.store.DurableStore`.
+
+    Hand it to :meth:`SecurityOperationsCenter.adopt_analytics` to resume
+    a live center, or inspect it directly for post-mortem forensics.
+    """
+
+    engines: List[CorrelationEngine]
+    merger: Optional[GlobalCampaignMerger]
+    tracker: IncidentTracker
+    pump_no: int
+    log_seq: int
+    replayed_batches: int = 0
+    replayed_events: int = 0
+    replayed_pumps: int = 0
+
+    def flagged_signatures(self) -> Set[str]:
+        if self.merger is not None:
+            return set(self.merger.flagged_signatures)
+        return set(self.engines[0].flagged_signatures)
+
+    def analytics_snapshot(self) -> Dict[str, object]:
+        """Same canonical shape as
+        :meth:`SecurityOperationsCenter.analytics_snapshot`."""
+        return {
+            "pump_no": self.pump_no,
+            "log_seq": self.log_seq,
+            "sharded": self.merger is not None,
+            "engines": [e.snapshot() for e in self.engines],
+            "merger": self.merger.snapshot() if self.merger else None,
+            "tracker": self.tracker.snapshot(),
+        }
+
+
+def recover_soc_state(store: DurableStore) -> RecoveredAnalytics:
+    """Rebuild the analytic state a dead SOC process would have had.
+
+    Loads the latest valid snapshot, then replays every log record after
+    the snapshot's ``log_seq``: batch records feed ``observe_batch`` on
+    the owning shard's engine (with the exact batch boundaries and
+    incident attribution of the live dispatch path), and each pump marker
+    re-runs the campaign merge, reproducing the live pump/merge cadence.
+    The result is byte-identical (under :meth:`RecoveredAnalytics.\
+analytics_snapshot`) to the uninterrupted run at the same pump boundary
+    -- the tentpole differential in ``tests/test_soc_store.py``.
+    """
+    snap = store.snapshots.load_latest()
+    if snap is None:
+        raise RuntimeError(
+            "no recoverable snapshot: the center writes snapshot 0 at "
+            "start(), so an empty snapshot store means this DurableStore "
+            "never backed a running SOC")
+    engines = [CorrelationEngine.from_snapshot(s) for s in snap["engines"]]
+    merger = (GlobalCampaignMerger.from_snapshot(snap["merger"])
+              if snap["merger"] is not None else None)
+    tracker = IncidentTracker.from_snapshot(snap["tracker"])
+    pump_no = snap["pump_no"]
+    last_seq = snap["log_seq"]
+    batches = events_replayed = pumps = 0
+
+    for record in store.log.replay(after_seq=snap["log_seq"]):
+        last_seq = record.seq
+        if record.kind == "batch":
+            batches += 1
+            events_replayed += len(record.events)
+            batch = list(record.events)
+            if merger is None:
+                engine = engines[0]
+                for event, detection in zip(batch,
+                                            engine.observe_batch(batch)):
+                    if detection is not None:
+                        tracker.open_from_detection(
+                            detection,
+                            DEFAULT_SOURCE_SEVERITY.get(event.source,
+                                                        Asil.A))
+                    elif engine.is_flagged(event.signature):
+                        tracker.attach_vehicle(event.signature,
+                                               event.vehicle_id)
+            else:
+                engines[record.shard].observe_batch(batch)
+        else:  # pump marker: the live run merged campaigns here
+            pumps += 1
+            pump_no = record.pump_no
+            if merger is not None:
+                new_detections, new_vehicles = merger.merge(engines)
+                for detection in new_detections:
+                    for engine in engines:
+                        engine.adopt_campaign(detection)
+                    tracker.open_from_detection(
+                        detection,
+                        SecurityOperationsCenter._base_severity(detection))
+                for signature in sorted(new_vehicles):
+                    for vehicle in sorted(new_vehicles[signature]):
+                        tracker.attach_vehicle(signature, vehicle)
+
+    return RecoveredAnalytics(
+        engines=engines, merger=merger, tracker=tracker,
+        pump_no=pump_no, log_seq=last_seq,
+        replayed_batches=batches, replayed_events=events_replayed,
+        replayed_pumps=pumps)

@@ -69,6 +69,37 @@ class CampaignDetection:
     def spread(self) -> int:
         return len(self.vehicles)
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe form (snapshot/restore round-trips it exactly)."""
+        return {
+            "signature": self.signature,
+            "detect_time": self.detect_time,
+            "first_time": self.first_time,
+            "vehicles": list(self.vehicles),
+            "window_s": self.window_s,
+            "k": self.k,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, object]) -> "CampaignDetection":
+        return cls(
+            signature=obj["signature"],
+            detect_time=obj["detect_time"],
+            first_time=obj["first_time"],
+            vehicles=tuple(obj["vehicles"]),
+            window_s=obj["window_s"],
+            k=obj["k"],
+        )
+
+
+#: float("-inf") is not valid strict JSON; snapshots encode it as None.
+def _enc_time(t: float) -> Optional[float]:
+    return None if t == float("-inf") else t
+
+
+def _dec_time(t: Optional[float]) -> float:
+    return float("-inf") if t is None else t
+
 
 class _SignatureWindow:
     """Incremental per-signature window state.
@@ -341,6 +372,99 @@ class CorrelationEngine:
         for s in stale_sigs:
             del windows[s]
         self.windows_evicted += len(stale_sigs)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the durable-store recovery contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical JSON-safe dump of *all* correlator state.
+
+        Canonical means deterministically ordered (sets and dicts are
+        serialized sorted, heaps in sorted order -- equal-element heap
+        layout is unobservable, so a sorted list restores identical
+        behavior), which makes two semantically equal engines produce
+        byte-identical snapshots: the property the crash-recovery
+        differential tests compare on.  ``detections`` keeps its append
+        order -- :class:`GlobalCampaignMerger` cursors index into it.
+        """
+        return {
+            "config": {
+                "window_s": self.window_s,
+                "k": self.k,
+                "dedup_window_s": self.dedup_window_s,
+                "max_lateness_s": self.max_lateness_s,
+                "min_severity": int(self.min_severity),
+            },
+            "watermark": _enc_time(self.watermark),
+            "last_sweep_wm": _enc_time(self._last_sweep_wm),
+            "seen_ids": sorted([eid, t] for eid, t in self._seen_ids.items()),
+            "last_by_key": sorted(
+                [v, s, t] for (v, s), t in self._last_by_key.items()),
+            "windows": sorted(
+                [sig, {"heap": sorted([t, v] for t, v in w.heap),
+                       "counts": sorted([v, c] for v, c in w.counts.items()),
+                       "newest": _enc_time(w.newest)}]
+                for sig, w in self._by_signature.items()),
+            "flagged": [self._flagged[s].as_dict()
+                        for s in sorted(self._flagged)],
+            "campaign_vehicles": sorted(
+                [sig, sorted(vehicles)]
+                for sig, vehicles in self._campaign_vehicles.items()),
+            "dirty": sorted(self._dirty),
+            "detections": [d.as_dict() for d in self.detections],
+            "counters": {
+                "observed": self.observed,
+                "duplicate_ids": self.duplicate_ids,
+                "late_dropped": self.late_dropped,
+                "low_severity_ignored": self.low_severity_ignored,
+                "deduped": self.deduped,
+                "ids_evicted": self.ids_evicted,
+                "keys_evicted": self.keys_evicted,
+                "windows_evicted": self.windows_evicted,
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict[str, object]) -> "CorrelationEngine":
+        """Rebuild an engine whose future behavior is indistinguishable
+        from the snapshotted one (pinned by the recovery differentials)."""
+        cfg = state["config"]
+        engine = cls(
+            window_s=cfg["window_s"], k=cfg["k"],
+            dedup_window_s=cfg["dedup_window_s"],
+            max_lateness_s=cfg["max_lateness_s"],
+            min_severity=Asil(cfg["min_severity"]),
+        )
+        engine.watermark = _dec_time(state["watermark"])
+        engine._last_sweep_wm = _dec_time(state["last_sweep_wm"])
+        engine._seen_ids = {eid: t for eid, t in state["seen_ids"]}
+        engine._last_by_key = {(v, s): t for v, s, t in state["last_by_key"]}
+        for sig, wobj in state["windows"]:
+            w = _SignatureWindow()
+            # A sorted list satisfies the heap invariant as-is.
+            w.heap = [(t, v) for t, v in wobj["heap"]]
+            w.counts = {v: c for v, c in wobj["counts"]}
+            w.newest = _dec_time(wobj["newest"])
+            engine._by_signature[sig] = w
+        for dobj in state["flagged"]:
+            detection = CampaignDetection.from_dict(dobj)
+            engine._flagged[detection.signature] = detection
+        engine._campaign_vehicles = {
+            sig: set(vehicles)
+            for sig, vehicles in state["campaign_vehicles"]}
+        engine._dirty = set(state["dirty"])
+        engine.detections = [CampaignDetection.from_dict(d)
+                             for d in state["detections"]]
+        counters = state["counters"]
+        engine.observed = counters["observed"]
+        engine.duplicate_ids = counters["duplicate_ids"]
+        engine.late_dropped = counters["late_dropped"]
+        engine.low_severity_ignored = counters["low_severity_ignored"]
+        engine.deduped = counters["deduped"]
+        engine.ids_evicted = counters["ids_evicted"]
+        engine.keys_evicted = counters["keys_evicted"]
+        engine.windows_evicted = counters["windows_evicted"]
+        return engine
 
     # ------------------------------------------------------------------
     # Shard-local merge support
@@ -668,6 +792,42 @@ class GlobalCampaignMerger:
         if delta:
             known |= delta
             new_vehicles.setdefault(signature, set()).update(delta)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical JSON-safe dump; ``cursors`` index into the engines'
+        ``detections`` lists, so a merger snapshot is only consistent
+        with engine snapshots taken at the same pump boundary (the
+        center snapshots all of them together)."""
+        return {
+            "config": {"window_s": self.window_s, "k": self.k},
+            "flagged": [self._flagged[s].as_dict()
+                        for s in sorted(self._flagged)],
+            "campaign_vehicles": sorted(
+                [sig, sorted(vehicles)]
+                for sig, vehicles in self._campaign_vehicles.items()),
+            "cursors": list(self._cursors),
+            "detections": [d.as_dict() for d in self.detections],
+            "merges": self.merges,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict[str, object]) -> "GlobalCampaignMerger":
+        cfg = state["config"]
+        merger = cls(window_s=cfg["window_s"], k=cfg["k"])
+        for dobj in state["flagged"]:
+            detection = CampaignDetection.from_dict(dobj)
+            merger._flagged[detection.signature] = detection
+        merger._campaign_vehicles = {
+            sig: set(vehicles)
+            for sig, vehicles in state["campaign_vehicles"]}
+        merger._cursors = list(state["cursors"])
+        merger.detections = [CampaignDetection.from_dict(d)
+                             for d in state["detections"]]
+        merger.merges = state["merges"]
+        return merger
 
     # ------------------------------------------------------------------
     def is_flagged(self, signature: str) -> bool:

@@ -93,6 +93,36 @@ class Incident:
     def closed(self) -> bool:
         return self.state in (IncidentState.REMEDIATED, IncidentState.FALSE_POSITIVE)
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical JSON-safe form (``vehicles`` sorted so equal
+        incidents serialize byte-identically)."""
+        return {
+            "incident_id": self.incident_id,
+            "signature": self.signature,
+            "opened_at": self.opened_at,
+            "severity": int(self.severity),
+            "state": self.state.value,
+            "vehicles": sorted(self.vehicles),
+            "history": [[t, s.value] for t, s in self.history],
+            "base_severity": int(self.base_severity),
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, object]) -> "Incident":
+        return cls(
+            incident_id=obj["incident_id"],
+            signature=obj["signature"],
+            opened_at=obj["opened_at"],
+            severity=Asil(obj["severity"]),
+            state=IncidentState(obj["state"]),
+            vehicles=set(obj["vehicles"]),
+            history=[(t, IncidentState(s)) for t, s in obj["history"]],
+            base_severity=Asil(obj["base_severity"]),
+        )
+
 
 class IncidentTracker:
     """Opens incidents from detections; aggregates lifecycle metrics."""
@@ -141,6 +171,31 @@ class IncidentTracker:
                                 len(incident.vehicles))
             if bumped > incident.severity:
                 incident.severity = bumped
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical JSON-safe dump of every incident plus the id
+        counter (incident ids must keep incrementing across a restart)."""
+        return {
+            "escalation_spread": self.escalation_spread,
+            "counter": self._counter,
+            "incidents": [
+                self.incidents[iid].as_dict()
+                for iid in sorted(self.incidents)
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict[str, object]) -> "IncidentTracker":
+        tracker = cls(escalation_spread=state["escalation_spread"])
+        tracker._counter = state["counter"]
+        for obj in state["incidents"]:
+            incident = Incident.from_dict(obj)
+            tracker.incidents[incident.incident_id] = incident
+            tracker._by_signature[incident.signature] = incident
+        return tracker
 
     # ------------------------------------------------------------------
     def count_by_state(self) -> Dict[str, int]:

@@ -195,7 +195,15 @@ class IngestPipeline:
         self._congestion_depth = max(1, int(queue_capacity * congestion_watermark))
         self._sinks: List[Callable[[float, SecurityEvent], None]] = []
         self._batch_sinks: List[Callable[[float, List[SecurityEvent]], None]] = []
-        self._enqueue_time: Dict[str, float] = {}
+        # Enqueue timestamps keyed by *queue occupancy*, not by identity:
+        # an at-least-once transport can redeliver an event while its
+        # first copy is still queued, and a plain ``Dict[str, float]``
+        # would overwrite the first copy's timestamp (skewing the wait of
+        # one dispatch and zeroing the other).  Copies of one event_id
+        # share a severity bucket and leave in FIFO order -- for every
+        # exit path (dispatch *and* eviction both take the bucket head)
+        # -- so a FIFO of timestamps per id keeps each copy's wait exact.
+        self._enqueue_time: Dict[str, Deque[float]] = {}
         self._last_pump: Optional[float] = None
         self._carry = 0.0  # fractional dispatch budget between pumps
         self.stats = {
@@ -223,6 +231,11 @@ class IngestPipeline:
         pin both.  Dispatch accounting is identical either way.
         """
         self._batch_sinks.append(sink)
+
+    @property
+    def queue_depth(self) -> int:
+        """Events currently queued (uniform across plain/sharded)."""
+        return len(self.queue)
 
     @property
     def congested(self) -> bool:
@@ -267,13 +280,25 @@ class IngestPipeline:
         victim = self.queue.offer(event)
         if victim is not None:
             qstats.shed += 1
-            self._enqueue_time.pop(victim.event_id, None)
         if victim is event:
+            # Refused at the door: it never had an enqueue timestamp (a
+            # queued copy of the same id keeps its own).
             return False
-        self._enqueue_time[event.event_id] = now
+        if victim is not None:
+            self._drop_enqueue_time(victim)
+        self._enqueue_time.setdefault(event.event_id, deque()).append(now)
         if len(self.queue) > qstats.depth_max:
             qstats.depth_max = len(self.queue)
         return True
+
+    def _drop_enqueue_time(self, victim: SecurityEvent) -> None:
+        """Forget the oldest queued copy's timestamp when it is evicted
+        (evictions pop the bucket head, i.e. the oldest copy of an id)."""
+        times = self._enqueue_time.get(victim.event_id)
+        if times:
+            times.popleft()
+            if not times:
+                del self._enqueue_time[victim.event_id]
 
     # ------------------------------------------------------------------
     # Backend
@@ -314,7 +339,13 @@ class IngestPipeline:
             dispatch.batches += 1
             for event in batch:
                 dispatch.entered += 1
-                t_in = self._enqueue_time.pop(event.event_id, now)
+                times = self._enqueue_time.get(event.event_id)
+                if times:
+                    t_in = times.popleft()
+                    if not times:
+                        del self._enqueue_time[event.event_id]
+                else:  # pragma: no cover - defensive; every queued copy logs a time
+                    t_in = now
                 wait = max(0.0, now - t_in)
                 dispatch.latency_sum_s += wait
                 if wait > dispatch.latency_max_s:
@@ -328,12 +359,22 @@ class IngestPipeline:
         self.stats["queue"].exited += dispatched
         return dispatched
 
+    def drain_all(self, now: float) -> int:
+        """Dispatch everything still queued, bypassing the rate budget.
+
+        End-of-run drain: the simulation is over, so capacity modeling no
+        longer applies -- what matters is that every accepted event is
+        scored and accounted, not when.  Bounded by the queue depth.
+        """
+        return self.dispatch(now, len(self.queue))
+
     # ------------------------------------------------------------------
     def metrics(self) -> Dict[str, float]:
         dispatch = self.stats["dispatch"]
         return {
             "offered": float(self.stats["admit"].entered),
             "rejected_invalid": float(self.rejected_invalid),
+            "rejected_severity": float(self.rejected_severity),
             "admitted": float(self.queue.offered),
             "queued_shed": float(self.queue.lost),
             "shed_rate": self.shed_rate,

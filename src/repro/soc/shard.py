@@ -139,6 +139,18 @@ class ConservationAudit:
         if q.drained != dispatched:
             self._fail(label, "queue drained != dispatched",
                        q.drained, dispatched)
+        # The same identity must be provable from the *published* metrics
+        # alone: offered splits into the two admit rejections plus
+        # everything the queue ever accepted (admitted = queue.offered).
+        m = pipe.metrics()
+        published = (
+            m["rejected_invalid"] + m["rejected_severity"] + m["admitted"]
+        )
+        if m["offered"] != published:
+            self._fail(label,
+                       "metrics offered != rejected_invalid"
+                       " + rejected_severity + admitted",
+                       int(m["offered"]), int(published))
         return offered, accounted
 
     def _fail(self, label: str, what: str, lhs: int, rhs: int) -> None:
@@ -269,7 +281,10 @@ class ShardedIngestPipeline:
         self._last_pump = now
         allowance = int(budget)
         self._carry = min(budget - allowance, self.capacity_eps)
+        return self._dispatch_rounds(now, allowance)
 
+    def _dispatch_rounds(self, now: float, allowance: int) -> int:
+        """Round-robin worker-pool drain of up to ``allowance`` events."""
         dispatched = 0
         active = [s for s in self.shards if len(s.queue)]
         while dispatched < allowance and active:
@@ -284,6 +299,16 @@ class ShardedIngestPipeline:
         if not active:
             self._rr = 0
         return dispatched
+
+    @property
+    def queue_depth(self) -> int:
+        """Events currently queued across every shard."""
+        return sum(len(s.queue) for s in self.shards)
+
+    def drain_all(self, now: float) -> int:
+        """Dispatch everything still queued, bypassing the shared budget
+        (same round-robin drain order as :meth:`pump`; end-of-run use)."""
+        return self._dispatch_rounds(now, self.queue_depth)
 
     # ------------------------------------------------------------------
     # Observability

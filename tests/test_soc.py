@@ -16,6 +16,8 @@ from repro.soc import (
     AttackCampaign,
     BoundedQueue,
     CampaignDetection,
+    ConservationAudit,
+    ConservationError,
     CorrelationEngine,
     EventSource,
     FleetModel,
@@ -186,6 +188,99 @@ class TestIngestPipeline:
         pipe.pump(2.0)
         assert seen == [(2.0, "v1")]
         assert pipe.stats["dispatch"].latency_max_s == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# Ingest accounting: pinned regressions
+# ----------------------------------------------------------------------
+class TestIngestAccountingRegressions:
+    """Each test pins one of the three accounting bugfixes: the
+    ``rejected_severity`` metrics hole, the enqueue-time clobbering under
+    at-least-once redelivery, and the single-pump ``final_drain``."""
+
+    def test_metrics_publish_rejected_severity_identity(self):
+        # metrics() used to omit rejected_severity entirely, so the
+        # published admit-stage identity could not even be stated.
+        pipe = IngestPipeline(min_severity=Asil.B, capacity_eps=100.0)
+        assert pipe.offer(1.0, ev("v1", "s", 0.5))
+        assert not pipe.offer(1.0, ev("v2", "s", 0.5, severity=Asil.QM))
+        assert not pipe.offer(1.0, ev("", "s", 0.5))        # invalid
+        m = pipe.metrics()
+        assert m["rejected_severity"] == 1.0
+        assert m["offered"] == (m["rejected_invalid"]
+                                + m["rejected_severity"] + m["admitted"])
+        ConservationAudit().check(pipe)
+
+    def test_audit_catches_metrics_underreporting(self):
+        # The audit must now prove the *published* admit identity, not
+        # just the internal counters: a pipeline whose metrics drop the
+        # severity rejections (the pre-fix shape) fails the check.
+        class Lying(IngestPipeline):
+            def metrics(self):
+                m = super().metrics()
+                m["rejected_severity"] = 0.0
+                return m
+
+        pipe = Lying(min_severity=Asil.B)
+        pipe.offer(1.0, ev("v1", "s", 0.5, severity=Asil.QM))
+        with pytest.raises(ConservationError):
+            ConservationAudit().check(pipe)
+
+    def test_redelivered_queued_event_keeps_both_latencies(self):
+        # At-least-once transports redeliver an event while a copy is
+        # still queued.  Keying enqueue times by bare event_id let the
+        # second arrival clobber the first copy's timestamp.
+        pipe = IngestPipeline(capacity_eps=100.0)
+        event = ev("v1", "s", 0.0)
+        assert pipe.offer(0.0, event)
+        assert pipe.offer(1.0, event)          # redelivery, still queued
+        assert pipe.dispatch(2.0, 2) == 2
+        dispatch = pipe.stats["dispatch"]
+        assert dispatch.latency_sum_s == pytest.approx(3.0)   # 2.0 + 1.0
+        assert dispatch.latency_max_s == pytest.approx(2.0)
+        assert pipe.metrics()["mean_dispatch_latency_s"] == pytest.approx(1.5)
+        assert not pipe._enqueue_time            # fully reclaimed
+
+    def test_eviction_forgets_oldest_copy_timestamp(self):
+        pipe = IngestPipeline(queue_capacity=2, capacity_eps=100.0,
+                              shed_policy=ShedPolicy.DROP_OLDEST)
+        event = ev("v1", "s", 0.0)
+        assert pipe.offer(0.0, event)
+        assert pipe.offer(1.0, event)
+        assert pipe.offer(2.0, ev("v2", "s", 1.5))  # evicts the oldest copy
+        assert pipe.dispatch(3.0, 2) == 2
+        # Survivors: the t=1.0 copy (waited 2.0) and v2 (waited 1.0).
+        assert pipe.stats["dispatch"].latency_sum_s == pytest.approx(3.0)
+
+    def test_refused_arrival_does_not_steal_queued_timestamp(self):
+        pipe = IngestPipeline(queue_capacity=1, capacity_eps=100.0,
+                              shed_policy=ShedPolicy.DROP_NEWEST)
+        event = ev("v1", "s", 0.0)
+        assert pipe.offer(0.0, event)
+        assert not pipe.offer(1.0, event)      # refused at the door
+        assert pipe.dispatch(2.0, 1) == 1
+        assert pipe.stats["dispatch"].latency_sum_s == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    def test_final_drain_empties_deep_backlog(self, num_shards):
+        # A backlog deeper than one pump's budget used to survive
+        # final_drain (it ran exactly one rate-limited pump), leaving
+        # accepted events unscored and the conservation ledger open.
+        sim = Simulator()
+        fleet = FleetModel(50, [])
+        soc = SecurityOperationsCenter(sim, fleet, capacity_eps=4.0,
+                                       respond=False, num_shards=num_shards)
+        soc.start()
+        for i in range(500):
+            assert soc.pipeline.offer(0.0, ev(f"v{i % 50}", f"sig.{i % 7}",
+                                              0.0))
+        sim.run_until(1.0)
+        assert soc.pipeline.queue_depth > 0    # genuinely congested
+        soc.final_drain()
+        assert soc.pipeline.queue_depth == 0
+        m = soc.metrics()
+        assert m["dispatched"] == m["admitted"] - m["queued_shed"]
+        assert m["audit_checks"] > 0           # every round stayed audited
 
 
 # ----------------------------------------------------------------------
