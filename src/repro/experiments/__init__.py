@@ -1,4 +1,4 @@
-"""Experiment drivers E1..E17.
+"""Experiment drivers E1..E18.
 
 The paper has no tables or figures (it is an invited survey); DESIGN.md §3
 derives one quantitative experiment from each of its claims.  Every module
@@ -25,6 +25,7 @@ from repro.experiments import (
     e15_diagnostics,
     e16_misbehavior,
     e17_soc,
+    e18_federation,
 )
 
 ALL_EXPERIMENTS = {
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = {
     "E15": e15_diagnostics.run,
     "E16": e16_misbehavior.run,
     "E17": e17_soc.run,
+    "E18": e18_federation.run,
 }
 
-__all__ = ["ALL_EXPERIMENTS"] + [f"e{i:02d}" for i in range(1, 18)]
+__all__ = ["ALL_EXPERIMENTS"] + [f"e{i:02d}" for i in range(1, 19)]

@@ -34,9 +34,18 @@ out.  This package is that backend:
   snapshot + log-suffix replay (:func:`~repro.soc.center.recover_soc_state`),
   differential-tested byte-identical to an uninterrupted run.
 - :mod:`repro.soc.center` -- the facade wiring it all together.
+- :mod:`repro.soc.federation` -- multi-region federation: per-region
+  SOCs ship their durable log-segment streams (CRC-framed shipments
+  over a lag/reorder/duplicate/outage channel model) to a
+  :class:`~repro.soc.federation.FederationHub` whose watermark-gated
+  replay makes the fleet-wide campaign verdicts independent of delivery
+  interleaving -- differential-tested identical to a single global SOC
+  fed the union stream.
 
 Experiment E17 (:mod:`repro.experiments.e17_soc`) sweeps fleet size and
-attack prevalence over this stack.
+attack prevalence over this stack; E18
+(:mod:`repro.experiments.e18_federation`) sweeps cross-region detection
+latency against shipping lag, including a partition/heal cell.
 """
 
 from repro.soc.events import (
@@ -96,6 +105,15 @@ from repro.soc.center import (
     SecurityOperationsCenter,
     recover_soc_state,
 )
+from repro.soc.federation import (
+    FederationHub,
+    SegmentReceiver,
+    SegmentShipper,
+    Shipment,
+    ShippingChannel,
+    decode_shipment,
+    encode_shipment,
+)
 
 __all__ = [
     "DEFAULT_SOURCE_SEVERITY",
@@ -145,4 +163,11 @@ __all__ = [
     "RecoveredAnalytics",
     "SecurityOperationsCenter",
     "recover_soc_state",
+    "FederationHub",
+    "SegmentReceiver",
+    "SegmentShipper",
+    "Shipment",
+    "ShippingChannel",
+    "decode_shipment",
+    "encode_shipment",
 ]

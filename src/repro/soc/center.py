@@ -88,6 +88,13 @@ class SecurityOperationsCenter:
         self.store = store
         self.snapshot_every_pumps = snapshot_every_pumps
         self._pump_no = 0
+        # Correlation parameters, kept for federation_profile(): a hub
+        # must build replica engines with exactly the region's hygiene
+        # settings or replayed verdicts diverge from local ones.
+        self.window_s = window_s
+        self.k = k
+        self.dedup_window_s = dedup_window_s
+        self.max_lateness_s = max_lateness_s
 
         # num_shards=1 keeps the plain single-queue pipeline (the two are
         # behaviorally identical -- the differential tests prove it -- but
@@ -319,6 +326,29 @@ class SecurityOperationsCenter:
         if self.responder is not None:
             self.responder.tracker = recovered.tracker
         self._pump_no = recovered.pump_no
+
+    # ------------------------------------------------------------------
+    # Federation hooks
+    # ------------------------------------------------------------------
+    def federation_profile(self) -> Dict[str, object]:
+        """The shape a :class:`~repro.soc.federation.FederationHub` needs
+        to build byte-compatible replica engines for this region: the
+        shard fan-out plus every correlation-hygiene parameter."""
+        return {
+            "num_shards": len(self.correlators),
+            "window_s": self.window_s,
+            "k": self.k,
+            "dedup_window_s": self.dedup_window_s,
+            "max_lateness_s": self.max_lateness_s,
+        }
+
+    def export_verdicts(self) -> List[CampaignDetection]:
+        """This region's campaign verdicts in fire order -- the payload
+        of the lightweight verdict-level federation path
+        (:meth:`~repro.soc.federation.FederationHub.adopt_verdicts`)."""
+        if self.merger is not None:
+            return list(self.merger.detections)
+        return list(self.correlator.detections)
 
     # ------------------------------------------------------------------
     def flagged_signatures(self) -> Set[str]:

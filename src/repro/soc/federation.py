@@ -1,0 +1,540 @@
+"""Federated multi-region VSOC: durable log-shipping + cross-region merge.
+
+The paper's §7 closes on the need for a *centralized, fleet-wide
+security policy* loop; a real OEM backend deploys that loop per
+continent, not as one process.  This module federates M regional SOCs
+(each its own sharded ingest + correlators + durable
+:class:`~repro.soc.store.EventLog`) into one fleet-wide campaign view by
+shipping the regions' **log-segment streams** -- the same self-framing
+CRC records PR 4 made the recovery substrate -- instead of in-process
+calls:
+
+- :class:`SegmentShipper` tails a region's log with the checkpoint-
+  seeking :meth:`~repro.soc.store.EventLog.tail` cursor and frames new
+  records into :class:`Shipment` wire blobs.  The durable log *is* the
+  retransmit buffer: a send refused by an outage window simply leaves
+  the cursor in place and retries next pump, and a shipper restarted
+  from seq 0 after a region kill re-ships history the receiver dedups.
+- :class:`ShippingChannel` models the WAN: configurable base lag,
+  jitter (which reorders), duplication, and outage windows, all driven
+  by a seeded RNG so every delivery schedule is reproducible.
+- :class:`SegmentReceiver` (one per region, inside the hub) verifies
+  each shipment's CRC framing, drops corrupt blobs whole, dedups
+  records by per-region sequence number, and buffers out-of-order
+  arrivals until they are contiguous.
+- :class:`FederationHub` replays received records through replica
+  engines and one :class:`~repro.soc.correlate.GlobalCampaignMerger`,
+  gated by **per-region low-watermarks**: a record is applied only once
+  every other region's frontier proves no earlier record can still
+  arrive.  The applied sequence is therefore exactly the global
+  ``(dispatch_t, region, seq)`` sort of all regions' streams --
+  *independent of delivery interleaving* -- which is what makes the
+  hub's final state byte-identical across any bounded-lag reordering
+  (the Hypothesis property in ``tests/test_soc_federation.py``) and
+  identical to an in-order union replay at zero lag.
+
+The price of that determinism is strict consistency: a partitioned
+region freezes its frontier, which stalls the *global* merge until the
+partition heals (the hub cannot prove order without it).  E18's
+partition/heal cell measures exactly that trade.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.soc.center import SecurityOperationsCenter
+from repro.soc.correlate import (
+    CampaignDetection,
+    CorrelationEngine,
+    GlobalCampaignMerger,
+)
+from repro.soc.incident import IncidentTracker
+from repro.soc.store import (
+    _HEADER,
+    _record_from_payload,
+    _dumps,
+    CorruptRecord,
+    EventLog,
+    LogRecord,
+    frame_payload,
+    record_payload,
+)
+
+_NEG_INF = float("-inf")
+
+
+def _enc_time(t: float) -> Optional[float]:
+    return None if t == _NEG_INF else t
+
+
+# ----------------------------------------------------------------------
+# Wire format: shipments of CRC-framed log records
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Shipment:
+    """One wire blob: a contiguous run of one region's log records.
+
+    ``watermark`` is the ``dispatch_t`` of the last record -- proven by
+    the log content itself, never by the shipper's clock, so a replayed
+    shipment carries the same bytes no matter when it is (re)sent.
+    """
+
+    region: str
+    first_seq: int
+    last_seq: int
+    watermark: float
+    records: Tuple[LogRecord, ...]
+
+
+def encode_shipment(shipment: Shipment) -> bytes:
+    """Serialize: one framed header + one framed payload per record,
+    each in the log's own ``u32 len | u32 CRC32 | payload`` envelope, so
+    the wire format self-verifies exactly like a segment on disk."""
+    if not shipment.records:
+        raise ValueError("a shipment carries at least one record")
+    head = _dumps(["h", shipment.region, shipment.first_seq,
+                   shipment.last_seq, shipment.watermark])
+    parts = [frame_payload(head)]
+    for record in shipment.records:
+        parts.append(frame_payload(record_payload(record)))
+    return b"".join(parts)
+
+
+def decode_shipment(data: bytes) -> Shipment:
+    """Parse + verify a shipment; raises :class:`CorruptRecord` on any
+    framing/CRC/consistency damage (a bad blob is rejected whole)."""
+    payloads: List[bytes] = []
+    offset = 0
+    while offset < len(data):
+        if len(data) - offset < _HEADER.size:
+            raise CorruptRecord("shipment: short frame header")
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        payload = data[start:start + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            raise CorruptRecord("shipment: frame failed length/CRC check")
+        payloads.append(payload)
+        offset = start + length
+    if not payloads:
+        raise CorruptRecord("shipment: empty blob")
+    head = json.loads(payloads[0].decode("utf-8"))
+    if head[0] != "h":
+        raise CorruptRecord(f"shipment: bad header tag {head[0]!r}")
+    _, region, first_seq, last_seq, watermark = head
+    first_seq, last_seq = int(first_seq), int(last_seq)
+    if len(payloads) - 1 != last_seq - first_seq + 1:
+        raise CorruptRecord("shipment: record count does not match header")
+    records = tuple(_record_from_payload(first_seq + i, p)
+                    for i, p in enumerate(payloads[1:]))
+    if records[-1].dispatch_t != float(watermark):
+        raise CorruptRecord("shipment: watermark does not match last record")
+    return Shipment(region=region, first_seq=first_seq, last_seq=last_seq,
+                    watermark=float(watermark), records=records)
+
+
+# ----------------------------------------------------------------------
+# Transport model
+# ----------------------------------------------------------------------
+
+class ShippingChannel:
+    """A deterministic, seeded WAN model for one region -> hub link.
+
+    ``lag_s`` is the base one-way delay; ``jitter_s`` adds a uniform
+    random extra per blob (two blobs sent back-to-back can therefore
+    arrive *reordered*); with probability ``duplicate_p`` a blob is
+    delivered twice; during any ``outages`` window ``[t0, t1)`` the link
+    refuses sends outright (:meth:`send` returns ``False`` -- the
+    shipper keeps its cursor and the durable log retransmits later, so
+    an outage loses nothing, it only delays).
+    """
+
+    def __init__(self, rng, lag_s: float = 0.0, jitter_s: float = 0.0,
+                 duplicate_p: float = 0.0,
+                 outages: Sequence[Tuple[float, float]] = ()) -> None:
+        if lag_s < 0 or jitter_s < 0 or not (0.0 <= duplicate_p <= 1.0):
+            raise ValueError("bad channel parameters")
+        self._rng = rng
+        self.lag_s = lag_s
+        self.jitter_s = jitter_s
+        self.duplicate_p = duplicate_p
+        self.outages = tuple(outages)
+        self._in_flight: List[Tuple[float, int, bytes]] = []
+        self._tie = 0
+        self.sent = 0
+        self.refused = 0
+        self.duplicated = 0
+
+    def in_outage(self, now: float) -> bool:
+        return any(t0 <= now < t1 for t0, t1 in self.outages)
+
+    def send(self, now: float, data: bytes) -> bool:
+        if self.in_outage(now):
+            self.refused += 1
+            return False
+        self.sent += 1
+        self._enqueue(now, data)
+        if self.duplicate_p and self._rng.random() < self.duplicate_p:
+            self.duplicated += 1
+            self._enqueue(now, data)
+        return True
+
+    def _enqueue(self, now: float, data: bytes) -> None:
+        deliver_at = now + self.lag_s
+        if self.jitter_s:
+            deliver_at += self._rng.uniform(0.0, self.jitter_s)
+        self._tie += 1
+        heappush(self._in_flight, (deliver_at, self._tie, data))
+
+    def deliver(self, now: float) -> List[bytes]:
+        """Pop every blob whose delivery time has arrived, in delivery
+        order (``deliver(float('inf'))`` drains the link)."""
+        out: List[bytes] = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            out.append(heappop(self._in_flight)[2])
+        return out
+
+    def drop_in_flight(self) -> int:
+        """Lose everything currently on the wire (a region kill takes
+        its half-open connections with it); returns the count dropped."""
+        dropped = len(self._in_flight)
+        self._in_flight = []
+        return dropped
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+
+class SegmentShipper:
+    """Tails one region's :class:`~repro.soc.store.EventLog` and ships
+    new records over a :class:`ShippingChannel`.
+
+    Restart semantics: the only durable state is the log itself.  A
+    fresh shipper (cursor 0) re-tails from the beginning and re-ships
+    everything -- at-least-once delivery, made exactly-once by the
+    receiver's per-region seq dedup.
+    """
+
+    def __init__(self, region: str, log: EventLog,
+                 channel: ShippingChannel, *,
+                 max_batch_records: int = 256,
+                 shipped_seq: int = 0) -> None:
+        if max_batch_records < 1:
+            raise ValueError("max_batch_records must be >= 1")
+        self.region = region
+        self.log = log
+        self.channel = channel
+        self.max_batch_records = max_batch_records
+        self.shipped_seq = shipped_seq
+        self.shipments_sent = 0
+        self.records_shipped = 0
+        self.send_refused = 0
+
+    def pump(self, now: float) -> int:
+        """Ship every record past the cursor; returns records shipped.
+        On a refused send the cursor stays put -- the log retransmits."""
+        if self.channel.in_outage(now):
+            # Don't even tail: the link is down and the cursor is safe.
+            self.send_refused += 1
+            return 0
+        records = list(self.log.tail(after_seq=self.shipped_seq))
+        shipped = 0
+        index = 0
+        while index < len(records):
+            chunk = records[index:index + self.max_batch_records]
+            shipment = Shipment(
+                region=self.region,
+                first_seq=chunk[0].seq,
+                last_seq=chunk[-1].seq,
+                watermark=chunk[-1].dispatch_t,
+                records=tuple(chunk),
+            )
+            if not self.channel.send(now, encode_shipment(shipment)):
+                self.send_refused += 1
+                break
+            self.shipped_seq = chunk[-1].seq
+            self.shipments_sent += 1
+            self.records_shipped += len(chunk)
+            shipped += len(chunk)
+            index += len(chunk)
+        return shipped
+
+
+# ----------------------------------------------------------------------
+# Hub side
+# ----------------------------------------------------------------------
+
+class SegmentReceiver:
+    """Per-region arrival state inside the hub: CRC-checked decode,
+    seq dedup (duplication + re-ship after restart), and an out-of-order
+    buffer keyed by seq so only contiguous records ever apply."""
+
+    def __init__(self, region: str) -> None:
+        self.region = region
+        self.applied_seq = 0
+        self.buffer: Dict[int, LogRecord] = {}
+        self.shipments_received = 0
+        self.records_received = 0
+        self.duplicates = 0
+        self.corrupt_rejected = 0
+
+    def receive(self, data: bytes) -> bool:
+        """Ingest one wire blob; ``False`` if it was corrupt (counted
+        and rejected whole -- never half-applied)."""
+        try:
+            shipment = decode_shipment(data)
+        except CorruptRecord:
+            self.corrupt_rejected += 1
+            return False
+        if shipment.region != self.region:
+            self.corrupt_rejected += 1
+            return False
+        self.shipments_received += 1
+        for record in shipment.records:
+            self.records_received += 1
+            if record.seq <= self.applied_seq or record.seq in self.buffer:
+                self.duplicates += 1
+            else:
+                self.buffer[record.seq] = record
+        return True
+
+    def next_ready(self) -> Optional[LogRecord]:
+        """The next contiguous record, if it has arrived."""
+        return self.buffer.get(self.applied_seq + 1)
+
+
+class FederationHub:
+    """The fleet-wide view: replica engines per (region, shard), one
+    global merger, one incident tracker, and the watermark gate.
+
+    ``regions`` fixes the deterministic region order used to break
+    ``dispatch_t`` ties (regions pump on the same tick grid, so ties are
+    the common case, not the corner case).  ``num_shards`` and the
+    correlation parameters must match the regions' own configuration --
+    :meth:`SecurityOperationsCenter.federation_profile` exports exactly
+    this shape (:meth:`from_profile` consumes it).
+    """
+
+    def __init__(self, regions: Sequence[str], num_shards: int = 1, *,
+                 window_s: float = 8.0, k: int = 3,
+                 dedup_window_s: float = 4.0,
+                 max_lateness_s: float = 2.0) -> None:
+        if not regions:
+            raise ValueError("a federation needs at least one region")
+        if len(set(regions)) != len(regions):
+            raise ValueError("region names must be unique")
+        self.regions: List[str] = list(regions)
+        self.num_shards = num_shards
+        self.receivers: Dict[str, SegmentReceiver] = {
+            r: SegmentReceiver(r) for r in self.regions}
+        self.engines: Dict[str, List[CorrelationEngine]] = {
+            r: [CorrelationEngine(
+                    window_s=window_s, k=k, dedup_window_s=dedup_window_s,
+                    max_lateness_s=max_lateness_s)
+                for _ in range(num_shards)]
+            for r in self.regions}
+        # Flattened in fixed (region, shard) order: merger cursors index
+        # by engine position, so this order is part of the state contract.
+        self._all_engines: List[CorrelationEngine] = [
+            e for r in self.regions for e in self.engines[r]]
+        self.merger = GlobalCampaignMerger(window_s=window_s, k=k)
+        self.tracker = IncidentTracker()
+        self._frontier: Dict[str, float] = {r: _NEG_INF for r in self.regions}
+        self._finalized = False
+        #: (applied_at_sim_time, detection) per fleet-wide verdict --
+        #: E18's latency sample stream.
+        self.detection_log: List[Tuple[float, CampaignDetection]] = []
+        self.records_applied = 0
+        self.pumps_applied = 0
+        self.stalled_rounds = 0
+        self.corrupt_unrouted = 0
+
+    @classmethod
+    def from_profile(cls, regions: Sequence[str],
+                     profile: Dict[str, object]) -> "FederationHub":
+        """Build a hub from one region's
+        :meth:`~repro.soc.center.SecurityOperationsCenter.\
+federation_profile` (regions in a federation share a configuration)."""
+        return cls(regions, int(profile["num_shards"]),
+                   window_s=profile["window_s"], k=profile["k"],
+                   dedup_window_s=profile["dedup_window_s"],
+                   max_lateness_s=profile["max_lateness_s"])
+
+    # ------------------------------------------------------------------
+    # Arrival + watermark-gated apply
+    # ------------------------------------------------------------------
+    def receive(self, data: bytes) -> bool:
+        """Route one wire blob to its region's receiver (the shipment
+        header names the region; an unknown region rejects)."""
+        try:
+            region = decode_shipment(data).region
+        except CorruptRecord:
+            # Can't even read the header: charge it to no region, but
+            # count it so transport damage is never silent.
+            self.corrupt_unrouted += 1
+            return False
+        receiver = self.receivers.get(region)
+        if receiver is None:
+            self.corrupt_unrouted += 1
+            return False
+        return receiver.receive(data)
+
+    def advance(self, now: float) -> int:
+        """Apply every *provably ordered* buffered record; returns the
+        count applied.
+
+        A candidate (the next contiguous record of some region) applies
+        only when no other region can still produce a record sorting
+        before it under the global ``(dispatch_t, region_order, seq)``
+        order.  Regions with a ready candidate are compared directly;
+        regions without one are bounded by their frontier -- the
+        ``dispatch_t`` of their last applied record, below which their
+        log (non-decreasing ``dispatch_t``) can never go back.  A tie at
+        the frontier must stall: an announced frontier ``t`` still
+        admits a future record *at* ``t``.
+        """
+        applied = 0
+        while True:
+            best_key: Optional[Tuple[float, int]] = None
+            best_receiver: Optional[SegmentReceiver] = None
+            best_record: Optional[LogRecord] = None
+            ready: List[bool] = []
+            for index, region in enumerate(self.regions):
+                record = self.receivers[region].next_ready()
+                ready.append(record is not None)
+                if record is None:
+                    continue
+                key = (record.dispatch_t, index)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_receiver = self.receivers[region]
+                    best_record = record
+            if best_record is None:
+                break
+            if not self._finalized:
+                safe = True
+                for index, region in enumerate(self.regions):
+                    if ready[index]:
+                        continue  # its next record lost the key compare
+                    # Worst case: this region's next record arrives at
+                    # exactly its frontier time.
+                    if (self._frontier[region], index) <= best_key:
+                        safe = False
+                        break
+                if not safe:
+                    self.stalled_rounds += 1
+                    break
+            best_receiver.applied_seq = best_record.seq
+            del best_receiver.buffer[best_record.seq]
+            self._frontier[best_receiver.region] = best_record.dispatch_t
+            self._apply(now, best_receiver.region, best_record)
+            applied += 1
+        return applied
+
+    def _apply(self, now: float, region: str, record: LogRecord) -> None:
+        self.records_applied += 1
+        if record.kind == "batch":
+            self.engines[region][record.shard].observe_batch(
+                list(record.events))
+            return
+        # Pump marker: the region merged campaigns here; the hub merges
+        # fleet-wide, exactly as `recover_soc_state` replays a marker.
+        self.pumps_applied += 1
+        new_detections, new_vehicles = self.merger.merge(self._all_engines)
+        for detection in new_detections:
+            for engine in self._all_engines:
+                engine.adopt_campaign(detection)
+            self.tracker.open_from_detection(
+                detection,
+                SecurityOperationsCenter._base_severity(detection))
+            self.detection_log.append((now, detection))
+        for signature in sorted(new_vehicles):
+            for vehicle in sorted(new_vehicles[signature]):
+                self.tracker.attach_vehicle(signature, vehicle)
+
+    def finalize(self, now: float) -> int:
+        """End-of-stream flush: every region's log is known complete, so
+        frontier gating is lifted and all buffered records drain in
+        global sort order.  Returns the records applied."""
+        self._finalized = True
+        return self.advance(now)
+
+    # ------------------------------------------------------------------
+    # Verdict-level federation (the lightweight alternative)
+    # ------------------------------------------------------------------
+    def adopt_verdicts(
+        self, detections: Sequence[CampaignDetection]
+    ) -> Tuple[int, int]:
+        """Adopt a region's exported verdicts without record replay.
+
+        This is the cheap federation mode -- regions ship conclusions,
+        not evidence -- so campaigns *below* every region's local ``k``
+        are invisible to it (the record-shipping path exists precisely
+        to catch those).  Returns ``(adopted, deduped)``; re-announced
+        campaigns union their spread but never re-open incidents.
+        """
+        adopted = deduped = 0
+        for detection in detections:
+            fresh = self.merger.adopt_campaign(detection)
+            if fresh is None:
+                deduped += 1
+                for vehicle in detection.vehicles:
+                    self.tracker.attach_vehicle(detection.signature, vehicle)
+                continue
+            adopted += 1
+            for engine in self._all_engines:
+                engine.adopt_campaign(detection)
+            self.tracker.open_from_detection(
+                detection,
+                SecurityOperationsCenter._base_severity(detection))
+        return adopted, deduped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def flagged_signatures(self) -> Set[str]:
+        return set(self.merger.flagged_signatures)
+
+    def unapplied(self) -> int:
+        """Records received but not yet applied (in-order gaps included)."""
+        return sum(len(r.buffer) for r in self.receivers.values())
+
+    def analytics_snapshot(self) -> Dict[str, object]:
+        """Canonical dump of the hub's analytic state.  Two hubs that
+        applied the same record sequence produce byte-identical dumps
+        under ``json.dumps(..., sort_keys=True)`` -- transport statistics
+        (duplicates, corrupt counts) are deliberately excluded because
+        they describe the journey, not the state."""
+        return {
+            "regions": list(self.regions),
+            "num_shards": self.num_shards,
+            "engines": {r: [e.snapshot() for e in self.engines[r]]
+                        for r in self.regions},
+            "merger": self.merger.snapshot(),
+            "tracker": self.tracker.snapshot(),
+            "frontiers": {r: _enc_time(self._frontier[r])
+                          for r in self.regions},
+            "applied_seq": {r: self.receivers[r].applied_seq
+                            for r in self.regions},
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        out = {
+            "regions": float(len(self.regions)),
+            "records_applied": float(self.records_applied),
+            "pumps_applied": float(self.pumps_applied),
+            "stalled_rounds": float(self.stalled_rounds),
+            "campaigns_flagged": float(len(self.merger.flagged_signatures)),
+            "incidents_open": float(len(self.tracker.incidents)),
+            "receiver_duplicates": float(
+                sum(r.duplicates for r in self.receivers.values())),
+            "corrupt_rejected": float(
+                sum(r.corrupt_rejected for r in self.receivers.values())),
+        }
+        return out

@@ -117,10 +117,20 @@ class AttackCampaign:
 
 
 class FleetModel:
-    """Compromise/containment/patch bookkeeping for one fleet."""
+    """Compromise/containment/patch bookkeeping for one fleet.
 
-    def __init__(self, n_vehicles: int, campaigns: List[AttackCampaign]) -> None:
+    ``id_base`` offsets this fleet's vehicle-id space: a federated
+    deployment runs one :class:`FleetModel` per region, and disjoint id
+    ranges (``id_base=r * 1_000_000``) are what make the hub's
+    cross-region distinct-vehicle union mean what it says.  The default
+    of 0 keeps a single-region fleet's ids byte-identical to every
+    pre-federation run.
+    """
+
+    def __init__(self, n_vehicles: int, campaigns: List[AttackCampaign],
+                 id_base: int = 0) -> None:
         self.n_vehicles = n_vehicles
+        self.id_base = id_base
         self.campaigns = {c.signature: c for c in campaigns}
         self.compromised_at: Dict[str, Dict[str, float]] = {
             sig: {} for sig in self.campaigns
@@ -132,6 +142,10 @@ class FleetModel:
     @staticmethod
     def vehicle_id(index: int) -> str:
         return f"v{index:06d}"
+
+    def vid(self, index: int) -> str:
+        """This fleet's id for local vehicle ``index`` (``id_base``-offset)."""
+        return f"v{self.id_base + index:06d}"
 
     # ------------------------------------------------------------------
     # Attack dynamics
@@ -302,7 +316,7 @@ class FleetWorkloadGenerator:
             jitters = rng.uniform(-self.tick_s, 0.0, size=k)
             variants = rng.integers(0, 4, size=k)
             for index, jitter, variant in zip(vehicles, jitters, variants):
-                vehicle = FleetModel.vehicle_id(int(index))
+                vehicle = self.fleet.vid(int(index))
                 self._offer(make_event(
                     vehicle, EventSource.V2X,
                     f"noise.{vehicle}:{int(variant)}",
@@ -318,7 +332,7 @@ class FleetWorkloadGenerator:
             patterns = rng.integers(0, self.ambient_pool, size=k)
             for index, jitter, pattern in zip(vehicles, jitters, patterns):
                 self._offer(make_event(
-                    FleetModel.vehicle_id(int(index)), EventSource.GATEWAY,
+                    self.fleet.vid(int(index)), EventSource.GATEWAY,
                     f"ambient.telemetry:{int(pattern):04d}",
                     max(0.0, now + float(jitter)),
                     self._next_seq(), severity=Asil.B,
@@ -330,7 +344,7 @@ class FleetWorkloadGenerator:
         # Per-vehicle one-off noise (ASIL A): volume, never correlates.
         lam = n * self.benign_rate_eps * self.tick_s
         for _ in range(poisson_draw(rng, lam)):
-            vehicle = FleetModel.vehicle_id(rng.randrange(n))
+            vehicle = self.fleet.vid(rng.randrange(n))
             jitter = rng.uniform(-self.tick_s, 0.0)
             sig = f"noise.{vehicle}:{rng.randrange(4)}"
             self._offer(make_event(
@@ -341,7 +355,7 @@ class FleetWorkloadGenerator:
         # reach the correlator -- the precision measurement's denominator.
         lam = n * self.ambient_rate_eps * self.tick_s
         for _ in range(poisson_draw(rng, lam)):
-            vehicle = FleetModel.vehicle_id(rng.randrange(n))
+            vehicle = self.fleet.vid(rng.randrange(n))
             jitter = rng.uniform(-self.tick_s, 0.0)
             sig = f"ambient.telemetry:{rng.randrange(self.ambient_pool):04d}"
             self._offer(make_event(
@@ -376,12 +390,15 @@ def seeded_campaigns(
     n_campaigns: int = 3,
     start_s: float = 4.0,
     spread_duration_s: float = 15.0,
+    id_base: int = 0,
 ) -> List[AttackCampaign]:
     """Deterministically plant ``n_campaigns`` class-breaks.
 
     Target counts honor ``prevalence`` but never drop below ``k_floor``
     per campaign (a campaign that cannot reach the correlator's k would
-    make recall unmeasurable at toy fleet sizes).
+    make recall unmeasurable at toy fleet sizes).  ``id_base`` matches
+    the owning :class:`FleetModel`'s offset so campaign targets land in
+    that region's id space.
     """
     picker = rng.get("soc.campaigns")
     per = max(k_floor, int(prevalence * n_vehicles / n_campaigns))
@@ -404,7 +421,7 @@ def seeded_campaigns(
             name=f"campaign-{i}",
             source=source,
             start_s=start_s + 2.0 * i,
-            targets=tuple(FleetModel.vehicle_id(j) for j in indices),
+            targets=tuple(FleetModel.vehicle_id(id_base + j) for j in indices),
             rate_per_s=max(0.5, per / spread_duration_s),
             **extra,
         ))

@@ -1,0 +1,577 @@
+"""Tests for repro.soc.federation and the E18 federated topology.
+
+Covers the checkpoint-seeking ``EventLog.tail`` cursor (pinned across a
+segment roll), the shipment wire codec (round-trip + every-byte
+corruption rejection), the seeded WAN channel model, shipper restart /
+receiver dedup (at-least-once made exactly-once), the merger's
+``adopt_campaign`` re-adoption dedup, and the tentpole differentials:
+a federated hub at zero lag is byte-identical to a union replay and
+semantically identical to one global correlation engine fed the union
+stream; killing any region mid-ship (dropping its in-flight blobs and
+restarting its shipper from seq 0) converges byte-identically to the
+uninterrupted twin; and the Hypothesis property that any reordering /
+duplication of the shipped segments yields the same final hub state as
+in-order delivery.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.safety import Asil
+from repro.soc import (
+    CampaignDetection,
+    CorrelationEngine,
+    CorruptRecord,
+    EventLog,
+    EventSource,
+    FederationHub,
+    GlobalCampaignMerger,
+    SegmentReceiver,
+    SegmentShipper,
+    Shipment,
+    ShippingChannel,
+    decode_shipment,
+    encode_shipment,
+    make_event,
+)
+from repro.experiments.e18_federation import build_federated_scene
+
+
+def ev(vehicle, sig, time, seq, severity=Asil.B):
+    return make_event(vehicle, EventSource.IDS, sig, time, seq,
+                      severity=severity)
+
+
+def _canon(obj):
+    return json.dumps(obj, sort_keys=True)
+
+
+def _fill_log(log, n_batches, per_batch=2, mark_every=3):
+    """Append a deterministic mix of batch and mark records."""
+    seq = 0
+    for b in range(n_batches):
+        t = 0.25 * (b + 1)
+        events = [ev(f"v{b}_{i}", f"sig.{b % 4}", t - 0.1, b * 10 + i)
+                  for i in range(per_batch)]
+        log.append_batch(t, b % 2, events)
+        seq += 1
+        if (b + 1) % mark_every == 0:
+            log.append_mark(t, (b + 1) // mark_every)
+            seq += 1
+    return seq
+
+
+# ----------------------------------------------------------------------
+# Satellite: EventLog.tail
+# ----------------------------------------------------------------------
+class TestEventLogTail:
+    def test_tail_matches_replay_at_every_cursor(self, tmp_path):
+        log = EventLog(tmp_path, segment_max_records=3, index_every=1)
+        total = _fill_log(log, 10)
+        assert log.segments_rotated >= 3
+        for cursor in range(total + 1):
+            assert list(log.tail(after_seq=cursor)) == \
+                list(log.replay(after_seq=cursor))
+        log.close()
+
+    def test_tail_seeks_past_closed_segments(self, tmp_path):
+        log = EventLog(tmp_path, segment_max_records=3, index_every=1)
+        total = _fill_log(log, 12)
+        tailed = list(log.tail(after_seq=total - 2))
+        assert [r.seq for r in tailed] == [total - 1, total]
+        stats = log.last_tail_stats
+        assert stats["segments_skipped"] >= 2
+        assert stats["records_read"] < total
+        assert stats["records_yielded"] == 2
+        # The in-segment checkpoint seek skipped real bytes too.
+        full = list(log.tail(after_seq=0))
+        assert len(full) == total
+        assert log.last_tail_stats["segments_skipped"] == 0
+        log.close()
+
+    def test_tail_across_a_segment_roll(self, tmp_path):
+        """Regression pin: a cursor parked exactly at a closed segment's
+        last record resumes at the next segment's first record."""
+        log = EventLog(tmp_path, segment_max_records=4, index_every=1)
+        _fill_log(log, 5)
+        cursor = log.last_seq
+        assert list(log.tail(after_seq=cursor)) == []
+        # Appends that roll into a new segment while the cursor waits.
+        before = log.segments_rotated
+        appended = _fill_log(log, 6)
+        assert log.segments_rotated > before
+        fresh = list(log.tail(after_seq=cursor))
+        assert [r.seq for r in fresh] == \
+            list(range(cursor + 1, cursor + appended + 1))
+        assert fresh == list(log.replay(after_seq=cursor))
+        # A cursor at a closed segment's boundary skips that segment.
+        boundary = log._segment_infos()[0]
+        edge = boundary.first_seq + boundary.count - 1
+        list(log.tail(after_seq=edge))
+        assert log.last_tail_stats["segments_skipped"] >= 1
+        log.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite: merger adopt_campaign dedup
+# ----------------------------------------------------------------------
+def _detection(signature="xr.sig", vehicles=("v1", "v2", "v3"),
+               detect_time=10.0):
+    return CampaignDetection(signature=signature, detect_time=detect_time,
+                             first_time=detect_time - 2.0,
+                             vehicles=tuple(sorted(vehicles)),
+                             window_s=8.0, k=3)
+
+
+class TestAdoptCampaignDedup:
+    def test_re_adoption_from_second_region_dedups(self):
+        merger = GlobalCampaignMerger(window_s=8.0, k=3)
+        first = _detection(vehicles=("v1", "v2", "v3"))
+        assert merger.adopt_campaign(first) is first
+        assert merger.adopted == 1
+        assert len(merger.detections) == 1
+        # Same campaign id announced by a second region: no re-fire,
+        # only a spread union.
+        again = _detection(vehicles=("v4", "v5", "v6"), detect_time=11.0)
+        assert merger.adopt_campaign(again) is None
+        assert merger.adoptions_deduped == 1
+        assert len(merger.detections) == 1
+        assert merger.campaign_vehicles("xr.sig") == {
+            "v1", "v2", "v3", "v4", "v5", "v6"}
+        assert merger.flagged_signatures == ("xr.sig",)
+
+    def test_adoption_counters_survive_snapshot_round_trip(self):
+        merger = GlobalCampaignMerger(window_s=8.0, k=3)
+        merger.adopt_campaign(_detection())
+        merger.adopt_campaign(_detection(vehicles=("v9",)))
+        restored = GlobalCampaignMerger.from_snapshot(merger.snapshot())
+        assert restored.adopted == 1
+        assert restored.adoptions_deduped == 1
+        assert _canon(restored.snapshot()) == _canon(merger.snapshot())
+        assert restored.metrics()["campaigns_adopted"] == 1.0
+        assert restored.metrics()["adoptions_deduped"] == 1.0
+
+    def test_pre_federation_snapshots_load_with_zero_counters(self):
+        merger = GlobalCampaignMerger(window_s=8.0, k=3)
+        state = merger.snapshot()
+        del state["adopted"], state["adoptions_deduped"]
+        restored = GlobalCampaignMerger.from_snapshot(state)
+        assert restored.adopted == 0
+        assert restored.adoptions_deduped == 0
+
+
+# ----------------------------------------------------------------------
+# Shipment wire codec
+# ----------------------------------------------------------------------
+def _shipment_from_log(tmp_path, region="region-a", n_batches=4):
+    log = EventLog(tmp_path, segment_max_records=64)
+    _fill_log(log, n_batches)
+    records = tuple(log.replay())
+    log.close()
+    return Shipment(region=region, first_seq=records[0].seq,
+                    last_seq=records[-1].seq,
+                    watermark=records[-1].dispatch_t, records=records)
+
+
+class TestShipmentCodec:
+    def test_round_trip(self, tmp_path):
+        shipment = _shipment_from_log(tmp_path)
+        assert decode_shipment(encode_shipment(shipment)) == shipment
+
+    def test_every_corrupt_byte_is_rejected_whole(self, tmp_path):
+        blob = encode_shipment(_shipment_from_log(tmp_path, n_batches=2))
+        for offset in range(len(blob)):
+            damaged = bytearray(blob)
+            damaged[offset] ^= 0xFF
+            with pytest.raises(CorruptRecord):
+                decode_shipment(bytes(damaged))
+        with pytest.raises(CorruptRecord):
+            decode_shipment(blob[:-3])  # truncated mid-frame
+        with pytest.raises(CorruptRecord):
+            decode_shipment(b"")
+
+    def test_empty_shipment_refuses_to_encode(self):
+        with pytest.raises(ValueError):
+            encode_shipment(Shipment(region="r", first_seq=1, last_seq=0,
+                                     watermark=0.0, records=()))
+
+
+# ----------------------------------------------------------------------
+# Transport: channel, shipper, receiver
+# ----------------------------------------------------------------------
+class TestShippingChannel:
+    def test_lag_gates_delivery(self):
+        chan = ShippingChannel(random.Random(0), lag_s=2.0)
+        assert chan.send(1.0, b"a")
+        assert chan.deliver(2.9) == []
+        assert chan.deliver(3.0) == [b"a"]
+        assert chan.in_flight == 0
+
+    def test_jitter_reorders_back_to_back_sends(self):
+        chan = ShippingChannel(random.Random(3), jitter_s=10.0)
+        blobs = [bytes([i]) for i in range(8)]
+        for blob in blobs:
+            chan.send(0.0, blob)
+        delivered = chan.deliver(float("inf"))
+        assert sorted(delivered) == sorted(blobs)
+        assert delivered != blobs
+
+    def test_duplication_and_outage(self):
+        chan = ShippingChannel(random.Random(0), duplicate_p=1.0,
+                               outages=((5.0, 10.0),))
+        assert chan.send(0.0, b"x")
+        assert chan.duplicated == 1
+        assert chan.deliver(float("inf")) == [b"x", b"x"]
+        assert chan.in_outage(5.0) and not chan.in_outage(10.0)
+        assert not chan.send(7.0, b"y")
+        assert chan.refused == 1
+        assert chan.send(10.0, b"y")
+
+    def test_drop_in_flight_loses_the_wire(self):
+        chan = ShippingChannel(random.Random(0), lag_s=1.0)
+        chan.send(0.0, b"a")
+        chan.send(0.0, b"b")
+        assert chan.drop_in_flight() == 2
+        assert chan.deliver(float("inf")) == []
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ShippingChannel(random.Random(0), lag_s=-1.0)
+        with pytest.raises(ValueError):
+            ShippingChannel(random.Random(0), duplicate_p=1.5)
+
+
+class TestShipperAndReceiver:
+    def _pipe(self, tmp_path, **channel_kw):
+        log = EventLog(tmp_path, segment_max_records=4)
+        chan = ShippingChannel(random.Random(0), **channel_kw)
+        shipper = SegmentShipper("region-a", log, chan,
+                                 max_batch_records=3)
+        return log, chan, shipper, SegmentReceiver("region-a")
+
+    def test_ship_receive_preserves_records(self, tmp_path):
+        log, chan, shipper, receiver = self._pipe(tmp_path)
+        total = _fill_log(log, 7)
+        assert shipper.pump(0.0) == total
+        assert shipper.shipped_seq == total
+        assert shipper.shipments_sent == -(-total // 3)
+        for blob in chan.deliver(float("inf")):
+            assert receiver.receive(blob)
+        assert sorted(receiver.buffer) == list(range(1, total + 1))
+        assert receiver.records_received == total
+        assert receiver.duplicates == 0
+        # Nothing new: the cursor holds and no blob goes out.
+        assert shipper.pump(1.0) == 0
+        log.close()
+
+    def test_outage_leaves_cursor_then_retransmits(self, tmp_path):
+        log, chan, shipper, receiver = self._pipe(
+            tmp_path, outages=((5.0, 10.0),))
+        total = _fill_log(log, 5)
+        assert shipper.pump(7.0) == 0
+        assert shipper.send_refused == 1
+        assert shipper.shipped_seq == 0
+        assert shipper.pump(12.0) == total
+        for blob in chan.deliver(float("inf")):
+            receiver.receive(blob)
+        assert len(receiver.buffer) == total
+        log.close()
+
+    def test_restarted_shipper_reships_and_receiver_dedups(self, tmp_path):
+        log, chan, shipper, receiver = self._pipe(tmp_path)
+        total = _fill_log(log, 6)
+        shipper.pump(0.0)
+        for blob in chan.deliver(float("inf")):
+            receiver.receive(blob)
+        # Region kill: only the durable log survives; the replacement
+        # shipper restarts from seq 0 and re-ships all of history.
+        replacement = SegmentShipper("region-a", log, chan,
+                                     max_batch_records=3)
+        assert replacement.pump(1.0) == total
+        for blob in chan.deliver(float("inf")):
+            assert receiver.receive(blob)
+        assert receiver.duplicates == total
+        assert sorted(receiver.buffer) == list(range(1, total + 1))
+        log.close()
+
+    def test_receiver_rejects_corrupt_and_misrouted(self, tmp_path):
+        shipment = _shipment_from_log(tmp_path, region="region-a")
+        blob = encode_shipment(shipment)
+        receiver = SegmentReceiver("region-b")
+        assert not receiver.receive(blob)  # wrong region
+        damaged = bytearray(blob)
+        damaged[7] ^= 0xFF
+        assert not receiver.receive(bytes(damaged))
+        assert receiver.corrupt_rejected == 2
+        assert receiver.records_received == 0
+
+    def test_out_of_order_buffering(self, tmp_path):
+        log = EventLog(tmp_path, segment_max_records=64)
+        _fill_log(log, 4)
+        records = list(log.replay())
+        log.close()
+        one = encode_shipment(Shipment("r", records[0].seq, records[0].seq,
+                                       records[0].dispatch_t,
+                                       (records[0],)))
+        rest = encode_shipment(Shipment("r", records[1].seq,
+                                        records[-1].seq,
+                                        records[-1].dispatch_t,
+                                        tuple(records[1:])))
+        receiver = SegmentReceiver("r")
+        assert receiver.receive(rest)
+        assert receiver.next_ready() is None  # gap at seq 1
+        assert receiver.receive(one)
+        assert receiver.next_ready().seq == 1
+
+    def test_shipper_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            SegmentShipper("r", None, None, max_batch_records=0)
+
+
+# ----------------------------------------------------------------------
+# Hub units
+# ----------------------------------------------------------------------
+class TestFederationHubUnits:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FederationHub([])
+        with pytest.raises(ValueError):
+            FederationHub(["a", "a"])
+
+    def test_receive_routes_and_counts_unrouted(self, tmp_path):
+        hub = FederationHub(["region-a"], 1)
+        blob = encode_shipment(_shipment_from_log(tmp_path, "region-a"))
+        assert hub.receive(blob)
+        assert hub.receivers["region-a"].shipments_received == 1
+        assert not hub.receive(b"garbage")
+        foreign = encode_shipment(
+            _shipment_from_log(tmp_path / "other", "region-z"))
+        assert not hub.receive(foreign)
+        assert hub.corrupt_unrouted == 2
+
+    def test_adopt_verdicts_opens_once_and_unions_spread(self):
+        hub = FederationHub(["a", "b"], 1, k=3)
+        first = _detection(vehicles=("v1", "v2", "v3"))
+        assert hub.adopt_verdicts([first]) == (1, 0)
+        assert hub.flagged_signatures() == {"xr.sig"}
+        assert len(hub.tracker.incidents) == 1
+        for engine in hub._all_engines:
+            assert engine.is_flagged("xr.sig")
+        # The same campaign id from the second region dedups; its
+        # vehicles still attach to the open incident.
+        again = _detection(vehicles=("v7", "v8", "v9"))
+        assert hub.adopt_verdicts([again]) == (0, 1)
+        assert len(hub.tracker.incidents) == 1
+        assert hub.merger.campaign_vehicles("xr.sig") >= {"v7", "v8", "v9"}
+
+    def test_watermark_gate_stalls_on_silent_region(self, tmp_path):
+        hub = FederationHub(["region-a", "region-b"], 2)
+        blob = encode_shipment(
+            _shipment_from_log(tmp_path, "region-a", n_batches=3))
+        hub.receive(blob)
+        # region-b has announced nothing: its frontier is -inf, so no
+        # region-a record is provably ordered yet.
+        assert hub.advance(0.0) == 0
+        assert hub.stalled_rounds == 1
+        assert hub.unapplied() > 0
+        # End-of-stream lifts the gate and everything drains.
+        assert hub.finalize(0.0) == hub.records_applied
+        assert hub.unapplied() == 0
+        metrics = hub.metrics()
+        assert metrics["records_applied"] == hub.records_applied
+        assert metrics["stalled_rounds"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# The tentpole differentials (federated scenes)
+# ----------------------------------------------------------------------
+DIFF_N = 250
+DIFF_DURATION_S = 22.0
+KILL_AT_S = 10.0
+
+
+def _union_reference_hub(scene):
+    """A fresh hub fed every region's full log directly (no transport),
+    drained in one finalize -- the zero-lag union replay reference."""
+    profile = next(iter(scene.regions.values())).center.federation_profile()
+    ref = FederationHub.from_profile(list(scene.regions), profile)
+    for name, runtime in scene.regions.items():
+        receiver = ref.receivers[name]
+        for record in runtime.store.log.replay():
+            receiver.buffer[record.seq] = record
+    ref.finalize(0.0)
+    return ref
+
+
+def _global_engine_flagged(scene, profile):
+    """One un-sharded, un-federated engine fed the union stream in the
+    hub's global (dispatch_t, region, seq) order."""
+    engine = CorrelationEngine(
+        window_s=profile["window_s"], k=profile["k"],
+        dedup_window_s=profile["dedup_window_s"],
+        max_lateness_s=profile["max_lateness_s"])
+    entries = []
+    for index, name in enumerate(scene.regions):
+        for record in scene.regions[name].store.log.replay():
+            entries.append((record.dispatch_t, index, record.seq, record))
+    entries.sort(key=lambda e: e[:3])
+    for _, _, _, record in entries:
+        if record.kind == "batch":
+            engine.observe_batch(list(record.events))
+    return set(engine.flagged_signatures)
+
+
+class TestFederatedDifferential:
+    @pytest.fixture(scope="class")
+    def zero_lag_scene_result(self):
+        scene = build_federated_scene(seed=1, n_per_region=DIFF_N,
+                                      lag_s=0.0)
+        try:
+            scene.start()
+            scene.run(DIFF_DURATION_S)
+            profile = next(iter(
+                scene.regions.values())).center.federation_profile()
+            yield {
+                "scene": scene,
+                "profile": profile,
+                "hub_canon": _canon(scene.hub.analytics_snapshot()),
+                "ref_canon": _canon(
+                    _union_reference_hub(scene).analytics_snapshot()),
+                "global_flagged": _global_engine_flagged(scene, profile),
+                "local_flagged": {
+                    name: set(runtime.center.flagged_signatures())
+                    for name, runtime in scene.regions.items()},
+                "local_verdicts": {
+                    name: runtime.center.export_verdicts()
+                    for name, runtime in scene.regions.items()},
+            }
+        finally:
+            scene.close()
+
+    def test_zero_lag_is_byte_identical_to_union_replay(
+            self, zero_lag_scene_result):
+        r = zero_lag_scene_result
+        assert r["hub_canon"] == r["ref_canon"]
+        assert r["scene"].hub.unapplied() == 0
+
+    def test_federated_verdicts_equal_one_global_soc(
+            self, zero_lag_scene_result):
+        r = zero_lag_scene_result
+        scene = r["scene"]
+        # Every planted campaign is sub-k in every region: invisible
+        # locally, detected only by the cross-region stitch.
+        for name in scene.regions:
+            assert not (r["local_flagged"][name]
+                        & scene.campaign_signatures)
+            assert r["local_verdicts"][name] == []
+        flagged = scene.hub.flagged_signatures()
+        assert scene.campaign_signatures <= flagged
+        assert flagged == r["global_flagged"]
+
+    def test_federation_profile_round_trips_into_hub(
+            self, zero_lag_scene_result):
+        r = zero_lag_scene_result
+        profile = r["profile"]
+        hub = FederationHub.from_profile(["a", "b"], profile)
+        assert hub.num_shards == profile["num_shards"]
+        assert hub.merger.window_s == profile["window_s"]
+        assert hub.merger.k == profile["k"]
+
+    @pytest.fixture(scope="class")
+    def uninterrupted_twin_canon(self):
+        canon, _ = _run_killable_scene(kill_region=None)
+        return canon
+
+    @pytest.mark.parametrize("victim", ["region-0", "region-1", "region-2"])
+    def test_kill_any_region_mid_ship_converges_byte_identically(
+            self, victim, uninterrupted_twin_canon):
+        canon, dropped = _run_killable_scene(kill_region=victim)
+        assert dropped > 0  # the kill really lost in-flight blobs
+        assert canon == uninterrupted_twin_canon
+
+
+def _run_killable_scene(kill_region):
+    """Run the differential scene; optionally kill one region's shipping
+    leg mid-run (drop its wire, restart its shipper from seq 0)."""
+    scene = build_federated_scene(seed=1, n_per_region=DIFF_N,
+                                  lag_s=1.0, jitter_s=0.3)
+    dropped = 0
+    try:
+        scene.start()
+        if kill_region is not None:
+            scene.sim.run_until(KILL_AT_S)
+            runtime = scene.regions[kill_region]
+            dropped = runtime.channel.drop_in_flight()
+            runtime.shipper = SegmentShipper(
+                kill_region, runtime.store.log, runtime.channel)
+        scene.run(DIFF_DURATION_S)
+        assert scene.hub.unapplied() == 0
+        return _canon(scene.hub.analytics_snapshot()), dropped
+    finally:
+        scene.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite: Hypothesis interleaving/duplication property
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def shipment_corpus():
+    """A small federated run rendered as per-region shipment blobs, plus
+    the canonical hub state that in-order delivery produces."""
+    scene = build_federated_scene(seed=7, n_per_region=150, lag_s=0.0)
+    try:
+        scene.start()
+        scene.run(18.0)
+        names = list(scene.regions)
+        profile = next(iter(
+            scene.regions.values())).center.federation_profile()
+        blobs = []
+        for name in names:
+            records = list(scene.regions[name].store.log.replay())
+            for i in range(0, len(records), 5):
+                chunk = records[i:i + 5]
+                blobs.append(encode_shipment(Shipment(
+                    region=name, first_seq=chunk[0].seq,
+                    last_seq=chunk[-1].seq,
+                    watermark=chunk[-1].dispatch_t,
+                    records=tuple(chunk))))
+        live_canon = _canon(scene.hub.analytics_snapshot())
+        planted = set(scene.campaign_signatures)
+    finally:
+        scene.close()
+    expected_hub = FederationHub.from_profile(names, profile)
+    for blob in blobs:
+        expected_hub.receive(blob)
+        expected_hub.advance(0.0)
+    expected_hub.finalize(0.0)
+    expected = _canon(expected_hub.analytics_snapshot())
+    # The in-order blob replay reproduces the live zero-lag run exactly,
+    # and it detected the planted cross-region campaigns.
+    assert expected == live_canon
+    assert planted <= set(expected_hub.merger.flagged_signatures)
+    return {"names": names, "profile": profile, "blobs": blobs,
+            "expected": expected}
+
+
+class TestInterleavingInvariance:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_any_reordering_and_duplication_converges(
+            self, shipment_corpus, seed):
+        rng = random.Random(seed)
+        blobs = list(shipment_corpus["blobs"])
+        blobs += [b for b in blobs if rng.random() < 0.3]  # duplicates
+        rng.shuffle(blobs)
+        hub = FederationHub.from_profile(shipment_corpus["names"],
+                                         shipment_corpus["profile"])
+        for i, blob in enumerate(blobs):
+            hub.receive(blob)
+            if i % 5 == 0:  # interleave gated applies with arrivals
+                hub.advance(0.0)
+        hub.finalize(0.0)
+        assert hub.unapplied() == 0
+        assert _canon(hub.analytics_snapshot()) == \
+            shipment_corpus["expected"]
