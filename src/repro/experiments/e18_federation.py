@@ -193,8 +193,14 @@ def build_federated_scene(
     outages: Optional[Dict[str, Sequence[Tuple[float, float]]]] = None,
     root=None,
     max_batch_records: int = 256,
+    columnar: bool = False,
 ) -> FederatedScene:
     """Wire M regional SOCs, their shipping legs, and the hub.
+
+    ``columnar`` switches every regional center *and* the hub's replay
+    apply onto the columnar batch path; log bytes, shipments, and the
+    hub's final state are byte-identical either way (the federation
+    columnar tests pin it), so it is purely a throughput knob.
 
     Every region gets its own derived RNG universe, a disjoint
     vehicle-id space (``id_base``), a :class:`DurableStore` under
@@ -223,7 +229,7 @@ def build_federated_scene(
         store = DurableStore(base / name)
         center = SecurityOperationsCenter(
             sim, fleet, k=K, respond=False, num_shards=num_shards,
-            store=store,
+            store=store, columnar=columnar,
         )
         generator = FleetWorkloadGenerator(sim, region_rng, fleet,
                                            center.pipeline)
@@ -240,7 +246,8 @@ def build_federated_scene(
         if profile is None:
             profile = center.federation_profile()
 
-    hub = FederationHub.from_profile(list(region_names), profile)
+    hub = FederationHub.from_profile(list(region_names), profile,
+                                     columnar=columnar)
     return FederatedScene(sim=sim, hub=hub, regions=regions,
                           root=base, _owns_root=owns_root,
                           campaign_signatures=signatures)

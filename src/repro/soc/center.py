@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.core.safety import Asil
 from repro.sim import Simulator
+from repro.soc.columnar import ColumnarBatch
 from repro.soc.correlate import (
     CampaignDetection,
     CorrelationEngine,
@@ -54,7 +55,14 @@ class SecurityOperationsCenter:
 
     ``batched`` selects batch delivery end-to-end (list-per-drained-batch
     sinks feeding ``observe_batch``); the per-event path remains only as
-    the differential baseline.  ``shard_local_correlate`` (default: on
+    the differential baseline.  ``columnar`` goes one further: drained
+    batches are rebuilt once as
+    :class:`~repro.soc.columnar.ColumnarBatch` arrays at dispatch and fed
+    through ``observe_columnar`` (and, when a store is attached, archived
+    via :meth:`~repro.soc.store.EventLog.append_columnar` -- same record
+    bytes, so recovery and federation replay are mode-agnostic).  All
+    three modes are byte-identical in final analytic state; the
+    differential tests pin it.  ``shard_local_correlate`` (default: on
     whenever ``num_shards > 1``) gives every ingest shard its own
     correlator, stitched by a :class:`GlobalCampaignMerger` each pump.
     """
@@ -78,6 +86,7 @@ class SecurityOperationsCenter:
         shard_key: Optional[ShardKeyFn] = None,
         audit: bool = True,
         batched: bool = True,
+        columnar: bool = False,
         shard_local_correlate: Optional[bool] = None,
         store: Optional[DurableStore] = None,
         snapshot_every_pumps: int = 0,
@@ -121,10 +130,22 @@ class SecurityOperationsCenter:
 
         # Archival taps go in *before* the correlator sinks (write-ahead:
         # by the time analytics sees a batch it is already in the log).
+        # In columnar mode the tap consumes the same ColumnarBatch the
+        # correlators do (append_columnar serializes its retained event
+        # list through the unchanged record codec, so the log bytes are
+        # mode-independent); sink order within the columnar fan-out
+        # preserves write-ahead.
         if store is not None:
             if isinstance(self.pipeline, ShardedIngestPipeline):
                 for index, shard in enumerate(self.pipeline.shards):
-                    shard.add_batch_sink(self._archive_handler(index))
+                    if columnar:
+                        shard.add_columnar_sink(
+                            self._archive_columnar_handler(index))
+                    else:
+                        shard.add_batch_sink(self._archive_handler(index))
+            elif columnar:
+                self.pipeline.add_columnar_sink(
+                    self._archive_columnar_handler(0))
             else:
                 self.pipeline.add_batch_sink(self._archive_handler(0))
 
@@ -145,7 +166,10 @@ class SecurityOperationsCenter:
                 GlobalCampaignMerger(window_s=window_s, k=k)
             )
             for index, shard in enumerate(self.pipeline.shards):
-                if batched:
+                if columnar:
+                    shard.add_columnar_sink(
+                        self._shard_columnar_handler(index))
+                elif batched:
                     shard.add_batch_sink(self._shard_batch_handler(index))
                 else:
                     shard.add_sink(self._shard_event_handler(index))
@@ -153,7 +177,9 @@ class SecurityOperationsCenter:
             self.correlator = _engine()
             self.correlators = [self.correlator]
             self.merger = None
-            if batched:
+            if columnar:
+                self.pipeline.add_columnar_sink(self._on_columnar)
+            elif batched:
                 self.pipeline.add_batch_sink(self._on_batch)
             else:
                 self.pipeline.add_sink(self._on_event)
@@ -234,6 +260,42 @@ class SecurityOperationsCenter:
             elif correlator.is_flagged(event.signature):
                 tracker.attach_vehicle(event.signature, event.vehicle_id)
 
+    def _on_columnar(self, now: float, batch: ColumnarBatch) -> None:
+        """Single-engine columnar sink.  Detections and flagged-signature
+        hits come back as batch indices; replaying them merged in index
+        order reproduces ``_on_batch``'s exact open/attach interleaving,
+        so the incident tracker's state is byte-identical across modes.
+        """
+        result = self.correlator.observe_columnar(batch, track_hits=True)
+        if not result.detections and not result.hits:
+            return
+        events = batch.events
+        tracker = self.tracker
+        detections = result.detections
+        di = 0
+        for idx in result.hits:
+            while di < len(detections) and detections[di][0] < idx:
+                j, detection = detections[di]
+                di += 1
+                self._open_incident(
+                    detection,
+                    DEFAULT_SOURCE_SEVERITY.get(events[j].source, Asil.A))
+            event = events[idx]
+            tracker.attach_vehicle(event.signature, event.vehicle_id)
+        for j, detection in detections[di:]:
+            self._open_incident(
+                detection,
+                DEFAULT_SOURCE_SEVERITY.get(events[j].source, Asil.A))
+
+    def _shard_columnar_handler(self, index: int):
+        """Shard-local columnar observe; verdicts surface at merge time
+        (no ``track_hits`` -- spread attribution happens in the merger),
+        mirroring :meth:`_shard_batch_handler`.  Binds the shard index so
+        :meth:`adopt_analytics` rewires recovered engines."""
+        def handle(now: float, batch: ColumnarBatch) -> None:
+            self.correlators[index].observe_columnar(batch)
+        return handle
+
     def _shard_batch_handler(self, index: int):
         """Shard-local batched observe; verdicts surface at merge time.
         Binds the shard *index*, not the engine object, so adopting
@@ -253,6 +315,16 @@ class SecurityOperationsCenter:
 
         def archive(now: float, events: List[SecurityEvent]) -> None:
             log.append_batch(now, index, events)
+        return archive
+
+    def _archive_columnar_handler(self, index: int):
+        """Columnar-mode archival tap: same log bytes as the batch tap
+        (``append_columnar`` serializes the batch's retained events
+        through the unchanged codec)."""
+        log = self.store.log
+
+        def archive(now: float, batch: ColumnarBatch) -> None:
+            log.append_columnar(now, index, batch)
         return archive
 
     def _merge_campaigns(self) -> None:

@@ -48,6 +48,7 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.soc.center import SecurityOperationsCenter
+from repro.soc.columnar import StringInterner, build_batch
 from repro.soc.correlate import (
     CampaignDetection,
     CorrelationEngine,
@@ -324,7 +325,8 @@ class FederationHub:
     def __init__(self, regions: Sequence[str], num_shards: int = 1, *,
                  window_s: float = 8.0, k: int = 3,
                  dedup_window_s: float = 4.0,
-                 max_lateness_s: float = 2.0) -> None:
+                 max_lateness_s: float = 2.0,
+                 columnar: bool = False) -> None:
         if not regions:
             raise ValueError("a federation needs at least one region")
         if len(set(regions)) != len(regions):
@@ -354,17 +356,30 @@ class FederationHub:
         self.pumps_applied = 0
         self.stalled_rounds = 0
         self.corrupt_unrouted = 0
+        # Columnar apply path: replayed batch records are rebuilt as
+        # ColumnarBatch arrays and fed through observe_columnar.  Off by
+        # default (replay is rarely the bottleneck; E18's bench gate pins
+        # the default path) and byte-identical when on -- the
+        # differential tests run the hub both ways.  Replica engines
+        # treat interner ids as batch-local labels, so one hub-wide
+        # interner is sound across regions and shards.
+        self.columnar = columnar
+        self._interner: Optional[StringInterner] = None
 
     @classmethod
     def from_profile(cls, regions: Sequence[str],
-                     profile: Dict[str, object]) -> "FederationHub":
+                     profile: Dict[str, object],
+                     columnar: bool = False) -> "FederationHub":
         """Build a hub from one region's
         :meth:`~repro.soc.center.SecurityOperationsCenter.\
-federation_profile` (regions in a federation share a configuration)."""
+federation_profile` (regions in a federation share a configuration).
+        ``columnar`` is hub-local (how *this* process applies replayed
+        batches), not part of the shared profile."""
         return cls(regions, int(profile["num_shards"]),
                    window_s=profile["window_s"], k=profile["k"],
                    dedup_window_s=profile["dedup_window_s"],
-                   max_lateness_s=profile["max_lateness_s"])
+                   max_lateness_s=profile["max_lateness_s"],
+                   columnar=columnar)
 
     # ------------------------------------------------------------------
     # Arrival + watermark-gated apply
@@ -440,8 +455,14 @@ federation_profile` (regions in a federation share a configuration)."""
     def _apply(self, now: float, region: str, record: LogRecord) -> None:
         self.records_applied += 1
         if record.kind == "batch":
-            self.engines[region][record.shard].observe_batch(
-                list(record.events))
+            if self.columnar:
+                if self._interner is None:
+                    self._interner = StringInterner()
+                self.engines[region][record.shard].observe_columnar(
+                    build_batch(list(record.events), self._interner))
+            else:
+                self.engines[region][record.shard].observe_batch(
+                    list(record.events))
             return
         # Pump marker: the region merged campaigns here; the hub merges
         # fleet-wide, exactly as `recover_soc_state` replays a marker.

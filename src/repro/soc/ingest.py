@@ -28,6 +28,7 @@ from enum import Enum
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.safety import Asil
+from repro.soc.columnar import ColumnarBatch, StringInterner, build_batch
 from repro.soc.events import SecurityEvent
 
 
@@ -195,6 +196,8 @@ class IngestPipeline:
         self._congestion_depth = max(1, int(queue_capacity * congestion_watermark))
         self._sinks: List[Callable[[float, SecurityEvent], None]] = []
         self._batch_sinks: List[Callable[[float, List[SecurityEvent]], None]] = []
+        self._columnar_sinks: List[Callable[[float, ColumnarBatch], None]] = []
+        self._interner: Optional[StringInterner] = None
         # Enqueue timestamps keyed by *queue occupancy*, not by identity:
         # an at-least-once transport can redeliver an event while its
         # first copy is still queued, and a plain ``Dict[str, float]``
@@ -231,6 +234,22 @@ class IngestPipeline:
         pin both.  Dispatch accounting is identical either way.
         """
         self._batch_sinks.append(sink)
+
+    def add_columnar_sink(
+        self, sink: Callable[[float, ColumnarBatch], None]
+    ) -> None:
+        """Register a consumer of :class:`~repro.soc.columnar.ColumnarBatch`.
+
+        The columnar form is built **once per drained batch**, at
+        dispatch time -- where the pipeline already touches every event
+        for latency accounting -- and shared by all columnar sinks.  It
+        wraps exactly the events (and order) the per-event and batch
+        sinks see; archival taps that serialize ``batch.events`` are
+        byte-identical to the pre-columnar record codec by construction.
+        The signature interner persists across batches per pipeline (its
+        ids are only ever batch-local grouping labels downstream).
+        """
+        self._columnar_sinks.append(sink)
 
     @property
     def queue_depth(self) -> int:
@@ -356,6 +375,12 @@ class IngestPipeline:
                 dispatched += 1
             for batch_sink in self._batch_sinks:
                 batch_sink(now, batch)
+            if self._columnar_sinks:
+                if self._interner is None:
+                    self._interner = StringInterner()
+                cb = build_batch(batch, self._interner)
+                for columnar_sink in self._columnar_sinks:
+                    columnar_sink(now, cb)
         self.stats["queue"].exited += dispatched
         return dispatched
 

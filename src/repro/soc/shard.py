@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.safety import Asil
+from repro.soc.columnar import ColumnarBatch
 from repro.soc.events import SecurityEvent
 from repro.soc.ingest import IngestPipeline, ShedPolicy
 
@@ -235,6 +236,16 @@ class ShardedIngestPipeline:
         ``shards[i]`` directly instead."""
         for shard in self.shards:
             shard.add_batch_sink(sink)
+
+    def add_columnar_sink(
+        self, sink: Callable[[float, ColumnarBatch], None]
+    ) -> None:
+        """Register a columnar consumer on every shard: drained batches
+        are delivered as :class:`~repro.soc.columnar.ColumnarBatch`
+        (built once per drain, shared across sinks).  Shard-*local*
+        consumers register on ``shards[i]`` directly instead."""
+        for shard in self.shards:
+            shard.add_columnar_sink(sink)
 
     def shard_of(self, event: SecurityEvent) -> int:
         return self.shard_key(event, self.num_shards)

@@ -429,6 +429,16 @@ class EventLog:
         self._policy_sync()
         return seq
 
+    def append_columnar(self, dispatch_t: float, shard: int,
+                        batch: "ColumnarBatch") -> int:
+        """Archive one columnar batch.  Serializes from the batch's
+        retained ``events`` list through the exact same record codec as
+        :meth:`append_batch`, so a log written by a columnar-mode center
+        is byte-identical to one written by the per-event/batched path --
+        replay and forensics never need to know which mode produced it.
+        """
+        return self.append_batch(dispatch_t, shard, batch.events)
+
     def append_mark(self, t: float, pump_no: int) -> int:
         """Append a pump marker: replay re-runs the campaign merge here."""
         seq = self._append_payload(_dumps(["m", t, pump_no]), ())
