@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""E19 benchmark smoke: network-ingest-service perf gate for CI.
+
+Runs the worker-count scaling sweep (1/2/4 shard worker processes, one
+asyncio frontend, ``--clients`` concurrent vehicle connections each
+pre-serializing its batches), writes a fresh ``BENCH_E19.json``, and
+gates:
+
+- **No-loss + conservation (always on)**: every cell asserts
+  acked == sent and frontend/worker counter tie-out internally -- a cell
+  that drops telemetry raises before any number is reported.
+- **Throughput floor (self-arming)**: with ``--baseline``, the best
+  cell's sustained acked eps must not regress more than ``--tolerance``
+  (default 30 %) below the committed figure -- mirroring E17/E18.
+- **p99 latency ceiling (self-arming)**: the 1-worker cell's p99 ACK
+  round trip must stay within ``--p99-tolerance`` (default 100 %,
+  i.e. 2x) of the committed baseline, with a 5 ms absolute grace floor
+  so sub-millisecond baselines don't gate on scheduler noise.
+- **Scaling gate (core-gated)**: the >=3x-at-4-workers acceptance is
+  physically expressible only when the host can actually run 4 workers
+  plus the frontend in parallel; the gate arms when the machine has at
+  least ``--min-cores-for-scaling`` (default 6) CPUs.  ``cpu_count``
+  and per-cell ``speedup`` are recorded in the JSON on every host
+  regardless, so a capable machine can always audit the claim.
+
+Usage (CI)::
+
+    PYTHONPATH=src python benchmarks/e19_smoke.py \
+        --baseline benchmarks/results/BENCH_E19.json --out BENCH_E19.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import e19_service
+
+SMOKE_WORKERS = (1, 2, 4)
+SMOKE_CLIENTS = 500
+SMOKE_ROUNDS = 6
+SMOKE_PER_BATCH = 20
+SCALING_TARGET = 3.0
+P99_GRACE_MS = 5.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed BENCH_E19.json to "
+                        "regression-check against")
+    parser.add_argument("--out", default="BENCH_E19.json",
+                        help="where to write the fresh measurement")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional eps regression "
+                        "(default 0.30)")
+    parser.add_argument("--p99-tolerance", type=float, default=1.00,
+                        help="allowed fractional p99 latency growth vs "
+                        "baseline (default 1.00 = 2x ceiling)")
+    parser.add_argument("--clients", type=int, default=SMOKE_CLIENTS,
+                        help=f"concurrent connections (default "
+                        f"{SMOKE_CLIENTS})")
+    parser.add_argument("--min-cores-for-scaling", type=int, default=6,
+                        help="arm the >=3x scaling gate only at/above "
+                        "this many CPUs (default 6)")
+    args = parser.parse_args(argv)
+
+    failures = []
+
+    cells = e19_service.scaling_cells(
+        seed=0, workers=SMOKE_WORKERS, n_clients=args.clients,
+        rounds=SMOKE_ROUNDS, per_batch=SMOKE_PER_BATCH)
+    # The deterministic fallback, same scale, for the record: it shares
+    # every code path with process mode except the queues.
+    inline = e19_service.service_cell(
+        1, seed=0, n_clients=args.clients, rounds=SMOKE_ROUNDS,
+        per_batch=SMOKE_PER_BATCH, mode="inline")
+
+    payload = e19_service.write_bench_json(args.out, cells,
+                                           inline_cell=inline)
+    cpu_count = payload["cpu_count"]
+    print(f"wrote {args.out} (host cpus: {cpu_count})")
+    for cell in cells:
+        print(f"  {cell['workers']:.0f} worker(s): "
+              f"{cell['eps']:,.0f} eps sustained over "
+              f"{cell['events']:,.0f} events from "
+              f"{cell['clients']:,.0f} connections, ACK p50 "
+              f"{cell['p50_ms']:.1f} ms / p99 {cell['p99_ms']:.1f} ms "
+              f"(speedup {cell['speedup']:.2f}x)")
+    print(f"  inline fallback: {inline['eps']:,.0f} eps, "
+          f"p99 {inline['p99_ms']:.1f} ms")
+
+    best = max(cell["eps"] for cell in cells)
+    p99_1w = cells[0]["p99_ms"]
+
+    scaling_armed = cpu_count >= args.min_cores_for_scaling
+    if scaling_armed:
+        at_4 = next(c for c in cells if c["workers"] == 4.0)
+        if at_4["speedup"] < SCALING_TARGET:
+            failures.append(
+                f"scaling gate: {at_4['speedup']:.2f}x at 4 workers "
+                f"< {SCALING_TARGET:.1f}x target ({cpu_count} cpus)")
+        else:
+            print(f"  scaling gate armed ({cpu_count} cpus): "
+                  f"{at_4['speedup']:.2f}x >= {SCALING_TARGET:.1f}x")
+    else:
+        print(f"  scaling gate not armed: {cpu_count} cpus < "
+              f"{args.min_cores_for_scaling} (speedups recorded, "
+              "not gated)")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        committed = max(cell["eps"] for cell in baseline["cells"])
+        floor = committed * (1.0 - args.tolerance)
+        print(f"  committed baseline: {committed:,.0f} eps "
+              f"(floor at -{args.tolerance:.0%}: {floor:,.0f})")
+        if best < floor:
+            failures.append(
+                f"ingest throughput regressed >{args.tolerance:.0%}: "
+                f"{best:,.0f} eps vs committed {committed:,.0f}")
+        committed_p99 = baseline["cells"][0]["p99_ms"]
+        ceiling = max(committed_p99 * (1.0 + args.p99_tolerance),
+                      committed_p99 + P99_GRACE_MS)
+        print(f"  committed p99 (1 worker): {committed_p99:.1f} ms "
+              f"(ceiling: {ceiling:.1f} ms)")
+        if p99_1w > ceiling:
+            failures.append(
+                f"ACK p99 latency regressed: {p99_1w:.1f} ms vs "
+                f"committed {committed_p99:.1f} ms "
+                f"(ceiling {ceiling:.1f} ms)")
+        if "cpu_count" not in baseline:
+            failures.append("committed baseline lacks cpu_count")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Experiment drivers E1..E18.
+"""Experiment drivers E1..E19.
 
 The paper has no tables or figures (it is an invited survey); DESIGN.md §3
 derives one quantitative experiment from each of its claims.  Every module
@@ -26,6 +26,7 @@ from repro.experiments import (
     e16_misbehavior,
     e17_soc,
     e18_federation,
+    e19_service,
 )
 
 ALL_EXPERIMENTS = {
@@ -47,6 +48,7 @@ ALL_EXPERIMENTS = {
     "E16": e16_misbehavior.run,
     "E17": e17_soc.run,
     "E18": e18_federation.run,
+    "E19": e19_service.run,
 }
 
-__all__ = ["ALL_EXPERIMENTS"] + [f"e{i:02d}" for i in range(1, 19)]
+__all__ = ["ALL_EXPERIMENTS"] + [f"e{i:02d}" for i in range(1, 20)]

@@ -54,6 +54,7 @@ from repro.soc import (
     ReferenceCorrelationEngine,
     SecurityOperationsCenter,
     StringInterner,
+    k_for_fleet_size,
     build_batch,
     make_event,
     recover_soc_state,
@@ -101,21 +102,29 @@ def _cell_config(n_vehicles: int, capacity_eps: float) -> Dict[str, object]:
     """Scale knobs for one cell: sharded + vectorized at/above
     :data:`SHARDED_FLEET` (columnar correlate delivery -- differential-
     tested byte-identical to batched/per-event, so it is purely a wall
-    clock knob), the seed-identical scalar setup below it."""
+    clock knob), the seed-identical scalar setup below it.
+
+    ``k`` scales with the fleet (:func:`~repro.soc.correlate.\
+k_for_fleet_size`): a fixed k=3 tuned at 10^6 vehicles is crossed by
+    benign chance co-occurrence at 10^8 (the XL cell measured precision
+    0.6 before this), so the threshold gains one distinct-vehicle demand
+    per decade -- k=4 at 10^7, k=5 at 10^8 -- restoring precision >= 0.9
+    at recall 1.0 (pinned by the XL regression test)."""
+    k = k_for_fleet_size(n_vehicles, base_k=K, base_fleet=SHARDED_FLEET)
     if n_vehicles >= GIGA_FLEET:
         return {"num_shards": GIGA_SHARDS,
                 "capacity_eps": capacity_eps * GIGA_SHARDS,
-                "vectorized": True, "columnar": True}
+                "vectorized": True, "columnar": True, "k": k}
     if n_vehicles >= MEGA_FLEET:
         return {"num_shards": MEGA_SHARDS,
                 "capacity_eps": capacity_eps * MEGA_SHARDS,
-                "vectorized": True, "columnar": True}
+                "vectorized": True, "columnar": True, "k": k}
     if n_vehicles >= SHARDED_FLEET:
         return {"num_shards": NUM_SHARDS,
                 "capacity_eps": capacity_eps * NUM_SHARDS,
-                "vectorized": True}
+                "vectorized": True, "k": k}
     return {"num_shards": 1, "capacity_eps": capacity_eps,
-            "vectorized": False}
+            "vectorized": False, "k": k}
 
 
 def _scene(
@@ -128,6 +137,7 @@ def _scene(
     num_shards: int = 1,
     vectorized: bool = False,
     columnar: bool = False,
+    k: int = K,
 ) -> Dict[str, float]:
     """One fleet, one SOC configuration; returns the flat metrics dict."""
     sim = Simulator()
@@ -135,7 +145,7 @@ def _scene(
     campaigns = seeded_campaigns(rng, n_vehicles, prevalence)
     fleet = FleetModel(n_vehicles, campaigns)
     soc = SecurityOperationsCenter(
-        sim, fleet, capacity_eps=capacity_eps, k=K, respond=respond,
+        sim, fleet, capacity_eps=capacity_eps, k=k, respond=respond,
         num_shards=num_shards, columnar=columnar,
     )
     generator = FleetWorkloadGenerator(sim, rng, fleet, soc.pipeline,
@@ -241,6 +251,7 @@ def giga_cell(
     wall_s = time.perf_counter() - t0
     metrics["fleet"] = float(n_vehicles)
     metrics["num_shards"] = float(config["num_shards"])
+    metrics["k"] = float(config["k"])
     metrics["wall_s"] = wall_s
     metrics["ingest_correlate_eps"] = metrics["dispatched"] / wall_s
     return metrics

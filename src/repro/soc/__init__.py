@@ -48,10 +48,21 @@ out.  This package is that backend:
   interleaving -- differential-tested identical to a single global SOC
   fed the union stream.
 
+- :mod:`repro.soc.service` -- the network front door: an asyncio TCP
+  ingest server speaking the log's ``u32len|CRC32`` frame codec, with
+  explicit SUPPRESS/RESUME backpressure and credit-based flow control
+  (:class:`~repro.soc.service.VehicleClient`), fanning connections out
+  to shard worker *processes* -- each owning a full pipeline +
+  correlator + durable store, individually crash-recoverable via
+  :func:`~repro.soc.service.recover_worker` -- so ingest scales past
+  the GIL.
+
 Experiment E17 (:mod:`repro.experiments.e17_soc`) sweeps fleet size and
 attack prevalence over this stack; E18
 (:mod:`repro.experiments.e18_federation`) sweeps cross-region detection
-latency against shipping lag, including a partition/heal cell.
+latency against shipping lag, including a partition/heal cell; E19
+(:mod:`repro.experiments.e19_service`) measures sustained service
+ingest eps and p99 ACK latency versus worker-process count.
 """
 
 from repro.soc.events import (
@@ -86,6 +97,7 @@ from repro.soc.correlate import (
     CorrelationEngine,
     GlobalCampaignMerger,
     ReferenceCorrelationEngine,
+    k_for_fleet_size,
 )
 from repro.soc.incident import (
     Incident,
@@ -126,6 +138,17 @@ from repro.soc.federation import (
     decode_shipment,
     encode_shipment,
 )
+from repro.soc.service import (
+    FrameStreamDecoder,
+    IngestServer,
+    IngestService,
+    ServiceConfig,
+    VehicleClient,
+    WorkerCore,
+    recover_worker,
+    serve,
+    shard_for_client,
+)
 
 __all__ = [
     "DEFAULT_SOURCE_SEVERITY",
@@ -156,6 +179,7 @@ __all__ = [
     "CorrelationEngine",
     "GlobalCampaignMerger",
     "ReferenceCorrelationEngine",
+    "k_for_fleet_size",
     "Incident",
     "IncidentState",
     "IncidentTracker",
@@ -186,4 +210,13 @@ __all__ = [
     "ShippingChannel",
     "decode_shipment",
     "encode_shipment",
+    "FrameStreamDecoder",
+    "IngestServer",
+    "IngestService",
+    "ServiceConfig",
+    "VehicleClient",
+    "WorkerCore",
+    "recover_worker",
+    "serve",
+    "shard_for_client",
 ]

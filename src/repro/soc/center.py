@@ -207,18 +207,52 @@ class SecurityOperationsCenter:
         self._finish_pump()
         self.sim.schedule(self.pump_tick_s, self._pump)
 
-    def _finish_pump(self) -> None:
+    def _finish_pump(self, now: Optional[float] = None) -> None:
         """Post-dispatch bookkeeping every pump shares: audit, campaign
-        merge, the durable pump marker, and the periodic snapshot."""
+        merge, the durable pump marker, and the periodic snapshot.
+        ``now`` defaults to simulation time; service drive mode passes
+        the wall-clock handoff time instead."""
         if self.audit is not None:
             self.audit.check(self.pipeline)
         self._merge_campaigns()
         if self.store is not None:
             self._pump_no += 1
-            self.store.log.append_mark(self.sim.now, self._pump_no)
+            self.store.log.append_mark(
+                self.sim.now if now is None else now, self._pump_no)
             if (self.snapshot_every_pumps
                     and self._pump_no % self.snapshot_every_pumps == 0):
                 self.save_snapshot()
+
+    def start_service(self) -> None:
+        """Arm this center for network-service drive mode
+        (:mod:`repro.soc.service`): write snapshot 0 so recovery always
+        has a base state, but schedule nothing -- the service's worker
+        loop calls :meth:`service_pump` on every queue handoff instead
+        of the simulation kernel calling :meth:`_pump` on a tick."""
+        if not self._started:
+            self._started = True
+            if self.store is not None:
+                self.save_snapshot()
+
+    def service_pump(self, now: float, sync_log: bool = True) -> int:
+        """One network-service pump: drain *everything* queued at wall
+        time ``now``, then run the standard post-dispatch bookkeeping
+        (audit, campaign merge, durable pump marker, periodic snapshot).
+
+        This is the drive mode a :class:`~repro.soc.service.WorkerCore`
+        uses -- arrival cadence replaces the simulated capacity budget,
+        so each handoff batch is dispatched whole and the pump marker
+        records the handoff boundary replay must reproduce.  With
+        ``sync_log`` (default) the event log is flushed to the OS after
+        the marker, so a SIGKILLed worker process loses nothing that was
+        acknowledged (the log's own torn-tail recovery covers the kill
+        landing mid-append).  Returns the number of events dispatched.
+        """
+        dispatched = self.pipeline.drain_all(now)
+        self._finish_pump(now)
+        if self.store is not None and sync_log:
+            self.store.log.sync()
+        return dispatched
 
     def final_drain(self) -> None:
         """Audited pump + merge rounds until every queue is empty, so all

@@ -69,6 +69,37 @@ _MAX_LEDGER_CHUNKS = 64
 COLUMNAR_MIN_BATCH = 16
 
 
+def k_for_fleet_size(n_vehicles: int, base_k: int = 3,
+                     base_fleet: int = 1_000_000) -> int:
+    """Distinct-vehicle threshold scaled to fleet size: ``base_k`` up to
+    ``base_fleet`` vehicles, +1 per decade beyond.
+
+    ``k`` is a noise floor, and the noise grows with the fleet: benign
+    telemetry draws signatures from a fixed catalog, so the expected
+    number of *distinct* vehicles hitting any one benign signature inside
+    a correlation window scales linearly with fleet size.  A threshold
+    tuned at 10^6 (k=3) is crossed by pure chance at 10^8 -- E17's XL
+    cell measured precision 0.6 there, every miss a benign signature that
+    three unrelated vehicles happened to share in-window.  Per-signature
+    co-occurrence counts are Poisson-ish, so holding the false-campaign
+    rate roughly constant needs ``k`` to grow with ``log(fleet)``, not
+    with the fleet: one extra distinct-vehicle demand per decade.
+
+    Real campaigns clear the raised bar by construction -- a §4.2
+    class-break recurs across the fleet's shared software, so planted
+    prevalences put orders of magnitude more than ``k`` vehicles in
+    window (E17's XL regression pins precision >= 0.9 at recall 1.0).
+    """
+    if n_vehicles < 1:
+        raise ValueError("n_vehicles must be >= 1")
+    k = base_k
+    scale = base_fleet
+    while n_vehicles > scale * 3:  # past the decade's geometric midpoint
+        k += 1
+        scale *= 10
+    return k
+
+
 @dataclass(frozen=True)
 class CampaignDetection:
     """The correlator's verdict: one signature active fleet-wide."""

@@ -402,6 +402,8 @@ class IngestPipeline:
             "rejected_severity": float(self.rejected_severity),
             "admitted": float(self.queue.offered),
             "queued_shed": float(self.queue.lost),
+            "queue_refused": float(self.queue.shed),
+            "queue_evicted": float(self.queue.evicted),
             "shed_rate": self.shed_rate,
             "dispatched": float(dispatch.exited),
             "batches": float(dispatch.batches),

@@ -117,6 +117,21 @@ class ConservationAudit:
                     "global", "merged shard accounting does not add up",
                     totals["offered"], totals["accounted"],
                 )
+            # The merged metrics() must publish the same decomposition:
+            # summed admits split into summed refusals/evictions,
+            # dispatches, and live depth across every shard.
+            m = pipeline.metrics()
+            merged_split = (
+                m["queue_refused"] + m["queue_evicted"]
+                + m["dispatched"] + m["queue_depth"]
+            )
+            if m["admitted"] != merged_split:
+                self._fail(
+                    "global",
+                    "merged admitted != queue_refused + queue_evicted"
+                    " + dispatched + queue_depth",
+                    int(m["admitted"]), int(merged_split),
+                )
         self.checks += 1
 
     # ------------------------------------------------------------------
@@ -152,6 +167,20 @@ class ConservationAudit:
                        "metrics offered != rejected_invalid"
                        " + rejected_severity + admitted",
                        int(m["offered"]), int(published))
+        # ... and the admitted side must decompose into the published
+        # per-queue outcomes: refused at the door, evicted later,
+        # dispatched, or still queued.  (queue_refused/queue_evicted are
+        # summed per shard by the merged metrics(), so this identity is
+        # provable for the global merge too, not just each shard.)
+        admitted_split = (
+            m["queue_refused"] + m["queue_evicted"]
+            + m["dispatched"] + m["queue_depth"]
+        )
+        if m["admitted"] != admitted_split:
+            self._fail(label,
+                       "metrics admitted != queue_refused + queue_evicted"
+                       " + dispatched + queue_depth",
+                       int(m["admitted"]), int(admitted_split))
         return offered, accounted
 
     def _fail(self, label: str, what: str, lhs: int, rhs: int) -> None:

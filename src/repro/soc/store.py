@@ -176,6 +176,16 @@ def record_payload(record: LogRecord) -> bytes:
     raise ValueError(f"unknown record kind {record.kind!r}")
 
 
+#: Public aliases for the canonical codec building blocks, reused by the
+#: network wire protocol (:mod:`repro.soc.service`): wire frames carry
+#: the same ``u32len|CRC32`` envelope and the same canonical-JSON event
+#: objects as log records, so wire bytes, log bytes, and shipment bytes
+#: all share one self-verifying codec (and one test harness).
+canonical_dumps = _dumps
+event_to_obj = _event_obj
+event_from_obj = _event_from_obj
+
+
 def frame_payload(payload: bytes) -> bytes:
     """Frame one payload with the log's record codec (``u32 len | u32
     CRC32 | payload``) -- the same self-verifying envelope segments use

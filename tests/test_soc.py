@@ -33,6 +33,7 @@ from repro.soc import (
     from_ids_alert,
     from_misbehavior_report,
     from_uds_security_failure,
+    k_for_fleet_size,
     make_event,
     poisson_draw,
 )
@@ -613,3 +614,45 @@ class TestE17:
         for key in ("offered", "shed_rate", "precision", "recall",
                     "policy_pushes", "blast_radius_averted"):
             assert key in metrics
+
+
+# ----------------------------------------------------------------------
+# Fleet-scaled k: columnar precision at 10^8
+# ----------------------------------------------------------------------
+class TestKForFleetSize:
+    def test_one_extra_vehicle_per_decade(self):
+        assert k_for_fleet_size(100) == 3
+        assert k_for_fleet_size(1_000_000) == 3
+        assert k_for_fleet_size(3_000_000) == 3    # geometric midpoint holds
+        assert k_for_fleet_size(10_000_000) == 4
+        assert k_for_fleet_size(100_000_000) == 5
+        assert k_for_fleet_size(1_000_000_000) == 6
+        assert k_for_fleet_size(10_000, base_k=2, base_fleet=1_000) == 3
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            k_for_fleet_size(0)
+
+    def test_cell_config_applies_scaled_k(self):
+        assert e17_soc._cell_config(300, 250.0)["k"] == 3
+        assert e17_soc._cell_config(10_000_000, 250.0)["k"] == 4
+        assert e17_soc._cell_config(100_000_000, 250.0)["k"] == 5
+
+    def test_giga_precision_regression(self):
+        """The XL regression the ROADMAP item asked for: at 10^8
+        vehicles, benign chance co-occurrence crosses k=3 (precision was
+        0.6); the log-scaled k=5 restores precision >= 0.9 without
+        losing a single planted campaign (recall 1.0)."""
+        config = e17_soc._cell_config(100_000_000, 250.0)
+        assert config["k"] == 5
+        metrics = e17_soc._scene(100_000_000, 0.00002, seed=0, respond=True,
+                                 duration_s=10.0, **config)
+        assert metrics["recall"] == 1.0
+        assert metrics["precision"] >= 0.9
+        # Same cell at the old fixed threshold shows the failure this
+        # fix exists for -- benign signatures flagged as campaigns.
+        old = dict(config, k=3)
+        degraded = e17_soc._scene(100_000_000, 0.00002, seed=0, respond=True,
+                                  duration_s=10.0, **old)
+        assert degraded["recall"] == 1.0
+        assert degraded["precision"] < 0.9

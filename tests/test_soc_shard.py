@@ -394,6 +394,79 @@ class TestConservationAudit:
 
 
 # ----------------------------------------------------------------------
+# Per-shard refusal counters in the merged metrics
+# ----------------------------------------------------------------------
+class TestMergedRefusalCounters:
+    """``metrics()`` must surface queue refusals/evictions per shard and
+    merged, and the admit-side conservation identity
+
+        admitted == queue_refused + queue_evicted + dispatched + queued
+
+    must be provable from the published numbers alone -- for each shard
+    and for the merge (the frontend has no access to raw queue objects,
+    only metrics dicts)."""
+
+    @staticmethod
+    def _overloaded(policy):
+        # 4 shards x capacity 8: route vehicles round-robin, overfill two
+        # shards so both refusal kinds occur, then drain everything.
+        sharded = ShardedIngestPipeline(
+            num_shards=4, capacity_eps=40.0, queue_capacity=8, batch_size=4,
+            shed_policy=policy,
+            shard_key=lambda e, n: int(e.vehicle_id[1:]) % n)
+        for seq in range(24):                    # shards 0/1 get 12 each
+            sev = Asil.A if seq % 3 else Asil.D  # mixed, so eviction can pick
+            sharded.offer(0.0, ev(f"v{seq % 2}", "s", 0.0, seq, severity=sev))
+        sharded.drain_all(1.0)
+        return sharded
+
+    def test_refusals_surface_and_conserve_drop_newest(self):
+        sharded = self._overloaded(ShedPolicy.DROP_NEWEST)
+        merged = sharded.metrics()
+        per_shard = sharded.shard_metrics()
+        # Pinned: 24 offered, 8+8 fit, 4+4 refused at the door, none
+        # evicted (DROP_NEWEST never removes queued events).
+        assert merged["admitted"] == 24.0
+        assert merged["queue_refused"] == 8.0
+        assert merged["queue_evicted"] == 0.0
+        assert merged["dispatched"] == 16.0
+        assert merged["queue_depth"] == 0.0
+        assert [m["queue_refused"] for m in per_shard] == [4.0, 4.0, 0.0, 0.0]
+        # Merged counters are exactly the per-shard sums.
+        for key in ("queue_refused", "queue_evicted", "queued_shed",
+                    "admitted", "dispatched"):
+            assert merged[key] == sum(m[key] for m in per_shard)
+        # The conservation identity holds from published metrics alone.
+        assert merged["admitted"] == (
+            merged["queue_refused"] + merged["queue_evicted"]
+            + merged["dispatched"] + merged["queue_depth"])
+        ConservationAudit().check(sharded)
+
+    def test_evictions_surface_and_conserve_lowest_severity(self):
+        sharded = self._overloaded(ShedPolicy.LOWEST_SEVERITY)
+        merged = sharded.metrics()
+        # Same overload, severity-aware policy: ASIL-D arrivals evict
+        # queued ASIL-A noise; ASIL-A arrivals into full queues of equal
+        # severity are refused.  Both kinds are published and the split
+        # still sums to the total loss.
+        assert merged["queue_evicted"] > 0.0
+        assert merged["queued_shed"] == (
+            merged["queue_refused"] + merged["queue_evicted"]) == 8.0
+        assert merged["admitted"] == (
+            merged["queue_refused"] + merged["queue_evicted"]
+            + merged["dispatched"] + merged["queue_depth"])
+        ConservationAudit().check(sharded)
+
+    def test_audit_detects_cooked_refusal_counter(self):
+        sharded = self._overloaded(ShedPolicy.DROP_NEWEST)
+        audit = ConservationAudit()
+        audit.check(sharded)
+        sharded.shards[0].queue.shed -= 1         # hide one refusal
+        with pytest.raises(ConservationError):
+            audit.check(sharded)
+
+
+# ----------------------------------------------------------------------
 # Vectorized workload + end-to-end sharded SOC
 # ----------------------------------------------------------------------
 class TestVectorizedWorkload:
