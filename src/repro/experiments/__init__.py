@@ -1,4 +1,4 @@
-"""Experiment drivers E1..E19.
+"""Experiment drivers E1..E20.
 
 The paper has no tables or figures (it is an invited survey); DESIGN.md §3
 derives one quantitative experiment from each of its claims.  Every module
@@ -27,6 +27,7 @@ from repro.experiments import (
     e17_soc,
     e18_federation,
     e19_service,
+    e20_hardening,
 )
 
 ALL_EXPERIMENTS = {
@@ -49,6 +50,7 @@ ALL_EXPERIMENTS = {
     "E17": e17_soc.run,
     "E18": e18_federation.run,
     "E19": e19_service.run,
+    "E20": e20_hardening.run,
 }
 
-__all__ = ["ALL_EXPERIMENTS"] + [f"e{i:02d}" for i in range(1, 20)]
+__all__ = ["ALL_EXPERIMENTS"] + [f"e{i:02d}" for i in range(1, 21)]

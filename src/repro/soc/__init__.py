@@ -55,14 +55,24 @@ out.  This package is that backend:
   to shard worker *processes* -- each owning a full pipeline +
   correlator + durable store, individually crash-recoverable via
   :func:`~repro.soc.service.recover_worker` -- so ingest scales past
-  the GIL.
+  the GIL.  The front door is hardened: optional CMAC-authenticated
+  sessions (HELLO/CHALLENGE/AUTH handshake plus per-batch tag trailers
+  verified by the owning worker, keys derived per vehicle via
+  :func:`~repro.soc.service.derive_session_key`), per-client byte
+  quotas (:class:`~repro.soc.ingest.TokenBucket` with hard REFUSED
+  frames and flood disconnect), and a supervisor that auto-restarts
+  SIGKILLed workers (snapshot + log-suffix replay + journal-deduped
+  handoff resubmission) without losing a single admitted-batch ACK.
 
 Experiment E17 (:mod:`repro.experiments.e17_soc`) sweeps fleet size and
 attack prevalence over this stack; E18
 (:mod:`repro.experiments.e18_federation`) sweeps cross-region detection
 latency against shipping lag, including a partition/heal cell; E19
 (:mod:`repro.experiments.e19_service`) measures sustained service
-ingest eps and p99 ACK latency versus worker-process count.
+ingest eps and p99 ACK latency versus worker-process count; E20
+(:mod:`repro.experiments.e20_hardening`) prices the hardening --
+authenticated-vs-plain throughput, honest goodput under a hostile
+flood, and worker MTTR with a byte-identical restart differential.
 """
 
 from repro.soc.events import (
@@ -77,7 +87,13 @@ from repro.soc.events import (
     make_event_id,
     source_for_signature,
 )
-from repro.soc.ingest import BoundedQueue, IngestPipeline, ShedPolicy, StageStats
+from repro.soc.ingest import (
+    BoundedQueue,
+    IngestPipeline,
+    ShedPolicy,
+    StageStats,
+    TokenBucket,
+)
 from repro.soc.shard import (
     ConservationAudit,
     ConservationError,
@@ -139,13 +155,18 @@ from repro.soc.federation import (
     encode_shipment,
 )
 from repro.soc.service import (
+    BATCH_TAG_LEN,
     FrameStreamDecoder,
     IngestServer,
     IngestService,
     ServiceConfig,
     VehicleClient,
     WorkerCore,
+    auth_tag,
+    batch_tag,
+    derive_session_key,
     recover_worker,
+    seal_payload,
     serve,
     shard_for_client,
 )
@@ -165,6 +186,7 @@ __all__ = [
     "IngestPipeline",
     "ShedPolicy",
     "StageStats",
+    "TokenBucket",
     "ConservationAudit",
     "ConservationError",
     "ShardedIngestPipeline",
@@ -210,13 +232,18 @@ __all__ = [
     "ShippingChannel",
     "decode_shipment",
     "encode_shipment",
+    "BATCH_TAG_LEN",
     "FrameStreamDecoder",
     "IngestServer",
     "IngestService",
     "ServiceConfig",
     "VehicleClient",
     "WorkerCore",
+    "auth_tag",
+    "batch_tag",
+    "derive_session_key",
     "recover_worker",
+    "seal_payload",
     "serve",
     "shard_for_client",
 ]

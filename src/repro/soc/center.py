@@ -23,7 +23,7 @@ Correlation topology scales with the ingest topology:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.safety import Asil
 from repro.sim import Simulator
@@ -234,7 +234,8 @@ class SecurityOperationsCenter:
             if self.store is not None:
                 self.save_snapshot()
 
-    def service_pump(self, now: float, sync_log: bool = True) -> int:
+    def service_pump(self, now: float, sync_log: bool = True,
+                     pre_mark: Optional[Callable[[], None]] = None) -> int:
         """One network-service pump: drain *everything* queued at wall
         time ``now``, then run the standard post-dispatch bookkeeping
         (audit, campaign merge, durable pump marker, periodic snapshot).
@@ -247,8 +248,17 @@ class SecurityOperationsCenter:
         the marker, so a SIGKILLed worker process loses nothing that was
         acknowledged (the log's own torn-tail recovery covers the kill
         landing mid-append).  Returns the number of events dispatched.
+
+        ``pre_mark``, if given, runs after the batch records are
+        archived but *before* the pump marker is appended.  The worker
+        auto-restart protocol hangs its handoff journal write here: the
+        marker is the commit point restart recovery truncates back to,
+        so anything that must be durable-before-commit (the recorded
+        acks for this handoff) goes through this hook.
         """
         dispatched = self.pipeline.drain_all(now)
+        if pre_mark is not None:
+            pre_mark()
         self._finish_pump(now)
         if self.store is not None and sync_log:
             self.store.log.sync()
@@ -541,7 +551,9 @@ class RecoveredAnalytics:
         }
 
 
-def recover_soc_state(store: DurableStore) -> RecoveredAnalytics:
+def recover_soc_state(store: DurableStore,
+                      mark_boundary_only: bool = False
+                      ) -> RecoveredAnalytics:
     """Rebuild the analytic state a dead SOC process would have had.
 
     Loads the latest valid snapshot, then replays every log record after
@@ -552,6 +564,17 @@ def recover_soc_state(store: DurableStore) -> RecoveredAnalytics:
     The result is byte-identical (under :meth:`RecoveredAnalytics.\
 analytics_snapshot`) to the uninterrupted run at the same pump boundary
     -- the tentpole differential in ``tests/test_soc_store.py``.
+
+    With ``mark_boundary_only`` batch records are applied only once the
+    pump marker that seals them arrives; a trailing run of batch records
+    past the last marker (a handoff the process died inside) is left
+    unapplied, so the recovered state lands exactly on a handoff
+    boundary.  This is the worker auto-restart contract: the frontend
+    resubmits the torn handoff, and re-processing it from the boundary
+    is what makes restart byte-identical to the uninterrupted twin
+    (:class:`~repro.soc.service.WorkerCore` pairs this with
+    :meth:`~repro.soc.store.EventLog.truncate_after_last_mark` so the
+    log *bytes* agree too).
     """
     snap = store.snapshots.load_latest()
     if snap is None:
@@ -567,27 +590,39 @@ analytics_snapshot`) to the uninterrupted run at the same pump boundary
     last_seq = snap["log_seq"]
     batches = events_replayed = pumps = 0
 
+    def _apply_batch(record) -> None:
+        nonlocal batches, events_replayed
+        batches += 1
+        events_replayed += len(record.events)
+        batch = list(record.events)
+        if merger is None:
+            engine = engines[0]
+            for event, detection in zip(batch,
+                                        engine.observe_batch(batch)):
+                if detection is not None:
+                    tracker.open_from_detection(
+                        detection,
+                        DEFAULT_SOURCE_SEVERITY.get(event.source,
+                                                    Asil.A))
+                elif engine.is_flagged(event.signature):
+                    tracker.attach_vehicle(event.signature,
+                                           event.vehicle_id)
+        else:
+            engines[record.shard].observe_batch(batch)
+
+    pending: List = []  # batch records awaiting their sealing marker
     for record in store.log.replay(after_seq=snap["log_seq"]):
-        last_seq = record.seq
         if record.kind == "batch":
-            batches += 1
-            events_replayed += len(record.events)
-            batch = list(record.events)
-            if merger is None:
-                engine = engines[0]
-                for event, detection in zip(batch,
-                                            engine.observe_batch(batch)):
-                    if detection is not None:
-                        tracker.open_from_detection(
-                            detection,
-                            DEFAULT_SOURCE_SEVERITY.get(event.source,
-                                                        Asil.A))
-                    elif engine.is_flagged(event.signature):
-                        tracker.attach_vehicle(event.signature,
-                                               event.vehicle_id)
-            else:
-                engines[record.shard].observe_batch(batch)
+            if mark_boundary_only:
+                pending.append(record)
+                continue
+            last_seq = record.seq
+            _apply_batch(record)
         else:  # pump marker: the live run merged campaigns here
+            for sealed in pending:
+                _apply_batch(sealed)
+            pending.clear()
+            last_seq = record.seq
             pumps += 1
             pump_no = record.pump_no
             if merger is not None:
@@ -601,6 +636,8 @@ analytics_snapshot`) to the uninterrupted run at the same pump boundary
                 for signature in sorted(new_vehicles):
                     for vehicle in sorted(new_vehicles[signature]):
                         tracker.attach_vehicle(signature, vehicle)
+    # mark_boundary_only: anything still pending is a torn handoff past
+    # the last marker -- deliberately not applied (see docstring).
 
     return RecoveredAnalytics(
         engines=engines, merger=merger, tracker=tracker,

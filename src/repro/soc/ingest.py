@@ -40,6 +40,49 @@ class ShedPolicy(Enum):
     LOWEST_SEVERITY = "lowest-severity"  # evict the least-severe queued event
 
 
+class TokenBucket:
+    """Deterministic token bucket (admission-control rate limiter).
+
+    ``rate`` tokens accrue per unit of time up to ``burst``; ``try_take``
+    refills from the caller-supplied clock and then either debits
+    ``amount`` whole (True) or leaves the bucket untouched (False) --
+    a refused take never partially drains, so refusal accounting stays
+    exact.  Time is injected on every call rather than read internally:
+    the service front door feeds it a monotonic clock, tests feed it a
+    counter, and either way behavior is a pure function of the call
+    sequence.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_t")
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)   # starts full: a burst is allowed
+        self._t = float(now)
+
+    def _refill(self, now: float) -> None:
+        if now > self._t:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._t) * self.rate)
+            self._t = now
+
+    def try_take(self, amount: float, now: float) -> bool:
+        """Debit ``amount`` tokens if available; all-or-nothing."""
+        self._refill(now)
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def level(self, now: float) -> float:
+        """Current token level after refilling to ``now``."""
+        self._refill(now)
+        return self.tokens
+
+
 @dataclass
 class StageStats:
     """Per-stage throughput/latency counters."""

@@ -494,6 +494,62 @@ class EventLog:
             self.sync()
             self._fh.close()
 
+    def truncate_after_last_mark(self) -> Dict[str, int]:
+        """Physically drop every record after the last pump marker.
+
+        The service-restart entry point: a worker killed mid-handoff may
+        have archived part of the handoff's batch records without
+        reaching the pump marker that seals them.  Replaying those would
+        double-admit the handoff when the frontend resubmits it, and the
+        re-appended copies would duplicate bytes versus an uninterrupted
+        twin log.  Truncating back to the last marker makes the
+        resubmitted handoff re-archive the exact same bytes, which is
+        what keeps the auto-restart differential byte-identical.
+
+        Trailing segments that contain no marker at all are deleted
+        outright (with their sidecar indexes); the sidecar of a
+        truncated closed segment is dropped too -- it is rebuilt when
+        the segment next rotates.  If the log holds no marker anywhere,
+        everything is dropped and the log restarts empty at seq 0.
+        Returns ``{"records_dropped", "bytes_dropped",
+        "segments_deleted"}``.
+        """
+        self.close()
+        stats = {"records_dropped": 0, "bytes_dropped": 0,
+                 "segments_deleted": 0}
+        for path in reversed(self.segment_paths()):
+            size = path.stat().st_size
+            payloads, _ = _scan_valid_prefix(path)
+            keep_end = len(_MAGIC)
+            keep_records = 0
+            offset = len(_MAGIC)
+            for i, payload in enumerate(payloads):
+                offset += _HEADER.size + len(payload)
+                if payload.startswith(b'["m"'):
+                    keep_end = offset
+                    keep_records = i + 1
+            if keep_records == 0:
+                # No marker anywhere in this segment: nothing survives.
+                stats["records_dropped"] += len(payloads)
+                stats["bytes_dropped"] += max(0, size - len(_MAGIC))
+                stats["segments_deleted"] += 1
+                self._index_path(path).unlink(missing_ok=True)
+                path.unlink()
+                continue
+            if keep_end < size:
+                stats["records_dropped"] += len(payloads) - keep_records
+                stats["bytes_dropped"] += size - keep_end
+                with open(path, "r+b") as fh:
+                    fh.truncate(keep_end)
+                # The sidecar (if this was a closed segment) now lies
+                # about the record count; the segment becomes the active
+                # tail and re-earns one at its next rotation.
+                self._index_path(path).unlink(missing_ok=True)
+            break
+        self.last_seq = 0  # recomputed from the surviving tail (if any)
+        self._recover_or_create()
+        return stats
+
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------

@@ -24,8 +24,8 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_nineteen_registered(self):
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 20)}
+    def test_all_twenty_registered(self):
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 21)}
 
     def test_all_callable(self):
         assert all(callable(fn) for fn in ALL_EXPERIMENTS.values())

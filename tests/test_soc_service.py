@@ -38,9 +38,12 @@ from repro.soc.service import (
     batch_id_of,
     decode_message,
     encode_ack,
+    encode_auth,
     encode_batch,
     encode_bye,
+    encode_challenge,
     encode_hello,
+    encode_refused,
     encode_resume,
     encode_suppress,
     encode_welcome,
@@ -113,6 +116,11 @@ class TestWireCodec:
         assert decode_message(encode_suppress()) == ("s",)
         assert decode_message(encode_resume()) == ("r",)
         assert decode_message(encode_bye()) == ("q",)
+        nonce = bytes(range(16))
+        assert decode_message(encode_challenge(nonce)) == ("c", nonce.hex())
+        tag = bytes(range(16, 32))
+        assert decode_message(encode_auth(tag)) == ("u", tag.hex())
+        assert decode_message(encode_refused(9, 1)) == ("n", 9, 1)
 
     @pytest.mark.parametrize("payload", [
         b"not json at all",
@@ -178,6 +186,56 @@ class TestWireCodec:
             decoder.feed(header)
 
     @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_mid_suppress_disconnect_property(self, data):
+        """A transport may start closing at ANY point in an arbitrary
+        route/flush/poll interleaving -- including mid-SUPPRESS, with
+        the shard transitioning around it.  The service must never
+        write to the closing transport, must keep the surviving
+        connection's SUPPRESS/RESUME wire state consistent with the
+        shard's, and must keep its flow accounting conserved."""
+
+        class _Writer:
+            def __init__(self):
+                self.closing = False
+                self.frames = 0
+
+            def is_closing(self):
+                return self.closing
+
+            def write(self, blob):
+                assert not self.closing, "write to a closing transport"
+                self.frames += 1
+
+        svc = IngestService(1, mode="inline", suppress_after=1,
+                            resume_below=1, clock=lambda: 100.0)
+        live_w, dying_w = _Writer(), _Writer()
+        live = svc.open_conn("veh-live", live_w)
+        dying = svc.open_conn("veh-dying", dying_w)
+        steps = data.draw(st.lists(
+            st.sampled_from(["route", "flush", "poll", "disconnect"]),
+            min_size=1, max_size=24), label="steps")
+        batch_no = 0
+        for step in steps:
+            if step == "route":
+                conn = data.draw(st.sampled_from([live, dying]),
+                                 label="conn")
+                svc.route(conn, encode_batch(
+                    batch_no, [ev(conn.client_id, "s", 1.0, batch_no)]))
+                batch_no += 1
+            elif step == "flush":
+                svc.flush()
+            elif step == "poll":
+                svc.poll_completions()
+            else:
+                dying_w.closing = True
+        # The survivor's wire state tracks the shard; the dying conn
+        # was never written to after closing (asserted in _Writer).
+        assert live.suppressed == svc.suppressed(0)
+        assert svc.batches_routed == (svc.batches_acked + svc.buffered()
+                                      + svc.inflight_batches())
+
+    @given(data=st.data())
     @settings(max_examples=60, deadline=None)
     def test_arbitrary_chunking_is_equivalent(self, data):
         events = data.draw(st.lists(security_events(), min_size=1,
@@ -205,8 +263,8 @@ class TestWorkerCore:
         core = WorkerCore(0, tmp_path)
         events = [ev(f"v{i}", "sig.a", 1.0 + i * 0.01, i) for i in range(6)]
         report = core.ingest_handoff(
-            100.0, [(11, 0, encode_batch(0, events)),
-                    (12, 1, encode_batch(1, events[:2]))])
+            100.0, [(11, "veh-a", 0, encode_batch(0, events)),
+                    (12, "veh-b", 1, encode_batch(1, events[:2]))])
         assert report.acks == ((11, 0, 6, 6), (12, 1, 2, 2))
         assert report.dispatched == 8
         assert report.queue_depth == 0
@@ -218,7 +276,7 @@ class TestWorkerCore:
         good = ev("v1", "sig.a", 1.0, 1)
         future = ev("v2", "sig.a", 999.0, 2)
         report = core.ingest_handoff(
-            100.0, [(5, 0, encode_batch(0, [good, future]))])
+            100.0, [(5, "veh-a", 0, encode_batch(0, [good, future]))])
         ((conn, batch_id, offered, accepted),) = report.acks
         assert (conn, batch_id, offered, accepted) == (5, 0, 2, 1)
         metrics = core.metrics()
@@ -229,7 +287,7 @@ class TestWorkerCore:
     def test_corrupt_batch_refused_whole(self, tmp_path):
         core = WorkerCore(0, tmp_path)
         bad = canonical_dumps(["e", 9, ["not-an-event"]])
-        report = core.ingest_handoff(100.0, [(3, 9, bad)])
+        report = core.ingest_handoff(100.0, [(3, "veh-a", 9, bad)])
         assert report.acks == ((3, 9, 0, -1),)
         assert core.decode_errors == 1
         core.close()
@@ -273,7 +331,7 @@ def _drive_service_and_twin(tmp_path, num_workers):
         per_shard = {}
         for conn, payload in batches:
             per_shard.setdefault(conn.shard, []).append(
-                (conn.conn_id, rnd, payload))
+                (conn.conn_id, conn.client_id, rnd, payload))
         t_send = next(twin_times)
         for shard in sorted(per_shard):
             twins[shard].ingest_handoff(t_send, per_shard[shard])
@@ -400,6 +458,9 @@ class TestBackpressure:
         sent_frames = []
 
         class _W:
+            def is_closing(self):
+                return False
+
             def write(self, data):
                 sent_frames.append(data)
 
@@ -527,7 +588,8 @@ class TestKillRecovery:
                 svc.poll_completions(timeout=0.05)
                 deadline -= 1
             assert deadline, "handoff never acked"
-            twin.ingest_handoff(1000.0 + rnd, [(conn.conn_id, rnd, payload)])
+            twin.ingest_handoff(1000.0 + rnd,
+                                [(conn.conn_id, conn.client_id, rnd, payload)])
 
         # SIGKILL (process mode) / drop (inline): no snapshot, no close.
         svc.kill_worker(victim)
