@@ -3,8 +3,12 @@
 
 Runs a micro federated cell (3 regions, sub-``k``-per-region campaigns,
 zero and one-second shipping lag), the partition/heal cell (verdict
-equality against the no-outage twin is asserted inside the cell), and
-the hub apply microbenchmark, writes a fresh ``BENCH_E18.json``, and
+equality against the no-outage twin is asserted inside the cell), the
+determinism-vs-availability cell (optimistic vs strict under the same
+partition; reconciled-state byte-identity is asserted inside the cell
+and the optimistic paging latency is gated at 1.5x the no-partition
+twin), and the hub apply microbenchmark, writes a fresh
+``BENCH_E18.json``, and
 (with ``--baseline``) fails if the hub's watermark-gated apply
 throughput has regressed more than ``--tolerance`` (default 30 %)
 against the committed baseline -- mirroring the E17 gate.
@@ -75,10 +79,22 @@ def main(argv=None) -> int:
     partition = e18_federation.partition_heal_cell(
         seed=0, duration_s=SMOKE_DURATION_S,
         n_per_region=SMOKE_N_PER_REGION)
+    # Determinism-vs-availability: the optimistic hub rides out the same
+    # partition.  Reconciled-state byte-identity with the strict gate is
+    # asserted inside the cell; here we gate the payoff -- provisional
+    # paging latency under partition must stay within 1.5x the
+    # no-partition twin (the strict gate pays far more by stalling).
+    availability = e18_federation.availability_cell(
+        seed=0, duration_s=SMOKE_DURATION_S,
+        n_per_region=SMOKE_N_PER_REGION)
+    if availability["latency_ratio"] > 1.5:
+        failures.append(
+            "optimistic mean latency under partition exceeded 1.5x the "
+            f"no-partition twin: ratio {availability['latency_ratio']:.2f}")
     hub_apply = e18_federation.hub_apply_microbench()
 
     e18_federation.write_bench_json(args.out, lag_cells, partition,
-                                    hub_apply)
+                                    hub_apply, availability=availability)
     print(f"wrote {args.out}")
     for cell in lag_cells:
         print(f"  lag {cell['lag_s']:.1f}s: "
@@ -91,6 +107,15 @@ def main(argv=None) -> int:
           f"{partition['outage_end_s']:.0f}]s: mean latency "
           f"{partition['mean_latency_s']:.3f}s (twin "
           f"{partition['twin_mean_latency_s']:.3f}s), verdicts match twin")
+    print(f"  availability: optimistic "
+          f"{availability['optimistic_mean_latency_s']:.3f}s"
+          f" = {availability['latency_ratio']:.2f}x twin (strict pays "
+          f"{availability['strict_latency_ratio']:.2f}x), "
+          f"{availability['episodes']:.0f} episodes, "
+          f"{availability['amendments_confirmed']:.0f} confirmed / "
+          f"{availability['amendments_amended']:.0f} amended / "
+          f"{availability['amendments_retracted']:.0f} retracted, "
+          f"reconciled state byte-identical to strict")
     print(f"  hub apply: {hub_apply['apply_eps']:,.0f} events/s over "
           f"{hub_apply['regions']:.0f} regions x "
           f"{hub_apply['num_shards']:.0f} shards")
@@ -109,6 +134,9 @@ def main(argv=None) -> int:
                 f"{committed:,.0f}")
         if "partition" not in baseline:
             failures.append("committed baseline lacks the partition cell")
+        if "availability" not in baseline:
+            failures.append(
+                "committed baseline lacks the availability cell")
 
     for failure in failures:
         print(f"FAIL: {failure}")

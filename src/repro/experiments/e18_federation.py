@@ -13,6 +13,11 @@ lag to chart detection latency against it.  A partition/heal cell takes
 one region offline mid-campaign: the hub's watermark gate (the price of
 byte-deterministic verdicts) stalls the *global* merge until the
 partition heals, and the cell records the catch-up.
+``availability_cell`` prices the alternative under the *same* outage:
+an ``optimistic`` hub pages provisionally at the no-partition twin's
+latency and then reconciles -- the cell asserts the reconciled snapshot
+is byte-identical to the strict gate's and that the amendment counters
+tie out, and reports the latency ratios the smoke gate enforces.
 
 All scenes are deterministic for a fixed seed (per-region
 :class:`~repro.sim.RngStreams` derived by region name; channel delivery
@@ -194,6 +199,8 @@ def build_federated_scene(
     root=None,
     max_batch_records: int = 256,
     columnar: bool = False,
+    consistency: str = "strict",
+    staleness_budget_s: float = 2.0,
 ) -> FederatedScene:
     """Wire M regional SOCs, their shipping legs, and the hub.
 
@@ -247,7 +254,9 @@ def build_federated_scene(
             profile = center.federation_profile()
 
     hub = FederationHub.from_profile(list(region_names), profile,
-                                     columnar=columnar)
+                                     columnar=columnar,
+                                     consistency=consistency,
+                                     staleness_budget_s=staleness_budget_s)
     return FederatedScene(sim=sim, hub=hub, regions=regions,
                           root=base, _owns_root=owns_root,
                           campaign_signatures=signatures)
@@ -401,6 +410,127 @@ def partition_heal_cell(
 
 
 # ----------------------------------------------------------------------
+# Determinism vs availability: strict and optimistic under one outage
+# ----------------------------------------------------------------------
+
+def _outage_run(
+    seed: int,
+    consistency: str,
+    outage: Optional[Tuple[float, float]],
+    partitioned_region: str,
+    lag_s: float,
+    staleness_budget_s: float,
+    duration_s: float,
+    n_per_region: int,
+) -> Dict[str, object]:
+    """One federated run (optionally partitioned) in one consistency
+    mode; returns latency stats, the canonical analytic snapshot, and
+    the hub's amendment counters."""
+    scene = build_federated_scene(
+        seed=seed, lag_s=lag_s,
+        outages=({partitioned_region: (outage,)} if outage else None),
+        n_per_region=n_per_region, consistency=consistency,
+        staleness_budget_s=staleness_budget_s)
+    try:
+        scene.start()
+        scene.run(duration_s)
+        latencies = scene.detection_latencies()
+        metrics = scene.hub.metrics()
+        return {
+            "mean_latency_s": (sum(latencies) / len(latencies)
+                               if latencies else float("nan")),
+            "max_latency_s": max(latencies) if latencies else float("nan"),
+            "detected": float(len(scene.hub.flagged_signatures()
+                                  & scene.campaign_signatures)),
+            "planted": float(len(scene.campaign_signatures)),
+            "snapshot": json.dumps(scene.hub.analytics_snapshot(),
+                                   sort_keys=True),
+            "metrics": metrics,
+            "unapplied": float(scene.hub.unapplied()),
+        }
+    finally:
+        scene.close()
+
+
+def availability_cell(
+    seed: int = 0,
+    outage: Tuple[float, float] = (8.0, 16.0),
+    partitioned_region: str = REGION_NAMES[-1],
+    lag_s: float = 0.5,
+    staleness_budget_s: float = 1.0,
+    duration_s: float = DURATION_S,
+    n_per_region: int = N_PER_REGION,
+) -> Dict[str, float]:
+    """The determinism-vs-availability cell: one outage schedule, three
+    runs.
+
+    1. **Twin** -- no partition, strict mode: the latency floor.
+    2. **Strict under partition** -- the watermark gate stalls the
+       global merge until heal; latency is dominated by the outage.
+    3. **Optimistic under partition** -- after ``staleness_budget_s`` of
+       stall the hub rides ahead provisionally and reconciles at heal.
+
+    The cell *asserts* the mode contract before reporting numbers: the
+    optimistic run's reconciled snapshot must be byte-identical to the
+    strict run's (same shipments, so same canonical order), no campaign
+    may be lost in any run, and every provisional verdict must be
+    classified by exactly one amendment.  ``latency_ratio`` --
+    optimistic-under-partition mean latency over the twin's -- is the
+    CI-gated availability figure (strict's same ratio is reported
+    alongside as the price of the gate).
+    """
+    twin = _outage_run(seed, "strict", None, partitioned_region, lag_s,
+                       staleness_budget_s, duration_s, n_per_region)
+    strict = _outage_run(seed, "strict", outage, partitioned_region,
+                         lag_s, staleness_budget_s, duration_s,
+                         n_per_region)
+    optimistic = _outage_run(seed, "optimistic", outage,
+                             partitioned_region, lag_s,
+                             staleness_budget_s, duration_s, n_per_region)
+    if optimistic["snapshot"] != strict["snapshot"]:
+        raise AssertionError(
+            "optimistic reconciliation diverged from the strict gate")
+    for label, cell in (("twin", twin), ("strict", strict),
+                        ("optimistic", optimistic)):
+        if cell["unapplied"]:
+            raise AssertionError(f"{label} run left unapplied records")
+        if cell["detected"] != cell["planted"]:
+            raise AssertionError(f"{label} run lost campaign verdicts")
+    om = optimistic["metrics"]
+    classified = (om["amendments_confirmed"] + om["amendments_amended"]
+                  + om["amendments_retracted"])
+    if classified != om["provisional_verdicts"]:
+        raise AssertionError(
+            "amendment counters do not tie out against provisional "
+            "verdicts")
+    if om["episodes"] < 1.0:
+        raise AssertionError(
+            "the outage never opened an optimistic episode -- the cell "
+            "is not measuring what it claims")
+    return {
+        "outage_start_s": outage[0],
+        "outage_end_s": outage[1],
+        "lag_s": lag_s,
+        "staleness_budget_s": staleness_budget_s,
+        "twin_mean_latency_s": twin["mean_latency_s"],
+        "strict_mean_latency_s": strict["mean_latency_s"],
+        "optimistic_mean_latency_s": optimistic["mean_latency_s"],
+        "latency_ratio": (optimistic["mean_latency_s"]
+                          / twin["mean_latency_s"]),
+        "strict_latency_ratio": (strict["mean_latency_s"]
+                                 / twin["mean_latency_s"]),
+        "episodes": om["episodes"],
+        "reconciliations": om["reconciliations"],
+        "provisional_verdicts": om["provisional_verdicts"],
+        "amendments_confirmed": om["amendments_confirmed"],
+        "amendments_amended": om["amendments_amended"],
+        "amendments_retracted": om["amendments_retracted"],
+        "late_verdicts": om["late_verdicts"],
+        "snapshots_identical": 1.0,
+    }
+
+
+# ----------------------------------------------------------------------
 # Hub apply microbench (the CI-gated throughput figure)
 # ----------------------------------------------------------------------
 
@@ -488,15 +618,18 @@ def write_bench_json(
     lag_cells: List[Dict[str, float]],
     partition: Dict[str, float],
     hub_apply: Dict[str, float],
+    availability: Optional[Dict[str, float]] = None,
 ) -> Dict[str, object]:
     """Write the machine-readable E18 perf record (``BENCH_E18.json``)."""
     payload = {
-        "schema": "bench-e18/v1",
+        "schema": "bench-e18/v2",
         "duration_s": DURATION_S,
         "lag_cells": lag_cells,
         "partition": partition,
         "hub_apply": hub_apply,
     }
+    if availability is not None:
+        payload["availability"] = availability
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

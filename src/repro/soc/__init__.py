@@ -46,7 +46,15 @@ out.  This package is that backend:
   :class:`~repro.soc.federation.FederationHub` whose watermark-gated
   replay makes the fleet-wide campaign verdicts independent of delivery
   interleaving -- differential-tested identical to a single global SOC
-  fed the union stream.
+  fed the union stream.  ``consistency="optimistic"`` trades the stall
+  during a partition for provisional verdicts plus a deterministic
+  reconciliation (confirm/amend/retract amendments) that restores
+  byte-identity with the strict gate.
+- :mod:`repro.soc.chaos` -- seeded fault injection: a declarative
+  :class:`~repro.soc.chaos.FaultPlan` (region outages, WAN degradation,
+  torn shipments, worker SIGKILLs) driven against a live federated
+  scene or ingest service with conservation / byte-identity /
+  zero-ACK-loss invariant probes at every heal point.
 
 - :mod:`repro.soc.service` -- the network front door: an asyncio TCP
   ingest server speaking the log's ``u32len|CRC32`` frame codec, with
@@ -116,6 +124,8 @@ from repro.soc.correlate import (
     k_for_fleet_size,
 )
 from repro.soc.incident import (
+    AMENDMENT_KINDS,
+    Amendment,
     Incident,
     IncidentState,
     IncidentTracker,
@@ -153,6 +163,14 @@ from repro.soc.federation import (
     ShippingChannel,
     decode_shipment,
     encode_shipment,
+)
+from repro.soc.chaos import (
+    FAULT_KINDS,
+    ChaosInvariantViolation,
+    Fault,
+    FaultPlan,
+    FederationChaosRunner,
+    ServiceChaosRunner,
 )
 from repro.soc.service import (
     BATCH_TAG_LEN,
@@ -202,6 +220,8 @@ __all__ = [
     "GlobalCampaignMerger",
     "ReferenceCorrelationEngine",
     "k_for_fleet_size",
+    "AMENDMENT_KINDS",
+    "Amendment",
     "Incident",
     "IncidentState",
     "IncidentTracker",
@@ -232,6 +252,12 @@ __all__ = [
     "ShippingChannel",
     "decode_shipment",
     "encode_shipment",
+    "FAULT_KINDS",
+    "ChaosInvariantViolation",
+    "Fault",
+    "FaultPlan",
+    "FederationChaosRunner",
+    "ServiceChaosRunner",
     "BATCH_TAG_LEN",
     "FrameStreamDecoder",
     "IngestServer",

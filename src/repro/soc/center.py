@@ -39,7 +39,7 @@ from repro.soc.events import (
     source_for_signature,
 )
 from repro.soc.fleet import FleetModel
-from repro.soc.incident import IncidentTracker
+from repro.soc.incident import AMENDMENT_KINDS, Amendment, IncidentTracker
 from repro.soc.ingest import IngestPipeline, ShedPolicy
 from repro.soc.respond import ResponseOrchestrator
 from repro.soc.shard import ConservationAudit, ShardedIngestPipeline, ShardKeyFn
@@ -465,6 +465,25 @@ class SecurityOperationsCenter:
         if self.merger is not None:
             return list(self.merger.detections)
         return list(self.correlator.detections)
+
+    def adopt_amendments(self, amendments) -> Dict[str, int]:
+        """Consume a hub's reconciliation feed
+        (:meth:`~repro.soc.federation.FederationHub.export_amendments`)
+        -- dicts or :class:`~repro.soc.incident.Amendment` objects --
+        applying each outcome to this region's incident tracker.
+        Returns counts per kind plus ``unmatched`` (amendments whose
+        signature opened no incident here; a region only ever saw its
+        own slice of the fleet, so unmatched is the common case, not an
+        error)."""
+        counts: Dict[str, int] = {kind: 0 for kind in AMENDMENT_KINDS}
+        counts["unmatched"] = 0
+        for obj in amendments:
+            amendment = (obj if isinstance(obj, Amendment)
+                         else Amendment(**obj))
+            counts[amendment.kind] += 1
+            if not self.tracker.record_amendment(amendment):
+                counts["unmatched"] += 1
+        return counts
 
     # ------------------------------------------------------------------
     def flagged_signatures(self) -> Set[str]:

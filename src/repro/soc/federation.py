@@ -36,7 +36,21 @@ calls:
 The price of that determinism is strict consistency: a partitioned
 region freezes its frontier, which stalls the *global* merge until the
 partition heals (the hub cannot prove order without it).  E18's
-partition/heal cell measures exactly that trade.
+partition/heal cell measures exactly that trade -- and
+``consistency="optimistic"`` buys the availability back.  When every
+region blocking the gate has been stale past ``staleness_budget_s``
+the hub freezes a **reconciliation frontier** (snapshots of the
+analytic state at the last provably-ordered point), keeps applying the
+healthy regions' records beyond it, and tags the resulting verdicts
+``provisional=True``.  When the laggard catches up -- or is declared
+dead -- a deterministic reconciliation pass replays the frontier-to-now
+union in canonical ``(dispatch_t, region, seq)`` order into a shadow
+rebuild, classifies every provisional verdict (confirm / amend /
+retract, journaled as :class:`~repro.soc.incident.Amendment`), and
+swaps the shadow in, so the reconciled analytic snapshot is
+byte-identical to what the strict gate would have produced from the
+same shipments (the differential property in
+``tests/test_soc_chaos.py``).
 """
 
 from __future__ import annotations
@@ -54,7 +68,7 @@ from repro.soc.correlate import (
     CorrelationEngine,
     GlobalCampaignMerger,
 )
-from repro.soc.incident import IncidentTracker
+from repro.soc.incident import Amendment, IncidentTracker
 from repro.soc.store import (
     _HEADER,
     _record_from_payload,
@@ -149,10 +163,19 @@ class ShippingChannel:
     ``lag_s`` is the base one-way delay; ``jitter_s`` adds a uniform
     random extra per blob (two blobs sent back-to-back can therefore
     arrive *reordered*); with probability ``duplicate_p`` a blob is
-    delivered twice; during any ``outages`` window ``[t0, t1)`` the link
-    refuses sends outright (:meth:`send` returns ``False`` -- the
-    shipper keeps its cursor and the durable log retransmits later, so
-    an outage loses nothing, it only delays).
+    delivered twice; during any ``outages`` window the link refuses
+    sends outright (:meth:`send` returns ``False`` -- the shipper keeps
+    its cursor and the durable log retransmits later, so an outage
+    loses nothing, it only delays).
+
+    Outage windows are **half-open** ``[t0, t1)``: a send at exactly
+    ``t0`` is refused, a send at exactly ``t1`` succeeds.  That
+    convention is part of the wire contract -- retry loops schedule
+    their next pump *at* the advertised outage end, so an inclusive
+    right edge would silently eat exactly that retry (pinned by
+    ``test_outage_window_boundaries``).  ``outage_refused`` counts the
+    refusals (today every refusal is an outage refusal; the split name
+    keeps the stat meaningful if other refusal reasons appear).
     """
 
     def __init__(self, rng, lag_s: float = 0.0, jitter_s: float = 0.0,
@@ -167,16 +190,21 @@ class ShippingChannel:
         self.outages = tuple(outages)
         self._in_flight: List[Tuple[float, int, bytes]] = []
         self._tie = 0
+        self._corrupt_pending = 0
         self.sent = 0
         self.refused = 0
+        self.outage_refused = 0
         self.duplicated = 0
+        self.corrupted = 0
 
     def in_outage(self, now: float) -> bool:
+        """True inside any half-open window: ``t0 <= now < t1``."""
         return any(t0 <= now < t1 for t0, t1 in self.outages)
 
     def send(self, now: float, data: bytes) -> bool:
         if self.in_outage(now):
             self.refused += 1
+            self.outage_refused += 1
             return False
         self.sent += 1
         self._enqueue(now, data)
@@ -184,6 +212,16 @@ class ShippingChannel:
             self.duplicated += 1
             self._enqueue(now, data)
         return True
+
+    def corrupt_next(self, n: int = 1) -> None:
+        """Arrange for the next ``n`` delivered blobs to arrive torn
+        (one byte flipped at a seeded offset).  The chaos harness's
+        torn-shipment fault: damage happens on the wire, detection
+        happens in the receiver's CRC check, recovery happens via the
+        durable-log retransmit."""
+        if n < 1:
+            raise ValueError("corrupt_next needs n >= 1")
+        self._corrupt_pending += n
 
     def _enqueue(self, now: float, data: bytes) -> None:
         deliver_at = now + self.lag_s
@@ -197,7 +235,14 @@ class ShippingChannel:
         order (``deliver(float('inf'))`` drains the link)."""
         out: List[bytes] = []
         while self._in_flight and self._in_flight[0][0] <= now:
-            out.append(heappop(self._in_flight)[2])
+            data = heappop(self._in_flight)[2]
+            if self._corrupt_pending > 0:
+                self._corrupt_pending -= 1
+                self.corrupted += 1
+                torn = bytearray(data)
+                torn[self._rng.randrange(len(torn))] ^= 0xFF
+                data = bytes(torn)
+            out.append(data)
         return out
 
     def drop_in_flight(self) -> int:
@@ -310,6 +355,85 @@ class SegmentReceiver:
         return self.buffer.get(self.applied_seq + 1)
 
 
+class _AnalyticState:
+    """The hub's replayable analytic core: replica engines per
+    (region, shard), the global merger, and the incident tracker.
+
+    Bundling these three makes the optimistic mode's central move --
+    *snapshot, replay into a shadow, swap* -- a first-class operation
+    instead of parallel bookkeeping across hub fields.  The engine list
+    is flattened in fixed (region, shard) order: merger cursors index by
+    engine position, so that order is part of the state contract.
+    """
+
+    def __init__(self, regions: Sequence[str],
+                 engines: Dict[str, List[CorrelationEngine]],
+                 merger: GlobalCampaignMerger,
+                 tracker: IncidentTracker) -> None:
+        self.regions = list(regions)
+        self.engines = engines
+        self.all_engines: List[CorrelationEngine] = [
+            e for r in self.regions for e in engines[r]]
+        self.merger = merger
+        self.tracker = tracker
+
+    @classmethod
+    def fresh(cls, regions: Sequence[str], num_shards: int, *,
+              window_s: float, k: int, dedup_window_s: float,
+              max_lateness_s: float) -> "_AnalyticState":
+        engines = {
+            r: [CorrelationEngine(
+                    window_s=window_s, k=k, dedup_window_s=dedup_window_s,
+                    max_lateness_s=max_lateness_s)
+                for _ in range(num_shards)]
+            for r in regions}
+        return cls(regions, engines,
+                   GlobalCampaignMerger(window_s=window_s, k=k),
+                   IncidentTracker())
+
+    @classmethod
+    def from_snapshots(cls, regions: Sequence[str],
+                       base: Dict[str, object]) -> "_AnalyticState":
+        """Rebuild from the frozen snapshots of a reconciliation base
+        (the same restore path ``recover_soc_state`` trusts)."""
+        engines = {
+            r: [CorrelationEngine.from_snapshot(s)
+                for s in base["engines"][r]]
+            for r in regions}
+        return cls(regions, engines,
+                   GlobalCampaignMerger.from_snapshot(base["merger"]),
+                   IncidentTracker.from_snapshot(base["tracker"]))
+
+    def apply(self, region: str, record: LogRecord, *,
+              provisional: bool = False, columnar: bool = False,
+              interner: Optional[StringInterner] = None,
+              ) -> List[CampaignDetection]:
+        """Apply one log record; returns the fleet-wide detections it
+        produced (empty for batch records)."""
+        if record.kind == "batch":
+            if columnar:
+                self.engines[region][record.shard].observe_columnar(
+                    build_batch(list(record.events), interner))
+            else:
+                self.engines[region][record.shard].observe_batch(
+                    list(record.events))
+            return []
+        # Pump marker: the region merged campaigns here; the hub merges
+        # fleet-wide, exactly as `recover_soc_state` replays a marker.
+        new_detections, new_vehicles = self.merger.merge(self.all_engines)
+        for detection in new_detections:
+            for engine in self.all_engines:
+                engine.adopt_campaign(detection)
+            self.tracker.open_from_detection(
+                detection,
+                SecurityOperationsCenter._base_severity(detection),
+                provisional=provisional)
+        for signature in sorted(new_vehicles):
+            for vehicle in sorted(new_vehicles[signature]):
+                self.tracker.attach_vehicle(signature, vehicle)
+        return new_detections
+
+
 class FederationHub:
     """The fleet-wide view: replica engines per (region, shard), one
     global merger, one incident tracker, and the watermark gate.
@@ -320,33 +444,52 @@ class FederationHub:
     correlation parameters must match the regions' own configuration --
     :meth:`SecurityOperationsCenter.federation_profile` exports exactly
     this shape (:meth:`from_profile` consumes it).
+
+    ``consistency`` picks the partition behavior:
+
+    - ``"strict"`` (default): the watermark gate stalls the global merge
+      until order is provable.  Verdicts are final the moment they fire.
+    - ``"optimistic"``: when *every* region blocking the gate has made
+      no watermark progress for longer than ``staleness_budget_s``, the
+      hub freezes the reconciliation base and keeps applying the healthy
+      regions' records provisionally (an **episode**).  Verdicts fired
+      inside an episode open ``provisional=True`` incidents and are
+      journaled in :attr:`provisional_log`.  Once every live region's
+      watermark provably passes the episode's records (or at
+      :meth:`finalize`), :meth:`_reconcile` replays the episode suffix
+      in canonical order into a shadow built from the frozen base,
+      classifies each provisional verdict (confirm / amend / retract --
+      :class:`~repro.soc.incident.Amendment`), and swaps the shadow in:
+      the analytic snapshot afterwards is byte-identical to the strict
+      gate's.
     """
 
     def __init__(self, regions: Sequence[str], num_shards: int = 1, *,
                  window_s: float = 8.0, k: int = 3,
                  dedup_window_s: float = 4.0,
                  max_lateness_s: float = 2.0,
-                 columnar: bool = False) -> None:
+                 columnar: bool = False,
+                 consistency: str = "strict",
+                 staleness_budget_s: float = 2.0) -> None:
         if not regions:
             raise ValueError("a federation needs at least one region")
         if len(set(regions)) != len(regions):
             raise ValueError("region names must be unique")
+        if consistency not in ("strict", "optimistic"):
+            raise ValueError(f"unknown consistency mode {consistency!r}")
+        if staleness_budget_s < 0:
+            raise ValueError("staleness_budget_s must be >= 0")
         self.regions: List[str] = list(regions)
         self.num_shards = num_shards
+        self.consistency = consistency
+        self.staleness_budget_s = staleness_budget_s
         self.receivers: Dict[str, SegmentReceiver] = {
             r: SegmentReceiver(r) for r in self.regions}
-        self.engines: Dict[str, List[CorrelationEngine]] = {
-            r: [CorrelationEngine(
-                    window_s=window_s, k=k, dedup_window_s=dedup_window_s,
-                    max_lateness_s=max_lateness_s)
-                for _ in range(num_shards)]
-            for r in self.regions}
-        # Flattened in fixed (region, shard) order: merger cursors index
-        # by engine position, so this order is part of the state contract.
-        self._all_engines: List[CorrelationEngine] = [
-            e for r in self.regions for e in self.engines[r]]
-        self.merger = GlobalCampaignMerger(window_s=window_s, k=k)
-        self.tracker = IncidentTracker()
+        self._state = _AnalyticState.fresh(
+            self.regions, num_shards, window_s=window_s, k=k,
+            dedup_window_s=dedup_window_s, max_lateness_s=max_lateness_s)
+        self._region_index: Dict[str, int] = {
+            r: i for i, r in enumerate(self.regions)}
         self._frontier: Dict[str, float] = {r: _NEG_INF for r in self.regions}
         self._finalized = False
         #: (applied_at_sim_time, detection) per fleet-wide verdict --
@@ -365,21 +508,73 @@ class FederationHub:
         # interner is sound across regions and shards.
         self.columnar = columnar
         self._interner: Optional[StringInterner] = None
+        # --- partition observability + optimistic episodes ------------
+        # _bound[r]: dispatch_t of r's last *contiguously known* record
+        # (applied or buffered without gaps) -- the best provable lower
+        # bound on where r's stream stands.  _known_seq caches the scan
+        # cursor so the contiguity walk is incremental, not quadratic.
+        self._now = _NEG_INF
+        self._bound: Dict[str, float] = {r: _NEG_INF for r in self.regions}
+        self._known_seq: Dict[str, int] = {r: 0 for r in self.regions}
+        self._last_progress: Dict[str, float] = {}
+        self._dead: Set[str] = set()
+        self._episode_active = False
+        self._base: Optional[Dict[str, object]] = None
+        self._suffix: List[Tuple[str, LogRecord]] = []
+        self._provisional: List[Tuple[float, CampaignDetection]] = []
+        self._hi_by_region: Dict[str, Tuple[float, int]] = {}
+        #: Permanent journal of every provisional verdict ever emitted
+        #: (reconciliation rewrites detection_log, never this).
+        self.provisional_log: List[Tuple[float, CampaignDetection]] = []
+        #: Cumulative reconciliation outcomes, export feed for
+        #: :meth:`export_amendments`.
+        self.amendments: List[Amendment] = []
+        self.episodes = 0
+        self.reconciliations = 0
+        self.provisional_verdicts = 0
+        self.amendments_confirmed = 0
+        self.amendments_amended = 0
+        self.amendments_retracted = 0
+        self.late_verdicts = 0
+        self.dead_rejected = 0
+        self.dead_dropped = 0
+
+    # -- analytic state is swapped wholesale at reconciliation; expose
+    # -- the live pieces under their historical names.
+    @property
+    def engines(self) -> Dict[str, List[CorrelationEngine]]:
+        return self._state.engines
+
+    @property
+    def merger(self) -> GlobalCampaignMerger:
+        return self._state.merger
+
+    @property
+    def tracker(self) -> IncidentTracker:
+        return self._state.tracker
+
+    @property
+    def _all_engines(self) -> List[CorrelationEngine]:
+        return self._state.all_engines
 
     @classmethod
     def from_profile(cls, regions: Sequence[str],
                      profile: Dict[str, object],
-                     columnar: bool = False) -> "FederationHub":
+                     columnar: bool = False,
+                     consistency: str = "strict",
+                     staleness_budget_s: float = 2.0) -> "FederationHub":
         """Build a hub from one region's
         :meth:`~repro.soc.center.SecurityOperationsCenter.\
 federation_profile` (regions in a federation share a configuration).
-        ``columnar`` is hub-local (how *this* process applies replayed
-        batches), not part of the shared profile."""
+        ``columnar``, ``consistency`` and ``staleness_budget_s`` are
+        hub-local (how *this* process applies replayed batches and rides
+        out partitions), not part of the shared profile."""
         return cls(regions, int(profile["num_shards"]),
                    window_s=profile["window_s"], k=profile["k"],
                    dedup_window_s=profile["dedup_window_s"],
                    max_lateness_s=profile["max_lateness_s"],
-                   columnar=columnar)
+                   columnar=columnar, consistency=consistency,
+                   staleness_budget_s=staleness_budget_s)
 
     # ------------------------------------------------------------------
     # Arrival + watermark-gated apply
@@ -398,7 +593,41 @@ federation_profile` (regions in a federation share a configuration).
         if receiver is None:
             self.corrupt_unrouted += 1
             return False
+        if region in self._dead:
+            # A declared-dead region's stream is truncated: late blobs
+            # are refused whole so its applied prefix stays frozen.
+            self.dead_rejected += 1
+            return False
         return receiver.receive(data)
+
+    def _note_progress(self) -> None:
+        """Advance each region's contiguous-knowledge bound and stamp
+        progress time.  ``_known_seq`` remembers how far the contiguity
+        walk got, so each buffered record is scanned once ever."""
+        for region in self.regions:
+            if region in self._dead:
+                continue
+            receiver = self.receivers[region]
+            if region not in self._last_progress:
+                self._last_progress[region] = self._now
+            seq = max(self._known_seq[region], receiver.applied_seq)
+            while seq + 1 in receiver.buffer:
+                seq += 1
+            self._known_seq[region] = seq
+            if seq > receiver.applied_seq:
+                bound = receiver.buffer[seq].dispatch_t
+            else:
+                bound = self._frontier[region]
+            if bound > self._bound[region]:
+                self._bound[region] = bound
+                self._last_progress[region] = self._now
+
+    def stall_age_s(self, region: str) -> float:
+        """Seconds since this region's watermark bound last advanced
+        (0.0 until the hub has observed any time at all)."""
+        if self._now == _NEG_INF or region in self._dead:
+            return 0.0
+        return max(0.0, self._now - self._last_progress.get(region, self._now))
 
     def advance(self, now: float) -> int:
         """Apply every *provably ordered* buffered record; returns the
@@ -413,7 +642,16 @@ federation_profile` (regions in a federation share a configuration).
         log (non-decreasing ``dispatch_t``) can never go back.  A tie at
         the frontier must stall: an announced frontier ``t`` still
         admits a future record *at* ``t``.
+
+        In ``optimistic`` mode a stall where every blocking region has
+        exceeded ``staleness_budget_s`` opens an episode instead of
+        stalling: the base state is frozen and records apply
+        provisionally (unordered across regions, still seq-ordered
+        within each).  The episode closes via :meth:`_reconcile` once
+        every live region's bound provably passes the episode's records.
         """
+        self._now = max(self._now, now)
+        self._note_progress()
         applied = 0
         while True:
             best_key: Optional[Tuple[float, int]] = None
@@ -432,57 +670,218 @@ federation_profile` (regions in a federation share a configuration).
                     best_record = record
             if best_record is None:
                 break
-            if not self._finalized:
-                safe = True
+            if not self._finalized and not self._episode_active:
+                blockers: List[str] = []
                 for index, region in enumerate(self.regions):
-                    if ready[index]:
-                        continue  # its next record lost the key compare
+                    if ready[index] or region in self._dead:
+                        continue  # lost the key compare / can't speak
                     # Worst case: this region's next record arrives at
                     # exactly its frontier time.
                     if (self._frontier[region], index) <= best_key:
-                        safe = False
+                        blockers.append(region)
+                if blockers:
+                    if (self.consistency == "optimistic"
+                            and all(self.stall_age_s(r)
+                                    > self.staleness_budget_s
+                                    for r in blockers)):
+                        self._begin_episode()
+                    else:
+                        self.stalled_rounds += 1
                         break
-                if not safe:
-                    self.stalled_rounds += 1
-                    break
-            best_receiver.applied_seq = best_record.seq
-            del best_receiver.buffer[best_record.seq]
-            self._frontier[best_receiver.region] = best_record.dispatch_t
-            self._apply(now, best_receiver.region, best_record)
+            self._pop_and_apply(now, best_receiver, best_record)
             applied += 1
+        if self._episode_active and (self._finalized
+                                     or self._reconcile_ready()):
+            self._reconcile(self._now)
         return applied
 
-    def _apply(self, now: float, region: str, record: LogRecord) -> None:
+    def _pop_and_apply(self, now: float, receiver: SegmentReceiver,
+                       record: LogRecord) -> None:
+        receiver.applied_seq = record.seq
+        del receiver.buffer[record.seq]
+        region = receiver.region
+        self._frontier[region] = record.dispatch_t
+        if record.dispatch_t > self._bound[region]:
+            self._bound[region] = record.dispatch_t
         self.records_applied += 1
-        if record.kind == "batch":
-            if self.columnar:
-                if self._interner is None:
-                    self._interner = StringInterner()
-                self.engines[region][record.shard].observe_columnar(
-                    build_batch(list(record.events), self._interner))
-            else:
-                self.engines[region][record.shard].observe_batch(
-                    list(record.events))
-            return
-        # Pump marker: the region merged campaigns here; the hub merges
-        # fleet-wide, exactly as `recover_soc_state` replays a marker.
-        self.pumps_applied += 1
-        new_detections, new_vehicles = self.merger.merge(self._all_engines)
+        if record.kind != "batch":
+            self.pumps_applied += 1
+        if self.columnar and self._interner is None:
+            self._interner = StringInterner()
+        new_detections = self._state.apply(
+            region, record, provisional=self._episode_active,
+            columnar=self.columnar, interner=self._interner)
+        if self._episode_active:
+            self._suffix.append((region, record))
+            key = (record.dispatch_t, self._region_index[region])
+            prior = self._hi_by_region.get(region)
+            if prior is None or key > prior:
+                self._hi_by_region[region] = key
         for detection in new_detections:
-            for engine in self._all_engines:
-                engine.adopt_campaign(detection)
-            self.tracker.open_from_detection(
-                detection,
-                SecurityOperationsCenter._base_severity(detection))
             self.detection_log.append((now, detection))
-        for signature in sorted(new_vehicles):
-            for vehicle in sorted(new_vehicles[signature]):
-                self.tracker.attach_vehicle(signature, vehicle)
+            if self._episode_active:
+                self.provisional_verdicts += 1
+                self._provisional.append((now, detection))
+                self.provisional_log.append((now, detection))
+
+    # ------------------------------------------------------------------
+    # Optimistic episodes
+    # ------------------------------------------------------------------
+    def _begin_episode(self) -> None:
+        """Freeze the reconciliation base: the analytic state at the
+        last provably-ordered point.  Everything applied from here until
+        :meth:`_reconcile` is provisional."""
+        self._episode_active = True
+        self.episodes += 1
+        self._base = {
+            "engines": {r: [e.snapshot() for e in self._state.engines[r]]
+                        for r in self.regions},
+            "merger": self._state.merger.snapshot(),
+            "tracker": self._state.tracker.snapshot(),
+            "detection_log_len": len(self.detection_log),
+        }
+        self._suffix = []
+        self._provisional = []
+        self._hi_by_region = {}
+
+    def _reconcile_ready(self) -> bool:
+        """True once no live region can still produce a record sorting
+        before any record already applied provisionally: for every live
+        region, its worst-case next key ``(bound, index)`` must beat
+        every *other* region's highest suffix key.  (Its own suffix is
+        always safe -- within a region, applies stay in seq order.)"""
+        if not self._suffix:
+            return True
+        for region in self.regions:
+            if region in self._dead:
+                continue
+            bound_key = (self._bound[region], self._region_index[region])
+            for other, hi_key in self._hi_by_region.items():
+                if other != region and bound_key < hi_key:
+                    return False
+        return True
+
+    def _reconcile(self, now: float) -> None:
+        """Close the episode deterministically.
+
+        Replay the episode suffix in canonical ``(dispatch_t, region,
+        seq)`` order into a shadow built from the frozen base -- exactly
+        the sequence the strict gate would have applied -- then classify
+        every provisional verdict against the shadow's (confirm: the
+        identical detection fired; amend: same signature, different
+        spread/timing; retract: it never fired), journal the
+        :class:`~repro.soc.incident.Amendment` for each, rebuild the
+        detection log (confirmed/amended verdicts keep their *early*
+        provisional entry as-is -- the log journals what was reported
+        when, which is the availability win E18 measures, while the
+        amendment carries the correction and the swapped-in state
+        carries the canonical detection; retracted entries drop;
+        shadow-only verdicts land now as ``late``), and swap the shadow
+        in.  Frontiers and applied seqs need no repair: per-region
+        applies always happen in seq order, so they already match the
+        strict twin.
+        """
+        self.reconciliations += 1
+        order = self._region_index
+        suffix = sorted(
+            self._suffix,
+            key=lambda item: (item[1].dispatch_t, order[item[0]],
+                              item[1].seq))
+        shadow = _AnalyticState.from_snapshots(self.regions, self._base)
+        shadow_detections: List[CampaignDetection] = []
+        for region, record in suffix:
+            # Scalar replay on purpose: columnar apply is byte-identical
+            # (pinned since PR 6) and reconciliation is off the hot path.
+            shadow_detections.extend(shadow.apply(region, record))
+        shadow_by_sig = {d.signature: d for d in shadow_detections}
+        old_tracker = self._state.tracker
+        fresh: List[Amendment] = []
+        kept: List[Tuple[float, CampaignDetection]] = []
+        for t_prov, d_prov in self._provisional:
+            confirmed = shadow_by_sig.pop(d_prov.signature, None)
+            if confirmed is None:
+                self.amendments_retracted += 1
+                incident = old_tracker.incident_for(d_prov.signature)
+                fresh.append(Amendment(
+                    kind="retract", signature=d_prov.signature, t=now,
+                    incident_id=(incident.incident_id
+                                 if incident else None),
+                    vehicles_removed=len(d_prov.vehicles)))
+                continue
+            kept.append((t_prov, d_prov))
+            shadow_incident = shadow.tracker.incident_for(d_prov.signature)
+            incident_id = (shadow_incident.incident_id
+                           if shadow_incident else None)
+            if confirmed == d_prov:
+                self.amendments_confirmed += 1
+                fresh.append(Amendment(
+                    kind="confirm", signature=d_prov.signature, t=now,
+                    incident_id=incident_id))
+            else:
+                self.amendments_amended += 1
+                prov_vehicles = set(d_prov.vehicles)
+                true_vehicles = set(confirmed.vehicles)
+                fresh.append(Amendment(
+                    kind="amend", signature=d_prov.signature, t=now,
+                    incident_id=incident_id,
+                    vehicles_added=len(true_vehicles - prov_vehicles),
+                    vehicles_removed=len(prov_vehicles - true_vehicles)))
+        late = [(now, d) for d in shadow_detections
+                if d.signature in shadow_by_sig]
+        self.late_verdicts += len(late)
+        head = self.detection_log[:self._base["detection_log_len"]]
+        self.detection_log = head + kept + late
+        # The shadow tracker restarts from the base snapshot (the
+        # amendment journal is journey, not state) -- re-seat the full
+        # journal so tracker-level history survives the swap.
+        shadow.tracker.amendments = list(old_tracker.amendments)
+        for amendment in fresh:
+            shadow.tracker.record_amendment(amendment)
+        self.amendments.extend(fresh)
+        self._state = shadow
+        self._episode_active = False
+        self._base = None
+        self._suffix = []
+        self._provisional = []
+        self._hi_by_region = {}
+
+    def declare_dead(self, region: str) -> int:
+        """Administratively remove a region from the federation: its
+        stream is truncated at the applied prefix, buffered gap records
+        are discarded (counted in ``dead_dropped``), future blobs are
+        refused, and the gate stops waiting on it -- which also lets an
+        open episode reconcile without the corpse.  Returns the number
+        of buffered records discarded."""
+        if region not in self._region_index:
+            raise ValueError(f"unknown region {region!r}")
+        if region in self._dead:
+            return 0
+        self._dead.add(region)
+        receiver = self.receivers[region]
+        dropped = len(receiver.buffer)
+        receiver.buffer.clear()
+        self._known_seq[region] = receiver.applied_seq
+        self.dead_dropped += dropped
+        return dropped
+
+    @property
+    def dead_regions(self) -> Set[str]:
+        return set(self._dead)
+
+    @property
+    def episode_active(self) -> bool:
+        return self._episode_active
+
+    def export_amendments(self, after: int = 0) -> List[Dict[str, object]]:
+        """JSON-safe amendment feed (regions poll with their cursor --
+        same idiom as the verdict feed)."""
+        return [a.as_dict() for a in self.amendments[after:]]
 
     def finalize(self, now: float) -> int:
         """End-of-stream flush: every region's log is known complete, so
         frontier gating is lifted and all buffered records drain in
-        global sort order.  Returns the records applied."""
+        global sort order; an open episode reconciles afterwards.
+        Returns the records applied."""
         self._finalized = True
         return self.advance(now)
 
@@ -545,6 +944,19 @@ federation_profile` (regions in a federation share a configuration).
                             for r in self.regions},
         }
 
+    def watermark_lag_s(self, region: str) -> float:
+        """How far this region's contiguous-knowledge bound trails the
+        most-advanced live region's (0.0 when nothing is comparable yet
+        or the region is dead).  A growing lag is a brewing partition
+        *before* the gate visibly stalls."""
+        if region in self._dead:
+            return 0.0
+        bounds = [self._bound[r] for r in self.regions
+                  if r not in self._dead and self._bound[r] != _NEG_INF]
+        if not bounds or self._bound[region] == _NEG_INF:
+            return 0.0
+        return max(0.0, max(bounds) - self._bound[region])
+
     def metrics(self) -> Dict[str, float]:
         out = {
             "regions": float(len(self.regions)),
@@ -557,5 +969,27 @@ federation_profile` (regions in a federation share a configuration).
                 sum(r.duplicates for r in self.receivers.values())),
             "corrupt_rejected": float(
                 sum(r.corrupt_rejected for r in self.receivers.values())),
+            "episodes": float(self.episodes),
+            "reconciliations": float(self.reconciliations),
+            "episode_active": float(self._episode_active),
+            "provisional_verdicts": float(self.provisional_verdicts),
+            "amendments_confirmed": float(self.amendments_confirmed),
+            "amendments_amended": float(self.amendments_amended),
+            "amendments_retracted": float(self.amendments_retracted),
+            "late_verdicts": float(self.late_verdicts),
+            "dead_regions": float(len(self._dead)),
+            "dead_rejected": float(self.dead_rejected),
+            "dead_dropped": float(self.dead_dropped),
         }
+        stall_ages = []
+        lags = []
+        for region in self.regions:
+            age = self.stall_age_s(region)
+            lag = self.watermark_lag_s(region)
+            out[f"stall_age_s[{region}]"] = age
+            out[f"watermark_lag_s[{region}]"] = lag
+            stall_ages.append(age)
+            lags.append(lag)
+        out["stall_age_max_s"] = max(stall_ages) if stall_ages else 0.0
+        out["watermark_lag_max_s"] = max(lags) if lags else 0.0
         return out

@@ -46,6 +46,48 @@ class InvalidTransition(RuntimeError):
     """Raised on a lifecycle step the state machine forbids."""
 
 
+AMENDMENT_KINDS = ("confirm", "amend", "retract")
+
+
+@dataclass(frozen=True)
+class Amendment:
+    """One reconciliation outcome for a provisional verdict.
+
+    Optimistic federation (:mod:`repro.soc.federation`) emits verdicts
+    past a stalled region's watermark; when the deterministic
+    reconciliation pass replays the same records in canonical order it
+    classifies every provisional verdict exactly once: ``confirm`` (the
+    strict replay fired the identical detection), ``amend`` (it fired
+    with different spread/timing -- the deltas are recorded here), or
+    ``retract`` (it never fired; the provisional incident was a false
+    page).  Amendments describe the *journey* from optimistic to strict
+    state, so they are journaled beside the tracker, never inside its
+    canonical snapshot.
+    """
+
+    kind: str                      # one of AMENDMENT_KINDS
+    signature: str
+    t: float                       # reconciliation time
+    incident_id: Optional[str] = None
+    vehicles_added: int = 0
+    vehicles_removed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in AMENDMENT_KINDS:
+            raise ValueError(f"unknown amendment kind {self.kind!r}")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe export form (the hub's amendment feed)."""
+        return {
+            "kind": self.kind,
+            "signature": self.signature,
+            "t": self.t,
+            "incident_id": self.incident_id,
+            "vehicles_added": self.vehicles_added,
+            "vehicles_removed": self.vehicles_removed,
+        }
+
+
 @dataclass
 class Incident:
     """One fleet-level security incident."""
@@ -58,6 +100,9 @@ class Incident:
     vehicles: Set[str] = field(default_factory=set)
     history: List[Tuple[float, IncidentState]] = field(default_factory=list)
     base_severity: Optional[Asil] = None  # pre-escalation level
+    #: Opened from an optimistic (pre-reconciliation) verdict; cleared by
+    #: a ``confirm``/``amend`` amendment or the reconciliation swap.
+    provisional: bool = False
 
     def __post_init__(self) -> None:
         if self.base_severity is None:
@@ -108,6 +153,7 @@ class Incident:
             "vehicles": sorted(self.vehicles),
             "history": [[t, s.value] for t, s in self.history],
             "base_severity": int(self.base_severity),
+            "provisional": self.provisional,
         }
 
     @classmethod
@@ -121,6 +167,7 @@ class Incident:
             vehicles=set(obj["vehicles"]),
             history=[(t, IncidentState(s)) for t, s in obj["history"]],
             base_severity=Asil(obj["base_severity"]),
+            provisional=bool(obj.get("provisional", False)),
         )
 
 
@@ -132,6 +179,9 @@ class IncidentTracker:
         self.incidents: Dict[str, Incident] = {}          # by incident id
         self._by_signature: Dict[str, Incident] = {}
         self._counter = 0
+        #: Reconciliation journal (journey, not state): excluded from
+        #: :meth:`snapshot` so amended trackers stay byte-comparable.
+        self.amendments: List[Amendment] = []
 
     # ------------------------------------------------------------------
     def score(self, base: Asil, spread: int) -> Asil:
@@ -142,7 +192,8 @@ class IncidentTracker:
         return Asil(min(int(Asil.D), max(int(Asil.A), level)))
 
     def open_from_detection(self, detection: CampaignDetection,
-                            base_severity: Asil = Asil.B) -> Incident:
+                            base_severity: Asil = Asil.B,
+                            provisional: bool = False) -> Incident:
         if detection.signature in self._by_signature:
             return self._by_signature[detection.signature]
         self._counter += 1
@@ -153,6 +204,7 @@ class IncidentTracker:
             severity=self.score(base_severity, detection.spread),
             vehicles=set(detection.vehicles),
             base_severity=base_severity,
+            provisional=provisional,
         )
         self.incidents[incident.incident_id] = incident
         self._by_signature[detection.signature] = incident
@@ -173,11 +225,47 @@ class IncidentTracker:
                 incident.severity = bumped
 
     # ------------------------------------------------------------------
+    # Reconciliation amendments
+    # ------------------------------------------------------------------
+    def record_amendment(self, amendment: Amendment) -> bool:
+        """Journal one reconciliation outcome and apply its lifecycle
+        effect to the matching local incident, if any.
+
+        ``confirm``/``amend`` clear the incident's ``provisional`` flag
+        (the verdict survived the deterministic replay); ``retract``
+        walks a still-open incident to ``FALSE_POSITIVE`` -- the page was
+        an optimistic artifact.  A retract landing after containment is
+        journaled but leaves the lifecycle alone (the response already
+        ran; only a human can unwind it).  Returns ``True`` when a local
+        incident was touched.
+        """
+        self.amendments.append(amendment)
+        incident = self._by_signature.get(amendment.signature)
+        if incident is None:
+            return False
+        if amendment.kind in ("confirm", "amend"):
+            incident.provisional = False
+            return True
+        # retract
+        if incident.state in (IncidentState.OPEN, IncidentState.TRIAGED):
+            incident.advance(amendment.t, IncidentState.FALSE_POSITIVE)
+            return True
+        return False
+
+    def amendment_counts(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in AMENDMENT_KINDS}
+        for amendment in self.amendments:
+            counts[amendment.kind] += 1
+        return counts
+
+    # ------------------------------------------------------------------
     # Snapshot / restore
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """Canonical JSON-safe dump of every incident plus the id
-        counter (incident ids must keep incrementing across a restart)."""
+        counter (incident ids must keep incrementing across a restart).
+        The :attr:`amendments` journal is deliberately excluded: it
+        describes how the state was reached, not the state itself."""
         return {
             "escalation_spread": self.escalation_spread,
             "counter": self._counter,

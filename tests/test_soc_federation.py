@@ -575,3 +575,121 @@ class TestInterleavingInvariance:
         assert hub.unapplied() == 0
         assert _canon(hub.analytics_snapshot()) == \
             shipment_corpus["expected"]
+
+
+# ----------------------------------------------------------------------
+# Satellite: outage-window boundary semantics are [t0, t1)
+# ----------------------------------------------------------------------
+class TestOutageWindowBoundaries:
+    def test_outage_window_boundaries(self):
+        """Half-open pin: refused at exactly t0 and through the window,
+        but a send at exactly t1 (the advertised outage end -- where a
+        retry loop schedules itself) must succeed."""
+        chan = ShippingChannel(random.Random(0), outages=((5.0, 10.0),))
+        assert chan.in_outage(5.0)
+        assert chan.in_outage(9.999)
+        assert not chan.in_outage(10.0)
+        assert not chan.send(5.0, b"a")          # inclusive left edge
+        assert not chan.send(7.5, b"b")
+        assert chan.send(10.0, b"c")             # exclusive right edge
+        assert chan.send(4.999, b"d")
+        assert chan.outage_refused == 2
+        assert chan.refused == 2
+
+    def test_outage_refused_counts_only_outage_refusals(self):
+        chan = ShippingChannel(random.Random(0), outages=((1.0, 2.0),))
+        assert chan.send(0.0, b"x")
+        assert not chan.send(1.5, b"y")
+        assert chan.outage_refused == 1
+        assert chan.sent == 1
+
+
+# ----------------------------------------------------------------------
+# Satellite: shipper restart from seq 0 *during* an active outage
+# ----------------------------------------------------------------------
+def test_restart_from_seq0_during_outage_converges(tmp_path):
+    """The shipper dies and restarts from cursor 0 while its link is
+    still down: nothing ships until heal, then all of history re-ships
+    and the receiver's dedup converges the hub byte-identically to the
+    union-log reference."""
+    outage = (6.0, 14.0)
+    scene = build_federated_scene(
+        seed=3, n_per_region=DIFF_N, lag_s=0.5,
+        outages={"region-1": (outage,)}, root=tmp_path)
+    try:
+        scene.start()
+        mid_outage = (outage[0] + outage[1]) / 2.0
+        scene.sim.run_until(mid_outage)
+        runtime = scene.regions["region-1"]
+        assert runtime.channel.in_outage(scene.sim.now)
+        shipped_before = runtime.shipper.shipped_seq
+        runtime.channel.drop_in_flight()
+        runtime.shipper = SegmentShipper(
+            "region-1", runtime.store.log, runtime.channel)
+        assert runtime.shipper.shipped_seq == 0
+        # Mid-outage pumps must refuse without moving the fresh cursor.
+        assert runtime.shipper.pump(scene.sim.now) == 0
+        assert runtime.shipper.shipped_seq == 0
+        scene.run(DIFF_DURATION_S)
+        assert scene.hub.unapplied() == 0
+        # History re-shipped: everything up to the old cursor arrived
+        # at least twice, and dedup absorbed it.
+        assert scene.hub.receivers["region-1"].duplicates >= shipped_before
+        assert _canon(scene.hub.analytics_snapshot()) == \
+            _canon(_union_reference_hub(scene).analytics_snapshot())
+    finally:
+        scene.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite: stall-age / watermark-lag gauges
+# ----------------------------------------------------------------------
+class TestPartitionGauges:
+    def _hub_with_region_a_data(self, tmp_path, **kw):
+        hub = FederationHub(["region-a", "region-b"], 2, **kw)
+        blob = encode_shipment(
+            _shipment_from_log(tmp_path, "region-a", n_batches=3))
+        hub.receive(blob)
+        return hub
+
+    def test_stall_age_grows_while_a_region_is_silent(self, tmp_path):
+        hub = self._hub_with_region_a_data(tmp_path)
+        hub.advance(10.0)
+        m = hub.metrics()
+        assert m["stall_age_s[region-a]"] == 0.0  # it just progressed
+        assert m["stall_age_s[region-b]"] == 0.0  # first observation
+        hub.advance(14.0)
+        m = hub.metrics()
+        assert m["stall_age_s[region-b]"] == 4.0
+        assert m["stall_age_max_s"] == 4.0
+        # The brewing partition is visible *before* anything applies:
+        # the gate has region-a's records all stalled behind region-b.
+        assert hub.records_applied == 0
+
+    def test_watermark_lag_tracks_bound_spread(self, tmp_path):
+        hub = self._hub_with_region_a_data(tmp_path)
+        hub.advance(10.0)
+        m = hub.metrics()
+        # region-b has announced nothing: no finite bound, lag reads 0
+        # for it (nothing comparable) and 0 for the leader.
+        assert m["watermark_lag_s[region-a]"] == 0.0
+        assert m["watermark_lag_s[region-b]"] == 0.0
+        blob = encode_shipment(
+            _shipment_from_log(tmp_path / "b", "region-b", n_batches=1))
+        hub.receive(blob)
+        hub.advance(11.0)
+        m = hub.metrics()
+        assert m["watermark_lag_s[region-b]"] > 0.0
+        assert m["watermark_lag_s[region-b]"] == m["watermark_lag_max_s"]
+        assert m["watermark_lag_s[region-a]"] == 0.0
+
+    def test_gauges_reset_when_the_laggard_catches_up(self, tmp_path):
+        hub = self._hub_with_region_a_data(tmp_path)
+        hub.advance(10.0)
+        hub.advance(15.0)
+        assert hub.metrics()["stall_age_s[region-b]"] == 5.0
+        blob = encode_shipment(
+            _shipment_from_log(tmp_path / "b", "region-b", n_batches=6))
+        hub.receive(blob)
+        hub.advance(16.0)
+        assert hub.metrics()["stall_age_s[region-b]"] == 0.0
